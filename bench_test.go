@@ -1,0 +1,271 @@
+// Benchmarks regenerating every experiment of DESIGN.md's index (E1-E9),
+// plus end-to-end benches of the three pillars: analysis, simulation and
+// admission control. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkE* executes the full experiment; custom metrics surface
+// the headline quantity of the experiment so that `go test -bench` output
+// doubles as a compact results table (see EXPERIMENTS.md).
+package gmfnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gmfnet"
+	"gmfnet/internal/core"
+	"gmfnet/internal/ether"
+	"gmfnet/internal/exp"
+	"gmfnet/internal/network"
+	"gmfnet/internal/sim"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// runExperiment executes one experiment per iteration and fails the bench
+// on any experiment error (E5/E6 embed correctness checks).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1_LinkParameters regenerates Fig. 3/4: per-frame C_ik, CSUM,
+// NSUM, TSUM on link(0,4) at 10 Mbit/s.
+func BenchmarkE1_LinkParameters(b *testing.B) {
+	d, err := ether.DemandFor(trace.MPEGIBBPBBPBB("m", trace.MPEGOptions{}), 10*units.Mbps, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(d.TSUM().Milliseconds(), "TSUM_ms")
+	b.ReportMetric(d.CSUM().Milliseconds(), "CSUM_ms")
+	b.ReportMetric(float64(d.NSUM()), "NSUM_frames")
+	runExperiment(b, "E1")
+}
+
+// BenchmarkE2_CIRC regenerates the 14.8 µs CIRC example of Section 3.3.
+func BenchmarkE2_CIRC(b *testing.B) {
+	topo := network.MustFigure1(network.Figure1Options{})
+	circ, err := topo.CIRC("6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(circ.Microseconds(), "CIRC_us")
+	runExperiment(b, "E2")
+}
+
+// BenchmarkE3_EndToEnd regenerates the Figure 6 pipeline on the Figure 1
+// network and reports the MPEG I+P frame's end-to-end bound.
+func BenchmarkE3_EndToEnd(b *testing.B) {
+	res := figure1Bounds(b)
+	b.ReportMetric(res.Flow(0).Frames[0].Response.Milliseconds(), "IP_bound_ms")
+	b.ReportMetric(float64(res.Iterations), "holistic_iters")
+	runExperiment(b, "E3")
+}
+
+// BenchmarkE4_Holistic regenerates the convergence sweep of Section 3.5.
+func BenchmarkE4_Holistic(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkE5_AnalysisVsSim regenerates the soundness validation: the
+// experiment itself fails if any simulated response exceeds its bound.
+func BenchmarkE5_AnalysisVsSim(b *testing.B) {
+	res := figure1Bounds(b)
+	nw := mustFigure1Scenario(b)
+	s, err := sim.New(nw, sim.Config{Duration: 2 * units.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	worstRatio := 0.0
+	for i := range obs.Flows {
+		for k := range obs.Flows[i].PerFrame {
+			o := float64(obs.Flows[i].PerFrame[k].MaxResponse)
+			bd := float64(res.Flow(i).Frames[k].Response)
+			if bd > 0 && o/bd > worstRatio {
+				worstRatio = o / bd
+			}
+		}
+	}
+	b.ReportMetric(100*worstRatio, "worst_obs_over_bound_pct")
+	runExperiment(b, "E5")
+}
+
+// BenchmarkE6_Admission regenerates the GMF-vs-sporadic admission contest.
+func BenchmarkE6_Admission(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkE7_Scaling regenerates the multihop scaling sweep.
+func BenchmarkE7_Scaling(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkE8_SwitchSizing regenerates the Conclusions' 48-port sizing
+// table and reports the 16-CPU CIRC (paper: 11.1 µs).
+func BenchmarkE8_SwitchSizing(b *testing.B) {
+	p := network.DefaultSwitchParams()
+	p.Processors = 16
+	topo := network.NewTopology()
+	if err := topo.AddSwitch("big", p); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		id := network.NodeID(fmt.Sprintf("h%02d", i))
+		if err := topo.AddHost(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := topo.AddDuplexLink("big", id, units.Gbps, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	circ, err := topo.CIRC("big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(circ.Microseconds(), "CIRC16_us")
+	runExperiment(b, "E8")
+}
+
+// BenchmarkE9_Ablation regenerates the ModePaper-vs-ModeSound comparison.
+func BenchmarkE9_Ablation(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkE10_Distribution regenerates the response-time distribution
+// study (simulated percentiles vs analytic bound).
+func BenchmarkE10_Distribution(b *testing.B) { runExperiment(b, "E10") }
+
+// BenchmarkE11_Breakdown regenerates the breakdown-load and
+// priority-policy study and reports the 10 Mbit/s breakdown scale.
+func BenchmarkE11_Breakdown(b *testing.B) {
+	nw := mustFigure1Scenario(b)
+	sys := gmfnet.NewSystem(nw.Topo)
+	for _, fs := range nw.Flows() {
+		sys.MustAddFlow(fs)
+	}
+	bd, err := sys.FindBreakdown(gmfnet.BreakdownOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(bd.Scale, "breakdown_scale")
+	runExperiment(b, "E11")
+}
+
+// BenchmarkE12_EDFGap regenerates the paper-vs-idealized-EDF admission
+// comparison on a single link.
+func BenchmarkE12_EDFGap(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkE13_Buffers regenerates the queue high-water-mark study.
+func BenchmarkE13_Buffers(b *testing.B) { runExperiment(b, "E13") }
+
+// BenchmarkAnalyzeHolistic measures the raw analysis cost on the Figure 1
+// scenario (no table rendering).
+func BenchmarkAnalyzeHolistic(b *testing.B) {
+	nw := mustFigure1Scenario(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := core.NewAnalyzer(nw, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := an.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSecond measures simulator throughput: one simulated
+// second of the Figure 1 scenario per iteration.
+func BenchmarkSimulateSecond(b *testing.B) {
+	nw := mustFigure1Scenario(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(nw, sim.Config{Duration: units.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmissionRequest measures one admission decision (tentative add
+// + holistic analysis + rollback or commit).
+func BenchmarkAdmissionRequest(b *testing.B) {
+	sys := gmfnet.NewSystem(gmfnet.MustFigure1(gmfnet.Figure1Options{Rate: units.Gbps}))
+	ctl, err := sys.NewAdmissionController(gmfnet.AnalysisConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ctl.Request(&gmfnet.FlowSpec{
+			Flow:     gmfnet.VoIP(fmt.Sprintf("c%d", i), gmfnet.VoIPOptions{Deadline: 500 * units.Millisecond}),
+			Route:    []gmfnet.NodeID{"0", "4", "6", "3"},
+			Priority: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Admitted {
+			b.Fatalf("request %d rejected; raise the bench link rate", i)
+		}
+	}
+}
+
+// figure1Bounds computes the holistic bounds of the shared E3/E5 scenario.
+func figure1Bounds(b *testing.B) *core.Result {
+	b.Helper()
+	nw := mustFigure1Scenario(b)
+	an, err := core.NewAnalyzer(nw, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// mustFigure1Scenario rebuilds the E3/E5 scenario: MPEG + VoIP + CBR cross
+// traffic on Figure 1 at 10 Mbit/s.
+func mustFigure1Scenario(b *testing.B) *network.Network {
+	b.Helper()
+	topo := network.MustFigure1(network.Figure1Options{Rate: 10 * units.Mbps})
+	nw := network.New(topo)
+	specs := []*network.FlowSpec{
+		{
+			Flow:     trace.MPEGIBBPBBPBB("mpeg", trace.MPEGOptions{Deadline: 300 * units.Millisecond}),
+			Route:    []network.NodeID{"0", "4", "6", "3"},
+			Priority: 2,
+		},
+		{
+			Flow:     trace.VoIP("voip", trace.VoIPOptions{Deadline: 100 * units.Millisecond, Jitter: 500 * units.Microsecond}),
+			Route:    []network.NodeID{"2", "5", "6", "3"},
+			Priority: 3,
+		},
+		{
+			Flow:     trace.CBRVideo("cbr", 4000, 40*units.Millisecond, 300*units.Millisecond),
+			Route:    []network.NodeID{"1", "4", "6", "3"},
+			Priority: 1,
+		},
+	}
+	for _, s := range specs {
+		if _, err := nw.AddFlow(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return nw
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunExample(t *testing.T) {
+	if err := run([]string{"-example"}); err != nil {
+		t.Fatalf("-example failed: %v", err)
+	}
+}
+
+func TestRunSporadic(t *testing.T) {
+	if err := run([]string{"-example", "-sporadic"}); err != nil {
+		t.Fatalf("-sporadic failed: %v", err)
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join("..", "..", "scenarios", "campus.json")
+	if err := run([]string{path}); err != nil {
+		t.Fatalf("scenario replay failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"/nonexistent.json"}} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E1/E2 are fast and deterministic.
+	for _, id := range []string{"E1", "E2", "E8"} {
+		if err := run([]string{"-run", id}); err != nil {
+			t.Fatalf("%s failed: %v", id, err)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-run", "E2", "-csv"}); err != nil {
+		t.Fatalf("-csv failed: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

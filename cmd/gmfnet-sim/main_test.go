@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunExampleShort(t *testing.T) {
+	if err := run([]string{"-example", "-duration", "300ms"}); err != nil {
+		t.Fatalf("-example failed: %v", err)
+	}
+}
+
+func TestRunRandomised(t *testing.T) {
+	if err := run([]string{"-example", "-duration", "300ms", "-adversarial=false", "-seed", "3"}); err != nil {
+		t.Fatalf("randomised run failed: %v", err)
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join("..", "..", "scenarios", "voip-edge.json")
+	if err := run([]string{"-duration", "200ms", path}); err != nil {
+		t.Fatalf("scenario run failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-duration", "soon", "-example"},
+		{"/nonexistent.json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package gmfnet_test
+
+import (
+	"fmt"
+
+	"gmfnet"
+)
+
+// ExampleSystem_Analyze bounds the Figure 3 MPEG flow on the Figure 1
+// network at 10 Mbit/s — the paper's worked example.
+func ExampleSystem_Analyze() {
+	sys := gmfnet.NewSystem(gmfnet.MustFigure1(gmfnet.Figure1Options{Rate: 10 * gmfnet.Mbps}))
+	sys.MustAddFlow(&gmfnet.FlowSpec{
+		Flow:     gmfnet.MPEGIBBPBBPBB("video", gmfnet.MPEGOptions{Deadline: 300 * gmfnet.Millisecond}),
+		Route:    []gmfnet.NodeID{"0", "4", "6", "3"},
+		Priority: 2,
+	})
+	res, err := sys.Analyze(gmfnet.AnalysisConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("schedulable:", res.Schedulable())
+	fmt.Println("I+P bound:", res.Flow(0).Frames[0].Response)
+	// Output:
+	// schedulable: true
+	// I+P bound: 49.163ms
+}
+
+// ExampleSystem_UtilizationReport prints the bottleneck resource of a
+// two-flow network.
+func ExampleSystem_UtilizationReport() {
+	sys := gmfnet.NewSystem(gmfnet.MustFigure1(gmfnet.Figure1Options{Rate: 10 * gmfnet.Mbps}))
+	for _, src := range []gmfnet.NodeID{"0", "1"} {
+		sys.MustAddFlow(&gmfnet.FlowSpec{
+			Flow:     gmfnet.CBRVideo("cam-"+string(src), 5000, 20*gmfnet.Millisecond, 100*gmfnet.Millisecond),
+			Route:    []gmfnet.NodeID{src, "4", "6", "3"},
+			Priority: 1,
+		})
+	}
+	loads, err := sys.UtilizationReport()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("bottleneck: %v (%.4f)\n", loads[0].Resource, loads[0].Utilization)
+	// Output:
+	// bottleneck: link(4,6) (0.4192)
+}
+
+// ExampleSystem_FindBreakdown estimates how much a workload can grow
+// before the admission test starts rejecting.
+func ExampleSystem_FindBreakdown() {
+	sys := gmfnet.NewSystem(gmfnet.MustFigure1(gmfnet.Figure1Options{Rate: 10 * gmfnet.Mbps}))
+	sys.MustAddFlow(&gmfnet.FlowSpec{
+		Flow:     gmfnet.VoIP("call", gmfnet.VoIPOptions{Deadline: 100 * gmfnet.Millisecond}),
+		Route:    []gmfnet.NodeID{"0", "4", "6", "3"},
+		Priority: 3,
+	})
+	bd, err := sys.FindBreakdown(gmfnet.BreakdownOptions{MaxScale: 16})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("has headroom:", bd.Scale > 1)
+	// Output:
+	// has headroom: true
+}

@@ -1,0 +1,98 @@
+// Latency audit: the operator's diagnostic workflow on one scenario.
+// It combines the toolkit's observability features: the utilisation
+// bottleneck report, per-stage worst-case decomposition, simulated
+// latency percentiles against the bound, buffer high-water marks, and a
+// fragment-level trace of the slowest frame class.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gmfnet"
+	"gmfnet/internal/sim"
+)
+
+func main() {
+	sys := gmfnet.NewSystem(gmfnet.MustFigure1(gmfnet.Figure1Options{Rate: 10 * gmfnet.Mbps}))
+	sys.MustAddFlow(&gmfnet.FlowSpec{
+		Flow:     gmfnet.MPEGIBBPBBPBB("video", gmfnet.MPEGOptions{Deadline: 300 * gmfnet.Millisecond}),
+		Route:    []gmfnet.NodeID{"0", "4", "6", "3"},
+		Priority: 2,
+	})
+	sys.MustAddFlow(&gmfnet.FlowSpec{
+		Flow:     gmfnet.VoIP("audio", gmfnet.VoIPOptions{Deadline: 60 * gmfnet.Millisecond}),
+		Route:    []gmfnet.NodeID{"2", "5", "6", "3"},
+		Priority: 3,
+	})
+
+	// 1. Where is the capacity going?
+	loads, err := sys.UtilizationReport()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("utilisation (top 3):")
+	for i, l := range loads {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %-11v %.4f (%d flows)\n", l.Resource, l.Utilization, len(l.Flows))
+	}
+
+	// 2. Worst-case budget per pipeline stage.
+	res, err := sys.Analyze(gmfnet.AnalysisConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedulable: %v; video I+P stage budget:\n", res.Schedulable())
+	for _, st := range res.Flow(0).Frames[0].Stages {
+		fmt.Printf("  %-11v %v\n", st.Resource, st.Response)
+	}
+
+	// 3. How does observed latency compare? (sampled percentiles)
+	obs, err := sys.Simulate(gmfnet.SimConfig{
+		Duration:    3 * gmfnet.Second,
+		KeepSamples: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nobserved vs bound (frame 0 of each flow):")
+	for i := range obs.Flows {
+		st := &obs.Flows[i].PerFrame[0]
+		fmt.Printf("  %-6s p50 %-12v p99 %-12v max %-12v bound %v\n",
+			obs.Flows[i].Name, st.Percentile(0.5), st.Percentile(0.99),
+			st.MaxResponse, res.Flow(i).Frames[0].Response)
+	}
+
+	// 4. Buffer provisioning: how deep did queues get?
+	fmt.Println("\nqueue high-water marks (top 4):")
+	for i, bl := range obs.Backlogs {
+		if i == 4 {
+			break
+		}
+		fmt.Printf("  %-10v %s->%s: %d frames\n", bl.Queue.Kind, bl.Queue.Node, bl.Queue.Peer, bl.MaxFrames)
+	}
+
+	// 5. Fragment-level trace of the first video frame.
+	tr := &sim.CollectTracer{}
+	if _, err := sys.Simulate(gmfnet.SimConfig{
+		Duration: 50 * gmfnet.Millisecond,
+		Tracer:   tr,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntrace of video cycle 0, frame 0 (first 12 events):")
+	w := sim.WriterTracer{W: os.Stdout}
+	printed := 0
+	for _, e := range tr.Events {
+		if e.Flow == "video" && e.Cycle == 0 && e.FrameIdx == 0 {
+			w.Event(e)
+			printed++
+			if printed == 12 {
+				break
+			}
+		}
+	}
+}

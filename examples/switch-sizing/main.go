@@ -1,0 +1,83 @@
+// Switch sizing: the paper's Conclusions experiment. CIRC(N) — the time
+// until a Click task is serviced again — dominates switch-internal delay,
+// so a large software switch needs multiple processors. The example sweeps
+// the processor count of a 48-port switch, reports CIRC against the
+// 1 Gbit/s maximum frame transmission time, and verifies one configuration
+// end to end with the analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gmfnet"
+	"gmfnet/internal/ether"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+func main() {
+	mft := ether.MFT(gmfnet.Gbps)
+	fmt.Printf("MFT at 1 Gbit/s: %v (12304 bits on the wire)\n\n", mft)
+	fmt.Println("processors  interfaces/CPU  CIRC      keeps up with 1 Gbit/s")
+
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		topo, err := bigSwitch(48, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		circ, err := topo.CIRC("big")
+		if err != nil {
+			log.Fatal(err)
+		}
+		perCPU := units.CeilDiv(48, int64(m))
+		fmt.Printf("%10d  %14d  %-8v  %v\n", m, perCPU, circ, circ <= mft)
+	}
+
+	// End-to-end check of the paper's 16-processor configuration: a video
+	// flow through the big switch at 1 Gbit/s.
+	topo, err := bigSwitch(48, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := gmfnet.NewSystem(topo)
+	sys.MustAddFlow(&gmfnet.FlowSpec{
+		Flow:     gmfnet.MPEGIBBPBBPBB("video", gmfnet.MPEGOptions{Deadline: 50 * gmfnet.Millisecond}),
+		Route:    []gmfnet.NodeID{"h00", "big", "h01"},
+		Priority: 2,
+	})
+	// Saturating cross traffic on other ports does not touch the video
+	// flow's links, but shares the switch CPU model.
+	sys.MustAddFlow(&gmfnet.FlowSpec{
+		Flow:     gmfnet.CBRVideo("cross", 60000, 5*gmfnet.Millisecond, 50*gmfnet.Millisecond),
+		Route:    []gmfnet.NodeID{"h02", "big", "h03"},
+		Priority: 1,
+	})
+	res, err := sys.Analyze(gmfnet.AnalysisConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n48-port/16-CPU switch at 1 Gbit/s: schedulable=%v, video worst bound=%v\n",
+		res.Schedulable(), res.Flow(0).MaxResponse())
+}
+
+// bigSwitch builds a star: one switch with the given port count, a host on
+// every port, 1 Gbit/s links, Click task costs.
+func bigSwitch(ports, processors int) (*gmfnet.Topology, error) {
+	p := network.DefaultSwitchParams()
+	p.Processors = processors
+	topo := gmfnet.NewTopology()
+	if err := topo.AddSwitch("big", p); err != nil {
+		return nil, err
+	}
+	for i := 0; i < ports; i++ {
+		id := gmfnet.NodeID(fmt.Sprintf("h%02d", i))
+		if err := topo.AddHost(id); err != nil {
+			return nil, err
+		}
+		if err := topo.AddDuplexLink("big", id, gmfnet.Gbps, 0); err != nil {
+			return nil, err
+		}
+	}
+	return topo, nil
+}

@@ -1,0 +1,96 @@
+// Package admission implements the admission controller sketched at the
+// end of the paper's Section 3.5: a new flow is tentatively added to the
+// network, the holistic analysis recomputes every bound, and the flow is
+// admitted only when the whole network remains schedulable (existing
+// guarantees included).
+package admission
+
+import (
+	"fmt"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+)
+
+// Decision records the outcome of one admission request.
+type Decision struct {
+	// FlowName identifies the requested flow.
+	FlowName string
+	// Admitted reports whether the flow was accepted.
+	Admitted bool
+	// Result is the holistic analysis of the network including the
+	// tentative flow; for rejected flows it explains the rejection.
+	Result *core.Result
+}
+
+// Controller owns a network and admits or rejects flows against it.
+type Controller struct {
+	nw  *network.Network
+	cfg core.Config
+
+	decisions []Decision
+}
+
+// NewController returns a controller over the network; flows already in
+// the network are treated as admitted (they are not re-checked).
+func NewController(nw *network.Network, cfg core.Config) (*Controller, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("admission: nil network")
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{nw: nw, cfg: cfg}, nil
+}
+
+// Network returns the controlled network with all currently admitted
+// flows.
+func (c *Controller) Network() *network.Network { return c.nw }
+
+// Request tentatively adds the flow, analyses the network, and keeps the
+// flow only when every flow (old and new) stays schedulable. The returned
+// error reports malformed requests; a sound rejection returns a Decision
+// with Admitted == false and a nil error.
+func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
+	if _, err := c.nw.AddFlow(fs); err != nil {
+		return Decision{}, err
+	}
+	an, err := core.NewAnalyzer(c.nw, c.cfg)
+	if err != nil {
+		c.nw.RemoveLastFlow()
+		return Decision{}, err
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		c.nw.RemoveLastFlow()
+		return Decision{}, err
+	}
+	d := Decision{
+		FlowName: fs.Flow.Name,
+		Admitted: res.Schedulable(),
+		Result:   res,
+	}
+	if !d.Admitted {
+		c.nw.RemoveLastFlow()
+	}
+	c.decisions = append(c.decisions, d)
+	return d, nil
+}
+
+// Decisions returns all decisions in request order.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// Admitted returns the number of admitted flows among the processed
+// requests.
+func (c *Controller) Admitted() int {
+	n := 0
+	for _, d := range c.decisions {
+		if d.Admitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Rejected returns the number of rejected requests.
+func (c *Controller) Rejected() int { return len(c.decisions) - c.Admitted() }

@@ -1,0 +1,148 @@
+package admission
+
+import (
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+const ms = units.Millisecond
+
+func newController(t *testing.T) *Controller {
+	t.Helper()
+	topo := network.MustFigure1(network.Figure1Options{Rate: 10 * units.Mbps})
+	c, err := NewController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func voipSpec(name string, src network.NodeID) *network.FlowSpec {
+	return &network.FlowSpec{
+		Flow:     trace.VoIP(name, trace.VoIPOptions{Deadline: 100 * ms}),
+		Route:    []network.NodeID{src, "4", "6", "3"},
+		Priority: 1,
+	}
+}
+
+func TestNewControllerErrors(t *testing.T) {
+	if _, err := NewController(nil, core.Config{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestAdmitFeasibleFlow(t *testing.T) {
+	c := newController(t)
+	d, err := c.Request(voipSpec("v1", "0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Admitted {
+		t.Fatalf("feasible flow rejected: %+v", d.Result)
+	}
+	if c.Network().NumFlows() != 1 {
+		t.Fatalf("network has %d flows, want 1", c.Network().NumFlows())
+	}
+	if c.Admitted() != 1 || c.Rejected() != 0 {
+		t.Fatalf("counters: %d/%d", c.Admitted(), c.Rejected())
+	}
+}
+
+func TestRejectInfeasibleFlowAndRollBack(t *testing.T) {
+	c := newController(t)
+	// A flow that saturates the 10 Mbit/s first hop on its own.
+	hog := &network.FlowSpec{
+		Flow:     trace.CBRVideo("hog", 150000, 100*ms, 100*ms), // 12 Mbit/s
+		Route:    []network.NodeID{"0", "4", "6", "3"},
+		Priority: 2,
+	}
+	d, err := c.Request(hog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admitted {
+		t.Fatal("overloading flow admitted")
+	}
+	if c.Network().NumFlows() != 0 {
+		t.Fatal("rejected flow not rolled back")
+	}
+	// The network keeps working for later feasible requests.
+	d, err = c.Request(voipSpec("v1", "0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Admitted {
+		t.Fatal("feasible flow rejected after rollback")
+	}
+}
+
+func TestExistingFlowsProtected(t *testing.T) {
+	c := newController(t)
+	// Fill the network with video until a request is refused; admitted
+	// flows must all stay schedulable throughout.
+	admitted := 0
+	for i := 0; ; i++ {
+		spec := &network.FlowSpec{
+			Flow:     trace.CBRVideo(name(i), 15000, 50*ms, 200*ms), // 2.4 Mbit/s
+			Route:    []network.NodeID{"0", "4", "6", "3"},
+			Priority: 1,
+		}
+		d, err := c.Request(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Admitted {
+			break
+		}
+		admitted++
+		if admitted > 20 {
+			t.Fatal("admission never saturates")
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("no flow admitted at all")
+	}
+	// Final network must be schedulable.
+	an, err := core.NewAnalyzer(c.Network(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable() {
+		t.Fatal("admitted set is not schedulable")
+	}
+	if c.Admitted() != admitted || c.Rejected() != 1 {
+		t.Fatalf("counters: %d/%d, want %d/1", c.Admitted(), c.Rejected(), admitted)
+	}
+	if len(c.Decisions()) != admitted+1 {
+		t.Fatalf("decisions = %d", len(c.Decisions()))
+	}
+}
+
+func TestMalformedRequestReturnsError(t *testing.T) {
+	c := newController(t)
+	bad := &network.FlowSpec{
+		Flow:  trace.VoIP("bad", trace.VoIPOptions{}),
+		Route: []network.NodeID{"0", "5", "3"}, // no such link
+	}
+	if _, err := c.Request(bad); err == nil {
+		t.Fatal("malformed request accepted")
+	}
+	if c.Network().NumFlows() != 0 {
+		t.Fatal("malformed request left residue")
+	}
+	if len(c.Decisions()) != 0 {
+		t.Fatal("malformed request recorded a decision")
+	}
+}
+
+func name(i int) string {
+	return "cbr" + string(rune('a'+i))
+}

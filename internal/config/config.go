@@ -1,0 +1,251 @@
+// Package config reads and writes JSON scenario files: a topology, its
+// switch parameters and a set of flows, with human-readable units
+// ("30ms", "10Mbit/s"). The CLIs (gmfnet-analyze, gmfnet-sim) consume
+// these files.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// Scenario is the JSON document root.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Hosts and Routers list endpoint node ids.
+	Hosts   []string `json:"hosts"`
+	Routers []string `json:"routers,omitempty"`
+	// Switches lists the software switches.
+	Switches []SwitchJSON `json:"switches"`
+	// Links lists full-duplex links.
+	Links []LinkJSON `json:"links"`
+	// Flows lists the GMF flows.
+	Flows []FlowJSON `json:"flows"`
+}
+
+// SwitchJSON describes one software switch.
+type SwitchJSON struct {
+	ID string `json:"id"`
+	// CRoute and CSend are the Click task costs; empty selects the
+	// paper's measurements (2.7 µs and 1.0 µs).
+	CRoute string `json:"croute,omitempty"`
+	CSend  string `json:"csend,omitempty"`
+	// Processors defaults to 1.
+	Processors int `json:"processors,omitempty"`
+}
+
+// LinkJSON describes one full-duplex link.
+type LinkJSON struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Rate like "100Mbit/s".
+	Rate string `json:"rate"`
+	// Prop like "5us"; empty means zero.
+	Prop string `json:"prop,omitempty"`
+}
+
+// FrameJSON describes one GMF frame.
+type FrameJSON struct {
+	// MinSep like "30ms".
+	MinSep string `json:"minSep"`
+	// Deadline like "100ms".
+	Deadline string `json:"deadline"`
+	// Jitter like "1ms"; empty means zero.
+	Jitter string `json:"jitter,omitempty"`
+	// PayloadBytes is the UDP payload size.
+	PayloadBytes int64 `json:"payloadBytes"`
+}
+
+// FlowJSON describes one flow.
+type FlowJSON struct {
+	Name string `json:"name"`
+	// Route lists node ids from source to destination. When omitted,
+	// Source/Destination select a shortest route.
+	Route  []string `json:"route,omitempty"`
+	Source string   `json:"source,omitempty"`
+	Dest   string   `json:"dest,omitempty"`
+	// Priority is the 802.1p priority (larger = more important).
+	Priority int `json:"priority"`
+	// RTP selects RTP framing.
+	RTP bool `json:"rtp,omitempty"`
+	// Frames lists the GMF cycle.
+	Frames []FrameJSON `json:"frames"`
+}
+
+// Load reads a scenario file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read decodes a scenario document.
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &s, nil
+}
+
+// Write encodes the scenario as indented JSON.
+func (s *Scenario) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Build materialises the scenario into a network ready for analysis or
+// simulation.
+func (s *Scenario) Build() (*network.Network, error) {
+	topo := network.NewTopology()
+	for _, h := range s.Hosts {
+		if err := topo.AddHost(network.NodeID(h)); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range s.Routers {
+		if err := topo.AddRouter(network.NodeID(r)); err != nil {
+			return nil, err
+		}
+	}
+	for _, sw := range s.Switches {
+		params := network.DefaultSwitchParams()
+		var err error
+		if sw.CRoute != "" {
+			if params.CRoute, err = units.ParseTime(sw.CRoute); err != nil {
+				return nil, fmt.Errorf("config: switch %q: %w", sw.ID, err)
+			}
+		}
+		if sw.CSend != "" {
+			if params.CSend, err = units.ParseTime(sw.CSend); err != nil {
+				return nil, fmt.Errorf("config: switch %q: %w", sw.ID, err)
+			}
+		}
+		if sw.Processors != 0 {
+			params.Processors = sw.Processors
+		}
+		if err := topo.AddSwitch(network.NodeID(sw.ID), params); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range s.Links {
+		rate, err := units.ParseBitRate(l.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("config: link %s-%s: %w", l.A, l.B, err)
+		}
+		var prop units.Time
+		if l.Prop != "" {
+			if prop, err = units.ParseTime(l.Prop); err != nil {
+				return nil, fmt.Errorf("config: link %s-%s: %w", l.A, l.B, err)
+			}
+		}
+		if err := topo.AddDuplexLink(network.NodeID(l.A), network.NodeID(l.B), rate, prop); err != nil {
+			return nil, err
+		}
+	}
+
+	nw := network.New(topo)
+	for _, fj := range s.Flows {
+		flow := &gmf.Flow{Name: fj.Name}
+		for i, fr := range fj.Frames {
+			sep, err := units.ParseTime(fr.MinSep)
+			if err != nil {
+				return nil, fmt.Errorf("config: flow %q frame %d: %w", fj.Name, i, err)
+			}
+			dl, err := units.ParseTime(fr.Deadline)
+			if err != nil {
+				return nil, fmt.Errorf("config: flow %q frame %d: %w", fj.Name, i, err)
+			}
+			var jit units.Time
+			if fr.Jitter != "" {
+				if jit, err = units.ParseTime(fr.Jitter); err != nil {
+					return nil, fmt.Errorf("config: flow %q frame %d: %w", fj.Name, i, err)
+				}
+			}
+			flow.Frames = append(flow.Frames, gmf.Frame{
+				MinSep:      sep,
+				Deadline:    dl,
+				Jitter:      jit,
+				PayloadBits: fr.PayloadBytes * 8,
+			})
+		}
+		var route []network.NodeID
+		if len(fj.Route) > 0 {
+			for _, id := range fj.Route {
+				route = append(route, network.NodeID(id))
+			}
+		} else {
+			if fj.Source == "" || fj.Dest == "" {
+				return nil, fmt.Errorf("config: flow %q needs a route or source+dest", fj.Name)
+			}
+			var err error
+			route, err = topo.Route(network.NodeID(fj.Source), network.NodeID(fj.Dest))
+			if err != nil {
+				return nil, fmt.Errorf("config: flow %q: %w", fj.Name, err)
+			}
+		}
+		if _, err := nw.AddFlow(&network.FlowSpec{
+			Flow:     flow,
+			Route:    route,
+			Priority: network.Priority(fj.Priority),
+			RTP:      fj.RTP,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// Figure1Scenario returns the paper's Figure 1/2 worked example as a
+// scenario document: the MPEG flow 0→4→6→3 plus VoIP cross traffic.
+func Figure1Scenario() *Scenario {
+	return &Scenario{
+		Name:  "figure1",
+		Hosts: []string{"0", "1", "2", "3"},
+		Routers: []string{
+			"7",
+		},
+		Switches: []SwitchJSON{{ID: "4"}, {ID: "5"}, {ID: "6"}},
+		Links: []LinkJSON{
+			{A: "0", B: "4", Rate: "10Mbit/s"},
+			{A: "1", B: "4", Rate: "10Mbit/s"},
+			{A: "2", B: "5", Rate: "10Mbit/s"},
+			{A: "4", B: "6", Rate: "10Mbit/s"},
+			{A: "5", B: "6", Rate: "10Mbit/s"},
+			{A: "6", B: "3", Rate: "10Mbit/s"},
+			{A: "6", B: "7", Rate: "10Mbit/s"},
+		},
+		Flows: []FlowJSON{
+			{
+				Name: "mpeg", Route: []string{"0", "4", "6", "3"}, Priority: 2,
+				Frames: mpegFrames(),
+			},
+			{
+				Name: "voip", Source: "2", Dest: "3", Priority: 3,
+				Frames: []FrameJSON{{MinSep: "20ms", Deadline: "100ms", PayloadBytes: 160}},
+			},
+		},
+	}
+}
+
+func mpegFrames() []FrameJSON {
+	sizes := []int64{18000, 1500, 1500, 6000, 1500, 1500, 6000, 1500, 1500}
+	out := make([]FrameJSON, len(sizes))
+	for i, b := range sizes {
+		out[i] = FrameJSON{MinSep: "30ms", Deadline: "300ms", Jitter: "1ms", PayloadBytes: b}
+	}
+	return out
+}

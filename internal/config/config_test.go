@@ -1,0 +1,155 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+func TestFigure1ScenarioBuilds(t *testing.T) {
+	nw, err := Figure1Scenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumFlows() != 2 {
+		t.Fatalf("flows = %d, want 2", nw.NumFlows())
+	}
+	// The voip flow used source/dest resolution: 2 -> 5 -> 6 -> 3.
+	voip := nw.Flow(1)
+	want := []network.NodeID{"2", "5", "6", "3"}
+	if len(voip.Route) != len(want) {
+		t.Fatalf("route = %v", voip.Route)
+	}
+	for i := range want {
+		if voip.Route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", voip.Route, want)
+		}
+	}
+	// The whole thing is analysable.
+	an, err := core.NewAnalyzer(nw, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripThroughJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure1Scenario().Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "figure1" || len(loaded.Flows) != 2 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	nw, err := loaded.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumFlows() != 2 {
+		t.Fatalf("flows = %d", nw.NumFlows())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/scenario.json"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"hosts": ["a"], "bogus": 1}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestReadRejectsBadJSON(t *testing.T) {
+	if _, err := Read(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	base := func() *Scenario {
+		s := Figure1Scenario()
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"bad croute", func(s *Scenario) { s.Switches[0].CRoute = "fast" }},
+		{"bad csend", func(s *Scenario) { s.Switches[0].CSend = "??" }},
+		{"bad rate", func(s *Scenario) { s.Links[0].Rate = "warp9" }},
+		{"bad prop", func(s *Scenario) { s.Links[0].Prop = "long" }},
+		{"bad sep", func(s *Scenario) { s.Flows[0].Frames[0].MinSep = "x" }},
+		{"bad deadline", func(s *Scenario) { s.Flows[0].Frames[0].Deadline = "x" }},
+		{"bad jitter", func(s *Scenario) { s.Flows[0].Frames[0].Jitter = "x" }},
+		{"no route", func(s *Scenario) { s.Flows[1].Source = ""; s.Flows[1].Dest = "" }},
+		{"unroutable", func(s *Scenario) { s.Flows[1].Source = "2"; s.Flows[1].Dest = "2" }},
+		{"dup host", func(s *Scenario) { s.Hosts = append(s.Hosts, "0") }},
+		{"dup link", func(s *Scenario) { s.Links = append(s.Links, s.Links[0]) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := base()
+			c.mutate(s)
+			if _, err := s.Build(); err == nil {
+				t.Fatalf("%s: Build succeeded", c.name)
+			}
+		})
+	}
+}
+
+func TestCustomSwitchParams(t *testing.T) {
+	s := &Scenario{
+		Hosts:    []string{"a", "b"},
+		Switches: []SwitchJSON{{ID: "s", CRoute: "5us", CSend: "2us", Processors: 2}},
+		Links: []LinkJSON{
+			{A: "a", B: "s", Rate: "1Gbit/s", Prop: "1us"},
+			{A: "s", B: "b", Rate: "1Gbit/s"},
+		},
+		Flows: []FlowJSON{{
+			Name: "f", Source: "a", Dest: "b", Priority: 1,
+			Frames: []FrameJSON{{MinSep: "10ms", Deadline: "10ms", PayloadBytes: 100}},
+		}},
+	}
+	nw, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := nw.Topo.Node("s")
+	if node.Switch.CRoute != 5*units.Microsecond || node.Switch.CSend != 2*units.Microsecond {
+		t.Fatalf("switch params: %+v", node.Switch)
+	}
+	if node.Switch.Processors != 2 {
+		t.Fatalf("processors = %d", node.Switch.Processors)
+	}
+	circ, err := nw.Topo.CIRC("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 interfaces over 2 CPUs: 1 interface each -> CIRC = 7 µs.
+	if circ != 7*units.Microsecond {
+		t.Fatalf("CIRC = %v", circ)
+	}
+}

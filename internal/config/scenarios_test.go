@@ -1,0 +1,70 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/sim"
+	"gmfnet/internal/units"
+)
+
+// TestShippedScenarios loads every JSON file under scenarios/, builds it,
+// analyses it and simulates half a second — the shipped library must stay
+// valid, schedulable and sound.
+func TestShippedScenarios(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least 3 shipped scenarios, found %d", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw, err := sc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := core.NewAnalyzer(nw, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := an.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Schedulable() {
+				for i := range res.Flows {
+					t.Logf("flow %q err=%v", res.Flows[i].Name, res.Flows[i].Err)
+				}
+				t.Fatalf("shipped scenario %s is not schedulable", path)
+			}
+			s, err := sim.New(nw, sim.Config{Duration: 500 * units.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !obs.Conservation.Balanced() {
+				t.Fatalf("conservation violated: %+v", obs.Conservation)
+			}
+			for i := range obs.Flows {
+				for k := range obs.Flows[i].PerFrame {
+					o := obs.Flows[i].PerFrame[k].MaxResponse
+					b := res.Flow(i).Frames[k].Response
+					if o > b {
+						t.Errorf("flow %d frame %d: observed %v > bound %v", i, k, o, b)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"gmfnet/internal/ether"
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// Analyzer computes response-time bounds for all flows of a network. It is
+// not safe for concurrent use; create one per goroutine.
+type Analyzer struct {
+	nw  *network.Network
+	cfg Config
+
+	demands map[demandKey]*gmf.Demand
+}
+
+type demandKey struct {
+	flow *gmf.Flow
+	rate units.BitRate
+	rtp  bool
+}
+
+// NewAnalyzer returns an analyzer over the given network. The network must
+// already validate; NewAnalyzer re-checks and returns any error.
+func NewAnalyzer(nw *network.Network, cfg Config) (*Analyzer, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		nw:      nw,
+		cfg:     cfg.withDefaults(),
+		demands: make(map[demandKey]*gmf.Demand),
+	}, nil
+}
+
+// demand returns the (cached) per-link demand of flow j at the given rate.
+func (a *Analyzer) demand(j int, rate units.BitRate) *gmf.Demand {
+	fs := a.nw.Flow(j)
+	key := demandKey{fs.Flow, rate, fs.RTP}
+	if d, ok := a.demands[key]; ok {
+		return d
+	}
+	d, err := ether.DemandFor(fs.Flow, rate, fs.RTP)
+	if err != nil {
+		// The network validated every flow, so packetisation cannot fail;
+		// reaching this is a programming error.
+		panic(fmt.Sprintf("core: demand for validated flow %q: %v", fs.Flow.Name, err))
+	}
+	a.demands[key] = d
+	return d
+}
+
+// jitterState stores GJ_j^{k,resource} for every flow, resource and frame:
+// the generalized jitter with which frame k of flow j enters each stage of
+// its pipeline. It powers the extra_j(N,i) terms of the analysis and the
+// holistic iteration of Section 3.5.
+type jitterState struct {
+	perFrame map[jitterKey][]units.Time // one entry per frame of the flow
+	changed  bool
+}
+
+type jitterKey struct {
+	flow int
+	res  Resource
+}
+
+// newJitterState initialises the holistic starting point: every flow's
+// jitter at its first resource is its source jitter GJ_j^k; the jitter at
+// every downstream resource starts at zero.
+func newJitterState(nw *network.Network) *jitterState {
+	js := &jitterState{perFrame: make(map[jitterKey][]units.Time)}
+	for j, fs := range nw.Flows() {
+		n := fs.Flow.N()
+		for _, res := range flowResources(fs) {
+			js.perFrame[jitterKey{j, res}] = make([]units.Time, n)
+		}
+		first := Resource{Kind: KindLink, Node: fs.Route[0], To: fs.Route[1]}
+		slot := js.perFrame[jitterKey{j, first}]
+		for k := 0; k < n; k++ {
+			slot[k] = fs.Flow.Frames[k].Jitter
+		}
+	}
+	return js
+}
+
+// flowResources lists the pipeline resources of a flow in route order:
+// first link, then (ingress, egress link) per intermediate switch.
+func flowResources(fs *network.FlowSpec) []Resource {
+	route := fs.Route
+	out := []Resource{{Kind: KindLink, Node: route[0], To: route[1]}}
+	for h := 1; h < len(route)-1; h++ {
+		out = append(out,
+			Resource{Kind: KindIngress, Node: route[h], To: route[h-1]},
+			Resource{Kind: KindLink, Node: route[h], To: route[h+1]},
+		)
+	}
+	return out
+}
+
+// set records the entry jitter of frame k of flow j at a resource and
+// tracks whether anything changed since the last resetChanged.
+func (js *jitterState) set(j int, res Resource, k int, v units.Time) {
+	slot, ok := js.perFrame[jitterKey{j, res}]
+	if !ok {
+		panic(fmt.Sprintf("core: jitter set for unknown resource %v of flow %d", res, j))
+	}
+	if slot[k] != v {
+		slot[k] = v
+		js.changed = true
+	}
+}
+
+// get returns the entry jitter of frame k of flow j at a resource.
+func (js *jitterState) get(j int, res Resource, k int) units.Time {
+	slot, ok := js.perFrame[jitterKey{j, res}]
+	if !ok {
+		return 0
+	}
+	return slot[k]
+}
+
+// extra returns extra_j at a resource: the largest entry jitter over the
+// flow's frames, the quantity added to interference windows.
+func (js *jitterState) extra(j int, res Resource) units.Time {
+	slot, ok := js.perFrame[jitterKey{j, res}]
+	if !ok {
+		return 0
+	}
+	var m units.Time
+	for _, v := range slot {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (js *jitterState) resetChanged() { js.changed = false }

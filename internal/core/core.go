@@ -1,0 +1,231 @@
+// Package core implements the paper's schedulability analysis: upper
+// bounds on the end-to-end response time of generalized multiframe flows
+// crossing a multihop network of software-implemented Ethernet switches.
+//
+// The analysis decomposes a flow's route into a pipeline of resources
+// (Figure 6):
+//
+//   - the first hop, where any work-conserving queuing discipline may be
+//     used by the source host (Section 3.2, eqs. 14-20);
+//   - the ingress stage in(N) of every switch, where a per-input-interface
+//     task serviced once every CIRC(N) moves Ethernet frames into priority
+//     queues (Section 3.3, eqs. 21-27);
+//   - the egress stage of every switch, a static-priority non-preemptive
+//     output queue whose dequeuing task is also stride-scheduled
+//     (Section 3.4, eqs. 28-35).
+//
+// Each stage's response time becomes additional generalized jitter for the
+// next stage, and Analyze iterates the whole network to the holistic
+// fixpoint of Section 3.5, yielding a schedulability verdict usable as an
+// admission test.
+package core
+
+import (
+	"fmt"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// Mode selects between the formulas exactly as printed in the paper and
+// the reconstruction this package argues is sound (see DESIGN.md F3-F5).
+type Mode int
+
+const (
+	// ModeSound charges every Ethernet fragment of the analysed frame a
+	// full CIRC(N) service slot at the ingress stage, and charges the
+	// analysed flow's own stride delays at the egress stage. It is the
+	// default because the simulator never violates its bounds.
+	ModeSound Mode = iota
+	// ModePaper follows the printed equations: the ingress completion
+	// term is a single CIRC(N) (eq. 25) and the egress stage charges
+	// stride delays only for interfering flows (eq. 31).
+	ModePaper
+)
+
+// String returns "sound" or "paper".
+func (m Mode) String() string {
+	switch m {
+	case ModeSound:
+		return "sound"
+	case ModePaper:
+		return "paper"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config tunes the analysis.
+type Config struct {
+	// Mode selects the formula variant; the zero value is ModeSound.
+	Mode Mode
+	// MaxBusy caps every busy-period and backlog fixpoint; exceeding it
+	// is reported as divergence. Zero selects 10 s.
+	MaxBusy units.Time
+	// MaxFixpointIter caps the iterations of each inner fixpoint. Zero
+	// selects 1 << 20.
+	MaxFixpointIter int
+	// MaxHolisticIter caps the outer holistic jitter iteration of
+	// Section 3.5. Zero selects 256.
+	MaxHolisticIter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBusy == 0 {
+		c.MaxBusy = 10 * units.Second
+	}
+	if c.MaxFixpointIter == 0 {
+		c.MaxFixpointIter = 1 << 20
+	}
+	if c.MaxHolisticIter == 0 {
+		c.MaxHolisticIter = 256
+	}
+	return c
+}
+
+// ResourceKind distinguishes the two resource types of the pipeline.
+type ResourceKind int
+
+const (
+	// KindLink is an output queue plus wire: either the first hop's
+	// work-conserving queue or a switch's prioritised egress.
+	KindLink ResourceKind = iota
+	// KindIngress is the in(N) stage: the software path from an input
+	// card's FIFO to the right priority queue.
+	KindIngress
+)
+
+// Resource identifies one stage of a flow's pipeline.
+type Resource struct {
+	Kind ResourceKind
+	// Node is the transmitting node for KindLink and the switch for
+	// KindIngress.
+	Node network.NodeID
+	// To is the receiving node for KindLink and the predecessor node
+	// (identifying the input interface) for KindIngress.
+	To network.NodeID
+}
+
+// String renders the resource in the paper's notation, e.g. "link(4,6)" or
+// "in(6)<-4".
+func (r Resource) String() string {
+	if r.Kind == KindIngress {
+		return fmt.Sprintf("in(%s)<-%s", r.Node, r.To)
+	}
+	return fmt.Sprintf("link(%s,%s)", r.Node, r.To)
+}
+
+// OverloadError reports that eq. (20)/(35)-style utilisation tests failed:
+// the long-run demand on a resource reaches or exceeds its capacity, so no
+// response-time bound exists.
+type OverloadError struct {
+	Resource    Resource
+	Utilization float64
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("core: resource %v overloaded (utilisation %.3f >= 1)", e.Resource, e.Utilization)
+}
+
+// DivergenceError reports that a busy-period or backlog iteration exceeded
+// Config.MaxBusy or Config.MaxFixpointIter without converging.
+type DivergenceError struct {
+	Resource Resource
+	Flow     string
+	Frame    int
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("core: fixpoint for flow %q frame %d on %v diverged", e.Flow, e.Frame, e.Resource)
+}
+
+// StageResult is the response-time bound of one pipeline stage for one
+// frame.
+type StageResult struct {
+	// Resource identifies the stage.
+	Resource Resource
+	// Response is R_i^k at this stage: from being queued at the stage to
+	// leaving it (including propagation for link stages).
+	Response units.Time
+	// EntryJitter is GJ_i^k at this stage: the accumulated jitter with
+	// which the frame's fragments arrive.
+	EntryJitter units.Time
+}
+
+// FrameResult is the end-to-end bound for one frame of a flow.
+type FrameResult struct {
+	// Response is R_i^k: the end-to-end response-time bound, including
+	// the source's generalized jitter (Figure 6, line 3).
+	Response units.Time
+	// Deadline is D_i^k.
+	Deadline units.Time
+	// Stages holds the per-resource decomposition in route order.
+	Stages []StageResult
+}
+
+// Meets reports whether the bound is within the deadline.
+func (fr *FrameResult) Meets() bool { return fr.Response <= fr.Deadline }
+
+// FlowResult aggregates the per-frame bounds of one flow.
+type FlowResult struct {
+	// Index is the flow's index in the network's flow list.
+	Index int
+	// Name is the flow's name.
+	Name string
+	// Err is non-nil when a stage analysis failed (overload or
+	// divergence); Frames is then incomplete.
+	Err error
+	// Frames holds one result per GMF frame.
+	Frames []FrameResult
+}
+
+// Schedulable reports whether every frame's bound meets its deadline.
+func (fr *FlowResult) Schedulable() bool {
+	if fr.Err != nil {
+		return false
+	}
+	for i := range fr.Frames {
+		if !fr.Frames[i].Meets() {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxResponse returns the largest per-frame bound, or zero when Err is set.
+func (fr *FlowResult) MaxResponse() units.Time {
+	var m units.Time
+	for i := range fr.Frames {
+		if fr.Frames[i].Response > m {
+			m = fr.Frames[i].Response
+		}
+	}
+	return m
+}
+
+// Result is the outcome of the holistic analysis.
+type Result struct {
+	// Flows holds one result per flow, in network order.
+	Flows []FlowResult
+	// Iterations is the number of holistic passes executed.
+	Iterations int
+	// Converged reports whether the jitter assignment reached a fixpoint
+	// within Config.MaxHolisticIter.
+	Converged bool
+}
+
+// Schedulable reports the admission verdict: the analysis converged and
+// every frame of every flow meets its deadline.
+func (r *Result) Schedulable() bool {
+	if !r.Converged {
+		return false
+	}
+	for i := range r.Flows {
+		if !r.Flows[i].Schedulable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Flow returns the result for the flow with the given index.
+func (r *Result) Flow(i int) *FlowResult { return &r.Flows[i] }

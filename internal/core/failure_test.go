@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// TestDivergenceOnTinyMaxBusy: with an absurdly small busy-period cap the
+// analysis must fail with a DivergenceError instead of looping or
+// returning an optimistic bound.
+func TestDivergenceOnTinyMaxBusy(t *testing.T) {
+	// Two 6.2 ms frames share the link: the busy period grows to ~12.3 ms,
+	// beyond the 8 ms cap.
+	mk := func(name string) *network.FlowSpec {
+		return &network.FlowSpec{
+			Flow:  oneFrameFlow(name, 5*11840-64, 100*ms, 100*ms, 0),
+			Route: []network.NodeID{"h1", "h2"},
+		}
+	}
+	nw := directLinkNet(t, mk("a"), mk("b"))
+	an, err := NewAnalyzer(nw, Config{MaxBusy: 8 * units.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable() {
+		t.Fatal("capped analysis reported schedulable")
+	}
+	var de *DivergenceError
+	if !errors.As(res.Flow(0).Err, &de) {
+		t.Fatalf("error = %v, want DivergenceError", res.Flow(0).Err)
+	}
+	if de.Flow != "a" || de.Frame != 0 {
+		t.Fatalf("divergence details: %+v", de)
+	}
+	if !strings.Contains(de.Error(), "diverged") {
+		t.Fatalf("error text %q", de.Error())
+	}
+}
+
+// TestFixpointIterationCap: a pathological fixpoint function must stop at
+// MaxFixpointIter.
+func TestFixpointIterationCap(t *testing.T) {
+	nw := directLinkNet(t, &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	})
+	an, err := NewAnalyzer(nw, Config{MaxFixpointIter: 3, MaxBusy: units.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	_, errFix := an.fixpoint(Resource{}, "x", 0, 1, func(x units.Time) units.Time {
+		calls++
+		return x + 1 // never converges
+	})
+	var de *DivergenceError
+	if !errors.As(errFix, &de) {
+		t.Fatalf("error = %v, want DivergenceError", errFix)
+	}
+	if calls != 3 {
+		t.Fatalf("fixpoint ran %d times, want 3", calls)
+	}
+}
+
+// TestHolisticIterationCap: forcing MaxHolisticIter to 1 must report
+// non-convergence on a scenario that needs 2+ passes, and the verdict must
+// be unschedulable (jitters unconfirmed).
+func TestHolisticIterationCap(t *testing.T) {
+	topo := network.MustFigure1(network.Figure1Options{Rate: 100 * units.Mbps})
+	nw := network.New(topo)
+	for i, src := range []network.NodeID{"0", "1"} {
+		if _, err := nw.AddFlow(&network.FlowSpec{
+			Flow:     mpegLike(string(src)),
+			Route:    []network.NodeID{src, "4", "6", "3"},
+			Priority: network.Priority(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := NewAnalyzer(nw, Config{MaxHolisticIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("one pass cannot confirm the fixpoint here")
+	}
+	if res.Schedulable() {
+		t.Fatal("unconverged result must not be schedulable")
+	}
+}
+
+// TestJitterStatePanicsOnUnknownResource guards the internal invariant
+// that stages only record jitters at resources on the flow's route.
+func TestJitterStatePanicsOnUnknownResource(t *testing.T) {
+	nw := directLinkNet(t, &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	})
+	js := newJitterState(nw)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown resource")
+		}
+	}()
+	js.set(0, Resource{Kind: KindLink, Node: "zz", To: "yy"}, 0, ms)
+}
+
+// TestFlowResourcesLayout pins the pipeline decomposition used by both the
+// analysis and the jitter bookkeeping.
+func TestFlowResourcesLayout(t *testing.T) {
+	fs := &network.FlowSpec{
+		Route: []network.NodeID{"a", "s1", "s2", "b"},
+	}
+	got := flowResources(fs)
+	want := []Resource{
+		{Kind: KindLink, Node: "a", To: "s1"},
+		{Kind: KindIngress, Node: "s1", To: "a"},
+		{Kind: KindLink, Node: "s1", To: "s2"},
+		{Kind: KindIngress, Node: "s2", To: "s1"},
+		{Kind: KindLink, Node: "s2", To: "b"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resources = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resource %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJitterStateGetUnknown returns zero rather than panicking: reads of
+// foreign resources happen legitimately during probing.
+func TestJitterStateGetUnknown(t *testing.T) {
+	nw := directLinkNet(t, &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	})
+	js := newJitterState(nw)
+	unknown := Resource{Kind: KindLink, Node: "zz", To: "yy"}
+	if js.get(0, unknown, 0) != 0 || js.extra(0, unknown) != 0 {
+		t.Fatal("unknown resource reads must be zero")
+	}
+}
+
+// TestSourceJitterSeedsFirstResource pins the holistic starting point.
+func TestSourceJitterSeedsFirstResource(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 3*ms),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	nw := oneSwitchNet(t, fs)
+	js := newJitterState(nw)
+	first := Resource{Kind: KindLink, Node: "h1", To: "s"}
+	if got := js.get(0, first, 0); got != 3*ms {
+		t.Fatalf("first-resource jitter = %v, want 3ms", got)
+	}
+	in := Resource{Kind: KindIngress, Node: "s", To: "h1"}
+	if got := js.get(0, in, 0); got != 0 {
+		t.Fatalf("downstream jitter = %v, want 0", got)
+	}
+}

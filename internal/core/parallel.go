@@ -1,0 +1,166 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"gmfnet/internal/units"
+)
+
+// AnalyzeParallel runs the holistic analysis with Jacobi-style iterations:
+// within one pass every flow is analysed concurrently against a snapshot
+// of the previous pass's jitters, instead of the sequential Gauss-Seidel
+// sweep of Analyze. Both iterate the same monotone operator from the same
+// starting point, so they converge to the same least fixpoint (Kleene
+// iteration); Jacobi may need more passes but parallelises across flows.
+//
+// workers <= 0 selects GOMAXPROCS. The Analyzer itself is still
+// single-goroutine-owned: AnalyzeParallel must not be called concurrently
+// with other methods.
+func (a *Analyzer) AnalyzeParallel(workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := a.nw.NumFlows()
+	if n == 0 {
+		return &Result{Converged: true}, nil
+	}
+	// The demand cache is filled before fan-out so that the workers only
+	// read it.
+	a.prewarmDemands()
+
+	js := newJitterState(a.nw)
+	res := &Result{}
+	for iter := 1; iter <= a.cfg.MaxHolisticIter; iter++ {
+		flows := make([]FlowResult, n)
+		overlays := make([]*jitterOverlay, n)
+
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				// Each worker reads the shared snapshot and writes only
+				// its own flow's jitters into a private overlay.
+				ov := newJitterOverlay(js, i)
+				w := &Analyzer{nw: a.nw, cfg: a.cfg, demands: a.demands}
+				flows[i] = w.flowPass(i, ov)
+				overlays[i] = ov
+			}()
+		}
+		wg.Wait()
+
+		res.Flows = flows
+		res.Iterations = iter
+		for i := 0; i < n; i++ {
+			if flows[i].Err != nil {
+				res.Converged = false
+				return res, nil
+			}
+		}
+		js.resetChanged()
+		for _, ov := range overlays {
+			ov.mergeInto(js)
+		}
+		if !js.changed {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	res.Converged = false
+	return res, nil
+}
+
+// prewarmDemands builds every (flow, link rate) demand so the cache can be
+// shared read-only across workers.
+func (a *Analyzer) prewarmDemands() {
+	for i, fs := range a.nw.Flows() {
+		for h := 0; h < len(fs.Route)-1; h++ {
+			link := a.nw.Topo.Link(fs.Route[h], fs.Route[h+1])
+			a.demand(i, link.Rate)
+			// Interfering flows on this link also get queried at this
+			// link's rate.
+			for _, j := range a.nw.FlowsOn(fs.Route[h], fs.Route[h+1]) {
+				a.demand(j, link.Rate)
+			}
+		}
+	}
+}
+
+// jitterSource is what the stage analyses read jitters from.
+type jitterSource interface {
+	set(j int, res Resource, k int, v units.Time)
+	get(j int, res Resource, k int) units.Time
+	extra(j int, res Resource) units.Time
+}
+
+// jitterOverlay is a copy-on-write view: reads of the owner flow's
+// jitters see the private overlay, reads of other flows fall through to
+// the shared snapshot; writes are restricted to the owner.
+type jitterOverlay struct {
+	base  *jitterState
+	owner int
+	own   map[jitterKey][]units.Time
+}
+
+func newJitterOverlay(base *jitterState, owner int) *jitterOverlay {
+	return &jitterOverlay{base: base, owner: owner, own: make(map[jitterKey][]units.Time)}
+}
+
+func (o *jitterOverlay) set(j int, res Resource, k int, v units.Time) {
+	if j != o.owner {
+		panic("core: overlay write for foreign flow")
+	}
+	key := jitterKey{j, res}
+	slot, ok := o.own[key]
+	if !ok {
+		baseSlot := o.base.perFrame[key]
+		slot = make([]units.Time, len(baseSlot))
+		copy(slot, baseSlot)
+		o.own[key] = slot
+	}
+	slot[k] = v
+}
+
+func (o *jitterOverlay) get(j int, res Resource, k int) units.Time {
+	if j == o.owner {
+		if slot, ok := o.own[jitterKey{j, res}]; ok {
+			return slot[k]
+		}
+	}
+	return o.base.get(j, res, k)
+}
+
+func (o *jitterOverlay) extra(j int, res Resource) units.Time {
+	if j == o.owner {
+		if slot, ok := o.own[jitterKey{j, res}]; ok {
+			var m units.Time
+			for _, v := range slot {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		}
+	}
+	return o.base.extra(j, res)
+}
+
+// mergeInto writes the overlay's values back into the shared state,
+// updating its changed flag.
+func (o *jitterOverlay) mergeInto(js *jitterState) {
+	for key, slot := range o.own {
+		for k, v := range slot {
+			js.set(key.flow, key.res, k, v)
+		}
+	}
+}
+
+var (
+	_ jitterSource = (*jitterState)(nil)
+	_ jitterSource = (*jitterOverlay)(nil)
+)

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// randomNet builds a random Figure 1 workload for parallel-vs-sequential
+// comparison.
+func randomNet(t *testing.T, seed int64, nFlows int) *network.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo := network.MustFigure1(network.Figure1Options{Rate: 100 * units.Mbps})
+	nw := network.New(topo)
+	hosts := []network.NodeID{"0", "1", "2", "3"}
+	for f := 0; f < nFlows; f++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		route, err := topo.Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flow := trace.Random(fmt.Sprintf("r%d", f), rng, trace.RandomOptions{
+			MaxPayloadBytes: 8000,
+			DeadlineFactor:  3,
+			MaxJitter:       units.Millisecond,
+		})
+		if _, err := nw.AddFlow(&network.FlowSpec{
+			Flow:     flow,
+			Route:    route,
+			Priority: network.Priority(rng.Intn(4)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// TestParallelMatchesSequential: Jacobi (parallel) and Gauss-Seidel
+// (sequential) iterations must reach the same fixpoint bounds.
+func TestParallelMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		nw := randomNet(t, seed, 12)
+		seqAn, err := NewAnalyzer(nw, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := seqAn.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parAn, err := NewAnalyzer(nw, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parAn.AnalyzeParallel(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Converged != par.Converged {
+			t.Fatalf("seed %d: convergence differs (seq %v, par %v)", seed, seq.Converged, par.Converged)
+		}
+		if !seq.Converged {
+			continue
+		}
+		for i := range seq.Flows {
+			for k := range seq.Flows[i].Frames {
+				s := seq.Flows[i].Frames[k].Response
+				p := par.Flows[i].Frames[k].Response
+				if s != p {
+					t.Fatalf("seed %d flow %d frame %d: seq %v != par %v", seed, i, k, s, p)
+				}
+			}
+		}
+		if seq.Schedulable() != par.Schedulable() {
+			t.Fatalf("seed %d: verdicts differ", seed)
+		}
+	}
+}
+
+func TestParallelEmptyNetwork(t *testing.T) {
+	nw := network.New(network.MustFigure1(network.Figure1Options{}))
+	an, err := NewAnalyzer(nw, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.AnalyzeParallel(0) // 0 selects GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Schedulable() {
+		t.Fatal("empty network must be schedulable")
+	}
+}
+
+func TestParallelDetectsOverload(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("hog", 140000*8, 10*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	nw := directLinkNet(t, fs)
+	an, err := NewAnalyzer(nw, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.AnalyzeParallel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable() {
+		t.Fatal("overload not detected in parallel mode")
+	}
+}
+
+func TestOverlayPanicsOnForeignWrite(t *testing.T) {
+	nw := randomNet(t, 1, 2)
+	js := newJitterState(nw)
+	ov := newJitterOverlay(js, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign write did not panic")
+		}
+	}()
+	res := flowResources(nw.Flow(1))[0]
+	ov.set(1, res, 0, units.Millisecond)
+}
+
+func TestOverlayReadThrough(t *testing.T) {
+	nw := randomNet(t, 2, 2)
+	js := newJitterState(nw)
+	res0 := flowResources(nw.Flow(0))[0]
+	res1 := flowResources(nw.Flow(1))[0]
+	js.set(1, res1, 0, 5*ms)
+
+	ov := newJitterOverlay(js, 0)
+	// Foreign reads come from the base.
+	if got := ov.get(1, res1, 0); got != 5*ms {
+		t.Fatalf("read-through = %v", got)
+	}
+	if got := ov.extra(1, res1); got < 5*ms {
+		t.Fatalf("extra read-through = %v", got)
+	}
+	// Own writes shadow the base without mutating it.
+	base0 := js.get(0, res0, 0)
+	ov.set(0, res0, 0, base0+7*ms)
+	if got := ov.get(0, res0, 0); got != base0+7*ms {
+		t.Fatalf("own read = %v", got)
+	}
+	if js.get(0, res0, 0) != base0 {
+		t.Fatal("overlay mutated base")
+	}
+	// Merge propagates.
+	js.resetChanged()
+	ov.mergeInto(js)
+	if js.get(0, res0, 0) != base0+7*ms {
+		t.Fatal("merge lost value")
+	}
+	if !js.changed {
+		t.Fatal("merge did not mark change")
+	}
+}
+
+func BenchmarkAnalyzeParallelVsSequential(b *testing.B) {
+	topo := network.MustFigure1(network.Figure1Options{Rate: 100 * units.Mbps})
+	nw := network.New(topo)
+	rng := rand.New(rand.NewSource(42))
+	hosts := []network.NodeID{"0", "1", "2", "3"}
+	for f := 0; f < 32; f++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		route, err := topo.Route(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flow := trace.Random(fmt.Sprintf("r%d", f), rng, trace.RandomOptions{
+			MaxPayloadBytes: 8000, DeadlineFactor: 3,
+		})
+		if _, err := nw.AddFlow(&network.FlowSpec{Flow: flow, Route: route, Priority: network.Priority(f % 4)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			an, err := NewAnalyzer(nw, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := an.Analyze(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			an, err := NewAnalyzer(nw, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := an.AnalyzeParallel(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

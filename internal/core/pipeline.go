@@ -1,0 +1,132 @@
+package core
+
+import (
+	"gmfnet/internal/units"
+)
+
+// flowPass runs Figure 6 for one flow: it walks the route, analyses each
+// stage with the current jitter state, accumulates RSUM/JSUM, and records
+// the flow's new entry jitters for the next holistic iteration.
+func (a *Analyzer) flowPass(i int, js jitterSource) FlowResult {
+	fs := a.nw.Flow(i)
+	n := fs.Flow.N()
+	route := fs.Route
+	out := FlowResult{
+		Index:  i,
+		Name:   fs.Flow.Name,
+		Frames: make([]FrameResult, n),
+	}
+	for k := 0; k < n; k++ {
+		// Figure 6, line 3: both sums start at the source jitter.
+		rsum := fs.Flow.Frames[k].Jitter
+		jsum := rsum
+		var stages []StageResult
+
+		record := func(res Resource, r units.Time) {
+			stages = append(stages, StageResult{Resource: res, Response: r, EntryJitter: jsum})
+			rsum = units.SaturatingAdd(rsum, r)
+			jsum = units.SaturatingAdd(jsum, r)
+		}
+
+		// First hop (lines 7-11).
+		first := Resource{Kind: KindLink, Node: route[0], To: route[1]}
+		js.set(i, first, k, jsum)
+		r, err := a.firstHop(i, k, js)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		record(first, r)
+
+		// Each intermediate switch: in(N) then link(N, next)
+		// (lines 13-19).
+		for h := 1; h < len(route)-1; h++ {
+			resIn := Resource{Kind: KindIngress, Node: route[h], To: route[h-1]}
+			js.set(i, resIn, k, jsum)
+			r, err = a.ingress(i, k, h, js)
+			if err != nil {
+				out.Err = err
+				return out
+			}
+			record(resIn, r)
+
+			resOut := Resource{Kind: KindLink, Node: route[h], To: route[h+1]}
+			js.set(i, resOut, k, jsum)
+			r, err = a.egress(i, k, h, js)
+			if err != nil {
+				out.Err = err
+				return out
+			}
+			record(resOut, r)
+		}
+
+		out.Frames[k] = FrameResult{
+			Response: rsum,
+			Deadline: fs.Flow.Frames[k].Deadline,
+			Stages:   stages,
+		}
+	}
+	return out
+}
+
+// Analyze runs the holistic analysis of Section 3.5: starting from source
+// jitters only, it repeatedly recomputes every flow's pipeline under the
+// current jitter assignment and feeds the resulting per-stage response
+// times back as jitters, until the assignment is a fixpoint.
+//
+// A non-nil error is returned only for a structurally broken input; an
+// unschedulable but well-formed network yields Result.Schedulable() ==
+// false with per-flow diagnostics.
+func (a *Analyzer) Analyze() (*Result, error) {
+	if a.nw.NumFlows() == 0 {
+		return &Result{Converged: true, Iterations: 0}, nil
+	}
+	js := newJitterState(a.nw)
+	res := &Result{}
+	for iter := 1; iter <= a.cfg.MaxHolisticIter; iter++ {
+		js.resetChanged()
+		flows := make([]FlowResult, a.nw.NumFlows())
+		for i := range flows {
+			flows[i] = a.flowPass(i, js)
+			if flows[i].Err != nil {
+				// An overloaded or diverging stage dooms the whole
+				// configuration: report what we have.
+				res.Flows = flows
+				res.Iterations = iter
+				res.Converged = false
+				return res, nil
+			}
+		}
+		res.Flows = flows
+		res.Iterations = iter
+		if !js.changed {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	res.Converged = false
+	return res, nil
+}
+
+// AnalyzeFlow bounds a single flow's response times under a fixed jitter
+// assignment in which every other flow contributes only its source jitter.
+// It matches Figure 6 run once and is mainly useful for examples, tests
+// and single-resource studies; Analyze is the complete holistic analysis.
+func (a *Analyzer) AnalyzeFlow(i int) (FlowResult, error) {
+	if i < 0 || i >= a.nw.NumFlows() {
+		return FlowResult{}, errIndex(i, a.nw.NumFlows())
+	}
+	js := newJitterState(a.nw)
+	fr := a.flowPass(i, js)
+	return fr, nil
+}
+
+func errIndex(i, n int) error {
+	return &indexError{i: i, n: n}
+}
+
+type indexError struct{ i, n int }
+
+func (e *indexError) Error() string {
+	return "core: flow index out of range"
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"gmfnet/internal/ether"
+	"gmfnet/internal/units"
+)
+
+// firstHop implements Section 3.2 (eqs. 14-20): the response time of frame
+// k of flow i on the link out of the source node, where the source's
+// queuing discipline is any work-conserving one and therefore every flow
+// on the link interferes regardless of priority.
+//
+// It returns the bound including the link's propagation delay (eq. 19).
+func (a *Analyzer) firstHop(i, k int, js jitterSource) (units.Time, error) {
+	fs := a.nw.Flow(i)
+	from, to := fs.Route[0], fs.Route[1]
+	link := a.nw.Topo.Link(from, to)
+	res := Resource{Kind: KindLink, Node: from, To: to}
+	flows := a.nw.FlowsOn(from, to)
+
+	// Convergence condition (20): total utilisation strictly below 1.
+	var util float64
+	for _, j := range flows {
+		util += a.demand(j, link.Rate).Utilization()
+	}
+	if util >= 1 {
+		return 0, &OverloadError{Resource: res, Utilization: util}
+	}
+
+	di := a.demand(i, link.Rate)
+	ci := di.Cost(k)
+
+	// Busy-period length (14)-(15). The paper seeds t⁰ = 0, a trivial
+	// fixpoint; we seed with the frame's own cost (DESIGN.md F2).
+	busy, err := a.fixpoint(res, fs.Flow.Name, k, ci, func(t units.Time) units.Time {
+		var next units.Time
+		for _, j := range flows {
+			next += a.demand(j, link.Rate).MX(t + js.extra(j, res))
+		}
+		return next
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Eqs. (16)-(19): per-instance backlog and response time.
+	q1 := units.CeilDivTime(busy, di.TSUM())
+	var r units.Time
+	for q := int64(0); q < q1; q++ {
+		self := units.Time(q) * di.CSUM()
+		// Seed one picosecond above the self demand so that MX counts the
+		// critical-instant releases of interfering flows; a zero-length
+		// window would be a degenerate fixpoint (DESIGN.md F2).
+		w, err := a.fixpoint(res, fs.Flow.Name, k, self+1, func(w units.Time) units.Time {
+			next := self
+			for _, j := range flows {
+				if j == i {
+					continue
+				}
+				next += a.demand(j, link.Rate).MX(w + js.extra(j, res))
+			}
+			return next
+		})
+		if err != nil {
+			return 0, err
+		}
+		if rq := w - units.Time(q)*di.TSUM() + ci; rq > r {
+			r = rq
+		}
+	}
+	return r + link.Prop, nil
+}
+
+// ingress implements Section 3.3 (eqs. 21-27): the in(N) stage of switch
+// N = route[h]. Ethernet frames arriving on the input interface from
+// prec(τi,N) wait for their per-interface route task, which is serviced
+// once every CIRC(N); every fragment costs one service slot.
+func (a *Analyzer) ingress(i, k, h int, js jitterSource) (units.Time, error) {
+	fs := a.nw.Flow(i)
+	node, pred := fs.Route[h], fs.Route[h-1]
+	res := Resource{Kind: KindIngress, Node: node, To: pred}
+	link := a.nw.Topo.Link(pred, node)
+	circ, err := a.nw.Topo.CIRC(node)
+	if err != nil {
+		return 0, err
+	}
+	flows := a.nw.FlowsOn(pred, node)
+
+	// Long-run processing demand on the input task must stay below 1.
+	var util float64
+	for _, j := range flows {
+		util += a.demand(j, link.Rate).CountUtilization(circ)
+	}
+	if util >= 1 {
+		return 0, &OverloadError{Resource: res, Utilization: util}
+	}
+
+	di := a.demand(i, link.Rate)
+	nf := di.Count(k) // Ethernet fragments of frame k
+
+	// Busy-period length (21)-(22), seeded with one service slot
+	// (DESIGN.md F2).
+	busy, err := a.fixpoint(res, fs.Flow.Name, k, circ, func(t units.Time) units.Time {
+		var frames int64
+		for _, j := range flows {
+			frames += a.demand(j, link.Rate).NX(t + js.extra(j, res))
+		}
+		return units.Time(frames) * circ
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Eqs. (23)-(26). ModePaper finishes the frame with a single CIRC
+	// (eq. 25 as printed); ModeSound charges one slot per fragment
+	// (DESIGN.md F4).
+	completion := circ
+	if a.cfg.Mode == ModeSound {
+		completion = units.Time(nf) * circ
+	}
+	q1 := units.CeilDivTime(busy, di.TSUM())
+	var r units.Time
+	for q := int64(0); q < q1; q++ {
+		self := units.Time(q*di.NSUM()) * circ
+		// Seed above the self demand for the same critical-instant reason
+		// as in firstHop.
+		w, err := a.fixpoint(res, fs.Flow.Name, k, self+1, func(w units.Time) units.Time {
+			next := self
+			for _, j := range flows {
+				if j == i {
+					continue
+				}
+				next += units.Time(a.demand(j, link.Rate).NX(w+js.extra(j, res))) * circ
+			}
+			return next
+		})
+		if err != nil {
+			return 0, err
+		}
+		if rq := w - units.Time(q)*di.TSUM() + completion; rq > r {
+			r = rq
+		}
+	}
+	return r, nil
+}
+
+// egress implements Section 3.4 (eqs. 28-35): from the moment all
+// fragments of the frame sit in switch N's prioritised output queue toward
+// succ(τi,N) until they are received there. Interference comes from
+// higher-or-equal-priority flows (transmission plus their stride slots), a
+// blocking term of one maximum-size frame already on the wire, and — in
+// ModeSound — the analysed flow's own stride slots (DESIGN.md F5).
+func (a *Analyzer) egress(i, k, h int, js jitterSource) (units.Time, error) {
+	fs := a.nw.Flow(i)
+	node, to := fs.Route[h], fs.Route[h+1]
+	link := a.nw.Topo.Link(node, to)
+	res := Resource{Kind: KindLink, Node: node, To: to}
+	circ, err := a.nw.Topo.CIRC(node)
+	if err != nil {
+		return 0, err
+	}
+	hep := a.nw.HEP(i, node, to)
+	mft := ether.MFT(link.Rate)
+
+	// Convergence condition (35) over hep ∪ {τi} (DESIGN.md F3), widened
+	// with the stride service demand that also enters the busy period.
+	util := a.demand(i, link.Rate).Utilization() + a.demand(i, link.Rate).CountUtilization(circ)
+	for _, j := range hep {
+		util += a.demand(j, link.Rate).Utilization() + a.demand(j, link.Rate).CountUtilization(circ)
+	}
+	if util >= 1 {
+		return 0, &OverloadError{Resource: res, Utilization: util}
+	}
+
+	di := a.demand(i, link.Rate)
+	ci := di.Cost(k)
+	nf := di.Count(k)
+
+	interference := func(t units.Time, includeSelf bool) units.Time {
+		var sum units.Time
+		for _, j := range hep {
+			dj := a.demand(j, link.Rate)
+			win := t + js.extra(j, res)
+			sum += dj.MX(win) + units.Time(dj.NX(win))*circ
+		}
+		if includeSelf {
+			win := t + js.extra(i, res)
+			sum += di.MX(win) + units.Time(di.NX(win))*circ
+		}
+		return sum
+	}
+
+	// Level-i busy-period length (28)-(29), including the analysed flow's
+	// own demand so that the busy period covers all its instances
+	// (DESIGN.md F3).
+	busy, err := a.fixpoint(res, fs.Flow.Name, k, mft, func(t units.Time) units.Time {
+		return mft + interference(t, true)
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Eqs. (30)-(33).
+	q1 := units.CeilDivTime(busy, di.TSUM())
+	var r units.Time
+	for q := int64(0); q < q1; q++ {
+		self := units.Time(q) * di.CSUM()
+		completion := ci
+		if a.cfg.Mode == ModeSound {
+			self += units.Time(q*di.NSUM()) * circ
+			completion += units.Time(nf) * circ
+		}
+		w, err := a.fixpoint(res, fs.Flow.Name, k, mft+self, func(w units.Time) units.Time {
+			return mft + self + interference(w, false)
+		})
+		if err != nil {
+			return 0, err
+		}
+		if rq := w - units.Time(q)*di.TSUM() + completion; rq > r {
+			r = rq
+		}
+	}
+	return r + link.Prop, nil
+}
+
+// fixpoint iterates x ← f(x) from the given seed until convergence,
+// diverging when the iterate exceeds Config.MaxBusy or the iteration count
+// exceeds Config.MaxFixpointIter. f must be monotone and satisfy
+// f(seed) >= seed for the least-fixpoint argument to hold.
+func (a *Analyzer) fixpoint(res Resource, flow string, frame int, seed units.Time, f func(units.Time) units.Time) (units.Time, error) {
+	x := seed
+	for iter := 0; iter < a.cfg.MaxFixpointIter; iter++ {
+		next := f(x)
+		if next == x {
+			return x, nil
+		}
+		x = next
+		if x > a.cfg.MaxBusy {
+			return 0, &DivergenceError{Resource: res, Flow: flow, Frame: frame}
+		}
+	}
+	return 0, &DivergenceError{Resource: res, Flow: flow, Frame: frame}
+}

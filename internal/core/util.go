@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gmfnet/internal/ether"
+	"gmfnet/internal/network"
+)
+
+// ResourceLoad summarises the long-run demand on one resource.
+type ResourceLoad struct {
+	// Resource identifies the link or ingress stage.
+	Resource Resource
+	// Utilization is the long-run demand fraction: transmission time for
+	// links (eq. 20's left side), CIRC-slots for ingress stages.
+	Utilization float64
+	// Flows names the flows loading the resource.
+	Flows []string
+}
+
+// UtilizationReport computes the load of every resource any flow crosses,
+// sorted by decreasing utilisation — the operator's bottleneck view. It
+// requires no fixpoint and works on unschedulable networks too.
+func UtilizationReport(nw *network.Network) ([]ResourceLoad, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	type acc struct {
+		util  float64
+		flows []string
+	}
+	loads := make(map[Resource]*acc)
+	add := func(res Resource, util float64, name string) {
+		a := loads[res]
+		if a == nil {
+			a = &acc{}
+			loads[res] = a
+		}
+		a.util += util
+		a.flows = append(a.flows, name)
+	}
+
+	for _, fs := range nw.Flows() {
+		route := fs.Route
+		for h := 0; h < len(route)-1; h++ {
+			link := nw.Topo.Link(route[h], route[h+1])
+			d, err := ether.DemandFor(fs.Flow, link.Rate, fs.RTP)
+			if err != nil {
+				return nil, err
+			}
+			add(Resource{Kind: KindLink, Node: route[h], To: route[h+1]}, d.Utilization(), fs.Flow.Name)
+			// Ingress load at the receiving switch (not at the final
+			// destination).
+			if h+1 < len(route)-1 {
+				circ, err := nw.Topo.CIRC(route[h+1])
+				if err != nil {
+					return nil, err
+				}
+				add(Resource{Kind: KindIngress, Node: route[h+1], To: route[h]},
+					d.CountUtilization(circ), fs.Flow.Name)
+			}
+		}
+	}
+
+	out := make([]ResourceLoad, 0, len(loads))
+	for res, a := range loads {
+		out = append(out, ResourceLoad{Resource: res, Utilization: a.util, Flows: a.flows})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utilization != out[j].Utilization {
+			return out[i].Utilization > out[j].Utilization
+		}
+		return out[i].Resource.String() < out[j].Resource.String()
+	})
+	return out, nil
+}
+
+// Bottleneck returns the most loaded resource, or false for a flowless
+// network.
+func Bottleneck(nw *network.Network) (ResourceLoad, bool, error) {
+	loads, err := UtilizationReport(nw)
+	if err != nil {
+		return ResourceLoad{}, false, err
+	}
+	if len(loads) == 0 {
+		return ResourceLoad{}, false, nil
+	}
+	return loads[0], true, nil
+}

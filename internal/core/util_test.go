@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+func TestUtilizationReportErrors(t *testing.T) {
+	if _, err := UtilizationReport(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestUtilizationReportEmpty(t *testing.T) {
+	nw := network.New(network.MustFigure1(network.Figure1Options{}))
+	loads, err := UtilizationReport(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 0 {
+		t.Fatalf("loads = %v, want none", loads)
+	}
+	if _, ok, err := Bottleneck(nw); err != nil || ok {
+		t.Fatalf("bottleneck on empty network: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestUtilizationReportSingleFlow(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	nw := oneSwitchNet(t, fs)
+	loads, err := UtilizationReport(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resources: link(h1,s), in(s)<-h1, link(s,h2).
+	if len(loads) != 3 {
+		t.Fatalf("loads = %d, want 3", len(loads))
+	}
+	// Link utilisation: 12304 bits per 100 ms at 10 Mbit/s = 1.2304 ms /
+	// 100 ms = 0.012304.
+	wantLink := float64(c1) / float64(100*ms)
+	foundLinks := 0
+	for _, l := range loads {
+		if l.Kind() == KindLink {
+			foundLinks++
+			if l.Utilization != wantLink {
+				t.Errorf("%v utilisation %v, want %v", l.Resource, l.Utilization, wantLink)
+			}
+		} else {
+			// Ingress: 1 fragment × CIRC(7.4µs) / 100 ms.
+			circ := 7400 * units.Nanosecond
+			want := float64(circ) / float64(100*ms)
+			if l.Utilization != want {
+				t.Errorf("ingress utilisation %v, want %v", l.Utilization, want)
+			}
+		}
+		if len(l.Flows) != 1 || l.Flows[0] != "a" {
+			t.Errorf("%v flows = %v", l.Resource, l.Flows)
+		}
+	}
+	if foundLinks != 2 {
+		t.Fatalf("link resources = %d, want 2", foundLinks)
+	}
+}
+
+// Kind is a tiny test helper on ResourceLoad.
+func (l ResourceLoad) Kind() ResourceKind { return l.Resource.Kind }
+
+func TestUtilizationSortedAndBottleneck(t *testing.T) {
+	// Two flows converge on link(s,h2): it must be the bottleneck.
+	a := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	b := &network.FlowSpec{
+		Flow:  oneFrameFlow("b", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h3", "s", "h2"},
+	}
+	nw := threeHostSwitchNet(t, a, b)
+	loads, err := UtilizationReport(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(loads); i++ {
+		if loads[i-1].Utilization < loads[i].Utilization {
+			t.Fatal("loads not sorted descending")
+		}
+	}
+	top, ok, err := Bottleneck(nw)
+	if err != nil || !ok {
+		t.Fatalf("bottleneck: ok=%v err=%v", ok, err)
+	}
+	want := Resource{Kind: KindLink, Node: "s", To: "h2"}
+	if top.Resource != want {
+		t.Fatalf("bottleneck = %v, want %v", top.Resource, want)
+	}
+	if len(top.Flows) != 2 {
+		t.Fatalf("bottleneck flows = %v", top.Flows)
+	}
+}
+
+// threeHostSwitchNet is h1,h3 -> s -> h2 at 10 Mbit/s.
+func threeHostSwitchNet(t *testing.T, flows ...*network.FlowSpec) *network.Network {
+	t.Helper()
+	topo := network.NewTopology()
+	mustOK(t, topo.AddHost("h1"))
+	mustOK(t, topo.AddHost("h2"))
+	mustOK(t, topo.AddHost("h3"))
+	mustOK(t, topo.AddSwitch("s", network.DefaultSwitchParams()))
+	mustOK(t, topo.AddDuplexLink("h1", "s", 10*units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("h2", "s", 10*units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("h3", "s", 10*units.Mbps, 0))
+	nw := network.New(topo)
+	for _, fs := range flows {
+		if _, err := nw.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func TestUtilizationMatchesOverloadVerdict(t *testing.T) {
+	// If the report says a first-hop link is >= 1, the analysis must
+	// reject, and vice versa for clearly underloaded networks.
+	mk := func(payload int64) *network.Network {
+		fs := &network.FlowSpec{
+			Flow:  oneFrameFlow("a", payload, 10*ms, 100*ms, 0),
+			Route: []network.NodeID{"h1", "h2"},
+		}
+		return directLinkNet(t, fs)
+	}
+	heavy := mk(140000 * 8) // ~14.5 ms of wire time per 10 ms
+	loads, err := UtilizationReport(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[0].Utilization < 1 {
+		t.Fatalf("expected overload, got %v", loads[0].Utilization)
+	}
+	res := analyze(t, heavy, Config{})
+	if res.Schedulable() {
+		t.Fatal("overloaded network schedulable")
+	}
+	light := mk(1000 * 8)
+	loads, err = UtilizationReport(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[0].Utilization >= 1 {
+		t.Fatalf("expected headroom, got %v", loads[0].Utilization)
+	}
+}

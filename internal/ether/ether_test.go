@@ -1,0 +1,226 @@
+package ether
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/units"
+)
+
+func TestWireConstants(t *testing.T) {
+	if DataBitsPerFrame != 11840 {
+		t.Errorf("DataBitsPerFrame = %d, want 11840", DataBitsPerFrame)
+	}
+	if MaxFrameWireBits != 12304 {
+		t.Errorf("MaxFrameWireBits = %d, want 12304 (paper eq. 1)", MaxFrameWireBits)
+	}
+	if FrameOverheadBits != 464 {
+		t.Errorf("FrameOverheadBits = %d, want 464", FrameOverheadBits)
+	}
+}
+
+func TestUDPBits(t *testing.T) {
+	cases := []struct {
+		payload int64
+		rtp     bool
+		want    int64
+	}{
+		{8, false, 8 + 64}, // one byte + UDP header
+		{1, false, 8 + 64}, // rounds up to a byte
+		{9, false, 16 + 64},
+		{11840 - 64, false, 11840}, // exactly one frame of data
+		{8, true, 8 + 64 + 128},    // RTP adds 16 bytes
+		{160 * 8, false, 1280 + 64},
+	}
+	for _, c := range cases {
+		if got := UDPBits(c.payload, c.rtp); got != c.want {
+			t.Errorf("UDPBits(%d,%v) = %d, want %d", c.payload, c.rtp, got, c.want)
+		}
+	}
+}
+
+func TestUDPBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UDPBits(-1) did not panic")
+		}
+	}()
+	UDPBits(-1, false)
+}
+
+func TestFrameCount(t *testing.T) {
+	cases := []struct {
+		udp  int64
+		want int64
+	}{
+		{1, 1},
+		{11840, 1},
+		{11841, 2},
+		{23680, 2},
+		{23681, 3},
+		{118400, 10},
+	}
+	for _, c := range cases {
+		if got := FrameCount(c.udp); got != c.want {
+			t.Errorf("FrameCount(%d) = %d, want %d", c.udp, got, c.want)
+		}
+	}
+}
+
+func TestWireBits(t *testing.T) {
+	cases := []struct {
+		udp  int64
+		want int64
+	}{
+		{11840, 12304},           // exactly one max frame
+		{8, 8 + 464},             // tiny datagram: data + overhead
+		{11841, 12304 + 1 + 464}, // one full + 1-bit fragment
+		{2 * 11840, 2 * 12304},   // two full frames
+		{23681, 2*12304 + 1 + 464},
+	}
+	for _, c := range cases {
+		if got := WireBits(c.udp); got != c.want {
+			t.Errorf("WireBits(%d) = %d, want %d", c.udp, got, c.want)
+		}
+	}
+}
+
+func TestFragments(t *testing.T) {
+	fr := Fragments(11841)
+	if len(fr) != 2 {
+		t.Fatalf("Fragments(11841) len = %d, want 2", len(fr))
+	}
+	if fr[0] != 12304 || fr[1] != 1+464 {
+		t.Fatalf("Fragments(11841) = %v", fr)
+	}
+	// Property: fragments sum to WireBits and count matches FrameCount.
+	f := func(raw uint32) bool {
+		udp := int64(raw%3_000_000) + 1
+		fr := Fragments(udp)
+		if int64(len(fr)) != FrameCount(udp) {
+			return false
+		}
+		var sum int64
+		for _, b := range fr {
+			sum += b
+			if b > MaxFrameWireBits || b <= FrameOverheadBits {
+				return false
+			}
+		}
+		return sum == WireBits(udp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMFT(t *testing.T) {
+	// Paper's example link speed: 10^7 bit/s. MFT = 12304/10^7 s = 1230.4 µs.
+	got := MFT(10 * units.Mbps)
+	if got.Microseconds() != 1230.4 {
+		t.Fatalf("MFT(10Mbps) = %v µs, want 1230.4", got.Microseconds())
+	}
+	// 1 Gbit/s: 12.304 µs.
+	if got := MFT(units.Gbps); got.Microseconds() != 12.304 {
+		t.Fatalf("MFT(1Gbps) = %v µs, want 12.304", got.Microseconds())
+	}
+}
+
+func TestTxTimeSingleFrame(t *testing.T) {
+	// A 160-byte VoIP payload: UDP bits = 1280+64 = 1344; wire = 1344+464
+	// = 1808 bits; at 10 Mbit/s that is 180.8 µs.
+	udp := UDPBits(160*8, false)
+	got := TxTime(udp, 10*units.Mbps)
+	if got.Microseconds() != 180.8 {
+		t.Fatalf("TxTime = %v µs, want 180.8", got.Microseconds())
+	}
+}
+
+func TestTxTimeMonotoneInPayload(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ua := int64(a%1_000_000) + 1
+		ub := int64(b%1_000_000) + 1
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return TxTime(ua, 10*units.Mbps) <= TxTime(ub, 10*units.Mbps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandFor(t *testing.T) {
+	flow := &gmf.Flow{
+		Name: "video",
+		Frames: []gmf.Frame{
+			{MinSep: 30 * units.Millisecond, Deadline: 100 * units.Millisecond, PayloadBits: 144000},
+			{MinSep: 30 * units.Millisecond, Deadline: 100 * units.Millisecond, PayloadBits: 12000},
+		},
+	}
+	d, err := DemandFor(flow, 10*units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 {
+		t.Fatalf("N = %d", d.N())
+	}
+	// Frame 0: UDP bits 144064 -> 13 fragments.
+	if d.Count(0) != 13 {
+		t.Errorf("Count(0) = %d, want 13", d.Count(0))
+	}
+	// Frame 1: UDP bits 12064 -> 2 fragments.
+	if d.Count(1) != 2 {
+		t.Errorf("Count(1) = %d, want 2", d.Count(1))
+	}
+	wantCost0 := units.TxTime(WireBits(144064), 10*units.Mbps)
+	if d.Cost(0) != wantCost0 {
+		t.Errorf("Cost(0) = %v, want %v", d.Cost(0), wantCost0)
+	}
+}
+
+func TestDemandForErrors(t *testing.T) {
+	flow := &gmf.Flow{Name: "bad"}
+	if _, err := DemandFor(flow, 10*units.Mbps, false); err == nil {
+		t.Error("invalid flow accepted")
+	}
+	good := &gmf.Flow{Name: "g", Frames: []gmf.Frame{{MinSep: 1, Deadline: 1, PayloadBits: 8}}}
+	if _, err := DemandFor(good, 0, false); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestRTPIncreasesCost(t *testing.T) {
+	flow := &gmf.Flow{Name: "g", Frames: []gmf.Frame{
+		{MinSep: units.Millisecond, Deadline: units.Millisecond, PayloadBits: 800},
+	}}
+	plain, err := DemandFor(flow, 10*units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtp, err := DemandFor(flow, 10*units.Mbps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtp.Cost(0) <= plain.Cost(0) {
+		t.Fatalf("RTP cost %v not above plain %v", rtp.Cost(0), plain.Cost(0))
+	}
+}
+
+func BenchmarkDemandFor(b *testing.B) {
+	flow := &gmf.Flow{
+		Name: "video",
+		Frames: []gmf.Frame{
+			{MinSep: 30 * units.Millisecond, Deadline: 100 * units.Millisecond, PayloadBits: 144000},
+			{MinSep: 30 * units.Millisecond, Deadline: 100 * units.Millisecond, PayloadBits: 12000},
+			{MinSep: 30 * units.Millisecond, Deadline: 100 * units.Millisecond, PayloadBits: 48000},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DemandFor(flow, 10*units.Mbps, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("%s table %q is empty", e.ID, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "E1" {
+		t.Fatalf("ID = %q", e.ID)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestE1ContainsPaperValues(t *testing.T) {
+	tables, err := E1LinkParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := tables[1].String()
+	if !strings.Contains(agg, "270ms") {
+		t.Errorf("E1b missing TSUM=270ms:\n%s", agg)
+	}
+	if !strings.Contains(agg, "1230.4µs") {
+		t.Errorf("E1b missing MFT=1230.4µs:\n%s", agg)
+	}
+}
+
+func TestE2ContainsCIRCExample(t *testing.T) {
+	tables, err := E2CIRC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].String()
+	if !strings.Contains(s, "14.8µs") {
+		t.Errorf("E2 missing CIRC=14.8µs:\n%s", s)
+	}
+}
+
+func TestE8ContainsSizingExample(t *testing.T) {
+	tables, err := E8SwitchSizing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].String()
+	if !strings.Contains(s, "11.1µs") {
+		t.Errorf("E8 missing CIRC=11.1µs:\n%s", s)
+	}
+	// 16 CPUs must sustain 1 Gbit/s: the row reads "16 3 11.1µs true".
+	found := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "16") && strings.Contains(line, "true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("E8: 16-CPU row not marked sustainable:\n%s", s)
+	}
+}
+
+func TestChainScenarioShape(t *testing.T) {
+	nw, mainIdx, err := chainScenario(3, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := nw.Flow(mainIdx)
+	if len(fs.Route) != 5 { // hA, s1, s2, s3, hB
+		t.Fatalf("route = %v", fs.Route)
+	}
+	// Cross flows: one per internal link (hops-1).
+	if nw.NumFlows() != 1+2 {
+		t.Fatalf("flows = %d, want 3", nw.NumFlows())
+	}
+	if _, _, err := chainScenario(0, 100_000_000); err == nil {
+		t.Fatal("zero hops accepted")
+	}
+}

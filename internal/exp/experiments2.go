@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/prio"
+	"gmfnet/internal/report"
+	"gmfnet/internal/sensitivity"
+	"gmfnet/internal/sim"
+	"gmfnet/internal/units"
+)
+
+// E10Distribution records the simulated response-time distribution of the
+// Figure 1 scenario against the analytic bound: the bound caps the tail,
+// and the typical (median) latency sits far below it — the cost of a
+// worst-case guarantee.
+func E10Distribution() ([]*report.Table, error) {
+	nw, err := figure1Scenario(10 * units.Mbps)
+	if err != nil {
+		return nil, err
+	}
+	an, err := core.NewAnalyzer(nw, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := an.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(nw, sim.Config{
+		Duration:        5 * units.Second,
+		KeepSamples:     true,
+		Jitter:          sim.JitterUniform,
+		SeparationSlack: 0.1,
+		Seed:            17,
+	})
+	if err != nil {
+		return nil, err
+	}
+	obs, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !obs.Conservation.Balanced() {
+		return nil, fmt.Errorf("exp: E10 conservation violated: %+v", obs.Conservation)
+	}
+
+	t := report.NewTable(
+		"E10: response-time distribution vs bound (5 s lightly randomised run)",
+		"flow", "frame", "samples", "p50", "p99", "max", "bound")
+	for i := range obs.Flows {
+		for k := range obs.Flows[i].PerFrame {
+			st := &obs.Flows[i].PerFrame[k]
+			if st.Samples() == 0 {
+				continue
+			}
+			t.AddRowf(obs.Flows[i].Name, k, st.Samples(),
+				st.Percentile(0.5), st.Percentile(0.99), st.MaxResponse,
+				bounds.Flow(i).Frames[k].Response)
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+// E11Breakdown measures operational headroom: the largest payload scaling
+// of the Figure 1 scenario that stays schedulable, per link rate, plus the
+// utilisation bottleneck and a feasibility comparison of the three
+// priority-assignment policies (as configured / deadline-monotonic /
+// Audsley OPA) at the breakdown load.
+func E11Breakdown() ([]*report.Table, error) {
+	t := report.NewTable(
+		"E11a: breakdown payload scale of the Figure 1 scenario",
+		"link rate", "breakdown scale", "bottleneck", "bottleneck util at scale 1")
+	for _, rate := range []units.BitRate{10 * units.Mbps, 100 * units.Mbps} {
+		nw, err := figure1Scenario(rate)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := sensitivity.FindBreakdown(nw, sensitivity.Options{})
+		if err != nil {
+			return nil, err
+		}
+		top, ok, err := core.Bottleneck(nw)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("exp: E11 found no bottleneck")
+		}
+		scale := fmt.Sprintf("%.2f", bd.Scale)
+		if bd.AtMaxScale {
+			scale = ">= " + scale
+		}
+		t.AddRowf(rate, scale, top.Resource, fmt.Sprintf("%.4f", top.Utilization))
+	}
+
+	// Priority policies at 10 Mbit/s, workload scaled to 95% of breakdown.
+	nw, err := figure1Scenario(10 * units.Mbps)
+	if err != nil {
+		return nil, err
+	}
+	bd, err := sensitivity.FindBreakdown(nw, sensitivity.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t2 := report.NewTable(
+		fmt.Sprintf("E11b: priority policies near the load limit (scale %.2f)", bd.Scale*0.95),
+		"policy", "schedulable")
+	stressed, err := scaledFigure1(10*units.Mbps, bd.Scale*0.95)
+	if err != nil {
+		return nil, err
+	}
+	verdict := func() (bool, error) {
+		an, err := core.NewAnalyzer(stressed, core.Config{})
+		if err != nil {
+			return false, err
+		}
+		res, err := an.Analyze()
+		if err != nil {
+			return false, err
+		}
+		return res.Schedulable(), nil
+	}
+	asConfigured, err := verdict()
+	if err != nil {
+		return nil, err
+	}
+	t2.AddRowf("as configured", asConfigured)
+	stressed.AssignPrioritiesDM()
+	dm, err := verdict()
+	if err != nil {
+		return nil, err
+	}
+	t2.AddRowf("deadline monotonic", dm)
+	opaOK, err := prio.Assign(stressed, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	t2.AddRowf("Audsley OPA", opaOK)
+	return []*report.Table{t, t2}, nil
+}
+
+// scaledFigure1 rebuilds the Figure 1 scenario with payloads multiplied by
+// scale.
+func scaledFigure1(rate units.BitRate, scale float64) (*network.Network, error) {
+	nw, err := figure1Scenario(rate)
+	if err != nil {
+		return nil, err
+	}
+	for _, fs := range nw.Flows() {
+		for k := range fs.Flow.Frames {
+			fs.Flow.Frames[k].PayloadBits = int64(float64(fs.Flow.Frames[k].PayloadBits)*scale + 0.999999)
+		}
+	}
+	return nw, nil
+}

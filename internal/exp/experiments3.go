@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/gmfsched"
+	"gmfnet/internal/network"
+	"gmfnet/internal/report"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// E12EDFGap compares the paper's analysis against the idealized
+// preemptive-EDF feasibility test of the original GMF paper (reference
+// [6]) on a single link: how many random workloads each admits per
+// utilisation band. EDF is optimal on one resource, so its column upper
+// bounds any queue discipline; the gap is the price of the implementable
+// FIFO first hop plus analysis pessimism.
+func E12EDFGap() ([]*report.Table, error) {
+	const rate = 10 * units.Mbps
+	const setsPerBand = 40
+
+	t := report.NewTable(
+		"E12: single-link admission, paper analysis vs idealized EDF (random GMF sets, 10 Mbit/s)",
+		"target util", "sets", "paper admits", "EDF admits", "EDF-only")
+	for _, target := range []float64{0.3, 0.5, 0.7, 0.85} {
+		var paperOK, edfOK, edfOnly int
+		for set := 0; set < setsPerBand; set++ {
+			rng := rand.New(rand.NewSource(int64(target*1000) + int64(set)))
+			flows, err := randomFlowSet(rng, target, rate)
+			if err != nil {
+				return nil, err
+			}
+			p, err := paperAdmitsSingleLink(flows, rate)
+			if err != nil {
+				return nil, err
+			}
+			tasks := make([]*gmfsched.Task, len(flows))
+			for i, f := range flows {
+				if tasks[i], err = gmfsched.NewTask(f, rate, false); err != nil {
+					return nil, err
+				}
+			}
+			e := gmfsched.EDFFeasible(tasks).Feasible
+			if p && !e {
+				return nil, fmt.Errorf("exp: E12 optimality violated: paper admits but EDF rejects")
+			}
+			if p {
+				paperOK++
+			}
+			if e {
+				edfOK++
+			}
+			if e && !p {
+				edfOnly++
+			}
+		}
+		t.AddRowf(fmt.Sprintf("%.2f", target), setsPerBand, paperOK, edfOK, edfOnly)
+	}
+	return []*report.Table{t}, nil
+}
+
+// randomFlowSet draws GMF flows until the target utilisation on the link
+// is reached.
+func randomFlowSet(rng *rand.Rand, targetUtil float64, rate units.BitRate) ([]*gmf.Flow, error) {
+	var flows []*gmf.Flow
+	var util float64
+	for i := 0; util < targetUtil && i < 64; i++ {
+		// Tight deadlines (a fraction of one cycle) so the idealized EDF
+		// column is informative rather than trivially feasible.
+		f := trace.Random(fmt.Sprintf("r%d", i), rng, trace.RandomOptions{
+			MaxFrames:       5,
+			MaxPayloadBytes: 12000,
+			DeadlineFactor:  0.2 + 0.6*rng.Float64(),
+		})
+		task, err := gmfsched.NewTask(f, rate, false)
+		if err != nil {
+			return nil, err
+		}
+		if util+task.Utilization() > targetUtil+0.03 {
+			continue
+		}
+		util += task.Utilization()
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+// paperAdmitsSingleLink runs the paper's holistic analysis on a
+// direct-link network carrying the flows.
+func paperAdmitsSingleLink(flows []*gmf.Flow, rate units.BitRate) (bool, error) {
+	topo := network.NewTopology()
+	if err := topo.AddHost("h1"); err != nil {
+		return false, err
+	}
+	if err := topo.AddHost("h2"); err != nil {
+		return false, err
+	}
+	if err := topo.AddDuplexLink("h1", "h2", rate, 0); err != nil {
+		return false, err
+	}
+	nw := network.New(topo)
+	for _, f := range flows {
+		if _, err := nw.AddFlow(&network.FlowSpec{
+			Flow:  f,
+			Route: []network.NodeID{"h1", "h2"},
+		}); err != nil {
+			return false, err
+		}
+	}
+	an, err := core.NewAnalyzer(nw, core.Config{})
+	if err != nil {
+		return false, err
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		return false, err
+	}
+	return res.Schedulable(), nil
+}

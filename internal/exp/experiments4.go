@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"fmt"
+
+	"gmfnet/internal/report"
+	"gmfnet/internal/sim"
+	"gmfnet/internal/units"
+)
+
+// E13Buffers measures queue-occupancy high-water marks on the Figure 1
+// scenario: the buffer sizes (in Ethernet frames) each FIFO and priority
+// queue would need to never drop under the adversarial release pattern.
+// The paper assumes lossless queues; this experiment quantifies how big
+// "lossless" has to be.
+func E13Buffers() ([]*report.Table, error) {
+	nw, err := figure1Scenario(10 * units.Mbps)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(nw, sim.Config{Duration: 3 * units.Second})
+	if err != nil {
+		return nil, err
+	}
+	obs, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	if len(obs.Backlogs) == 0 {
+		return nil, fmt.Errorf("exp: E13 recorded no backlogs")
+	}
+	t := report.NewTable(
+		"E13: queue high-water marks, 3 s adversarial run (Ethernet frames)",
+		"queue kind", "node", "peer", "max frames")
+	for _, bl := range obs.Backlogs {
+		t.AddRowf(bl.Queue.Kind, bl.Queue.Node, bl.Queue.Peer, bl.MaxFrames)
+	}
+	return []*report.Table{t}, nil
+}

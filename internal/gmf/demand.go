@@ -1,0 +1,298 @@
+package gmf
+
+import (
+	"fmt"
+	"sort"
+
+	"gmfnet/internal/units"
+)
+
+// Demand captures how a GMF flow loads one particular resource. For a link
+// it pairs the flow's separations with the per-frame transmission times
+// C_j^k on that link and the per-frame Ethernet fragment counts; for a
+// switch CPU the same structure is used with per-fragment service costs.
+//
+// Demand answers the paper's request-bound queries: CSUM/NSUM/TSUM windows
+// (eqs. 7-9) and MXS/MX/NXS/NX (eqs. 10-13). Queries are O(log n) after an
+// O(n² log n) precomputation of monotone staircases.
+type Demand struct {
+	flowName string
+	sep      []units.Time // T_j^k
+	cost     []units.Time // C_j^k on this resource
+	count    []int64      // Ethernet frames of frame k on this resource
+
+	tsum units.Time
+	csum units.Time
+	nsum int64
+
+	costStair  []stairStep // span -> max cost over windows with that span
+	countStair []stairStep // span -> max fragment count
+}
+
+// stairStep is one point of a monotone staircase: any window whose minimum
+// span is <= span can demand up to val.
+type stairStep struct {
+	span units.Time
+	val  int64
+}
+
+// NewDemand builds a Demand for a flow on a resource. cost[k] is the
+// service time of frame k on the resource, count[k] the number of Ethernet
+// frames it contributes there. cost, count and the flow's frames must have
+// equal length.
+func NewDemand(flow *Flow, cost []units.Time, count []int64) (*Demand, error) {
+	if err := flow.Validate(); err != nil {
+		return nil, err
+	}
+	n := flow.N()
+	if len(cost) != n || len(count) != n {
+		return nil, fmt.Errorf("gmf: demand for %q: got %d costs, %d counts, want %d", flow.Name, len(cost), len(count), n)
+	}
+	d := &Demand{
+		flowName: flow.Name,
+		sep:      make([]units.Time, n),
+		cost:     make([]units.Time, n),
+		count:    make([]int64, n),
+	}
+	for k := 0; k < n; k++ {
+		d.sep[k] = flow.Frames[k].MinSep
+		if cost[k] < 0 || count[k] < 0 {
+			return nil, fmt.Errorf("gmf: demand for %q frame %d: negative cost or count", flow.Name, k)
+		}
+		d.cost[k] = cost[k]
+		d.count[k] = count[k]
+		d.tsum += d.sep[k]
+		d.csum += d.cost[k]
+		d.nsum += count[k]
+	}
+	d.buildStairs()
+	return d, nil
+}
+
+// N returns the number of frames in the underlying flow cycle.
+func (d *Demand) N() int { return len(d.sep) }
+
+// FlowName returns the name of the flow this demand belongs to.
+func (d *Demand) FlowName() string { return d.flowName }
+
+// TSUM returns eq. (6): the minimum duration of one full flow cycle.
+func (d *Demand) TSUM() units.Time { return d.tsum }
+
+// CSUM returns eq. (4): the total service time of one full cycle on this
+// resource.
+func (d *Demand) CSUM() units.Time { return d.csum }
+
+// NSUM returns eq. (5): the total number of Ethernet frames of one full
+// cycle on this resource.
+func (d *Demand) NSUM() int64 { return d.nsum }
+
+// Cost returns C_j^k for frame k.
+func (d *Demand) Cost(k int) units.Time { return d.cost[k] }
+
+// Count returns the Ethernet frame count of frame k.
+func (d *Demand) Count(k int) int64 { return d.count[k] }
+
+// CSUMWindow returns eq. (7): the total cost of the k2 consecutive frames
+// k1, …, k1+k2-1 (indices mod n).
+func (d *Demand) CSUMWindow(k1, k2 int) units.Time {
+	d.checkWindow(k1, k2)
+	var s units.Time
+	n := d.N()
+	for k := k1; k <= k1+k2-1; k++ {
+		s += d.cost[k%n]
+	}
+	return s
+}
+
+// NSUMWindow returns eq. (8): the total Ethernet frame count of the k2
+// consecutive frames starting at k1.
+func (d *Demand) NSUMWindow(k1, k2 int) int64 {
+	d.checkWindow(k1, k2)
+	var s int64
+	n := d.N()
+	for k := k1; k <= k1+k2-1; k++ {
+		s += d.count[k%n]
+	}
+	return s
+}
+
+// TSUMWindow returns eq. (9): the minimum time spanned by the arrivals of
+// the k2 consecutive frames starting at k1 (k2-1 separations).
+func (d *Demand) TSUMWindow(k1, k2 int) units.Time {
+	d.checkWindow(k1, k2)
+	var s units.Time
+	n := d.N()
+	for k := k1; k <= k1+k2-2; k++ {
+		s += d.sep[k%n]
+	}
+	return s
+}
+
+func (d *Demand) checkWindow(k1, k2 int) {
+	if k1 < 0 || k1 >= d.N() || k2 < 1 || k2 > d.N() {
+		panic(fmt.Sprintf("gmf: window (k1=%d,k2=%d) out of range for n=%d", k1, k2, d.N()))
+	}
+}
+
+// buildStairs enumerates all (k1,k2) windows, records (minimum span,
+// demand) pairs, and compresses them into monotone staircases so that each
+// MXS/NXS query is a binary search.
+func (d *Demand) buildStairs() {
+	n := d.N()
+	type pt struct {
+		span  units.Time
+		cost  units.Time
+		count int64
+	}
+	pts := make([]pt, 0, n*n)
+	for k1 := 0; k1 < n; k1++ {
+		var span, cost units.Time
+		var count int64
+		for k2 := 1; k2 <= n; k2++ {
+			// Window of k2 frames starting at k1: span grows by the
+			// separation before the newly appended frame.
+			idx := (k1 + k2 - 1) % n
+			if k2 > 1 {
+				span += d.sep[(k1+k2-2)%n]
+			}
+			cost += d.cost[idx]
+			count += d.count[idx]
+			pts = append(pts, pt{span, cost, count})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].span < pts[j].span })
+	d.costStair = d.costStair[:0]
+	d.countStair = d.countStair[:0]
+	var maxCost, maxCount int64 = -1, -1
+	for _, p := range pts {
+		if int64(p.cost) > maxCost {
+			maxCost = int64(p.cost)
+			if len(d.costStair) > 0 && d.costStair[len(d.costStair)-1].span == p.span {
+				d.costStair[len(d.costStair)-1].val = maxCost
+			} else {
+				d.costStair = append(d.costStair, stairStep{p.span, maxCost})
+			}
+		}
+		if p.count > maxCount {
+			maxCount = p.count
+			if len(d.countStair) > 0 && d.countStair[len(d.countStair)-1].span == p.span {
+				d.countStair[len(d.countStair)-1].val = maxCount
+			} else {
+				d.countStair = append(d.countStair, stairStep{p.span, maxCount})
+			}
+		}
+	}
+}
+
+// stairQuery returns the maximum val over steps with span <= t, or 0 if
+// none qualifies.
+func stairQuery(stair []stairStep, t units.Time) int64 {
+	// Find the last step with span <= t.
+	lo, hi := 0, len(stair)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if stair[mid].span <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return stair[lo-1].val
+}
+
+// MXS returns eq. (10): the maximum total cost of any window of at most n
+// frames whose minimum span fits in an interval of length t. It is the
+// paper's "small" request bound, meaningful for 0 < t < TSUM; for t <= 0 it
+// returns 0 and for t >= TSUM it returns the full-window maximum (which
+// callers never rely on: MX handles long intervals).
+func (d *Demand) MXS(t units.Time) units.Time {
+	if t <= 0 {
+		return 0
+	}
+	return units.Time(stairQuery(d.costStair, t))
+}
+
+// NXS returns eq. (12): like MXS but counting Ethernet frames.
+func (d *Demand) NXS(t units.Time) int64 {
+	if t <= 0 {
+		return 0
+	}
+	return stairQuery(d.countStair, t)
+}
+
+// MX returns eq. (11): an upper bound on the service time the flow demands
+// from the resource during any interval of length t, for any t >= 0.
+func (d *Demand) MX(t units.Time) units.Time {
+	if t <= 0 {
+		return 0
+	}
+	q := t / d.tsum
+	rem := t - q*d.tsum
+	return units.Time(q)*d.csum + d.MXS(rem)
+}
+
+// NX returns eq. (13): an upper bound on the number of Ethernet frames the
+// flow delivers to the resource during any interval of length t.
+func (d *Demand) NX(t units.Time) int64 {
+	if t <= 0 {
+		return 0
+	}
+	q := int64(t / d.tsum)
+	rem := t - units.Time(q)*d.tsum
+	return q*d.nsum + d.NXS(rem)
+}
+
+// Utilization returns CSUM/TSUM, the long-run fraction of the resource the
+// flow needs.
+func (d *Demand) Utilization() float64 {
+	return float64(d.csum) / float64(d.tsum)
+}
+
+// CountUtilization returns NSUM*perUnit/TSUM: the long-run fraction of a
+// CPU that services one Ethernet frame per perUnit (used for the ingress
+// stage where each fragment costs one CIRC slot).
+func (d *Demand) CountUtilization(perUnit units.Time) float64 {
+	return float64(d.nsum) * float64(perUnit) / float64(d.tsum)
+}
+
+// MXSBrute recomputes eq. (10) by direct enumeration of all windows. It is
+// exported for oracle-based testing of the staircase.
+func (d *Demand) MXSBrute(t units.Time) units.Time {
+	if t <= 0 {
+		return 0
+	}
+	n := d.N()
+	var best units.Time
+	for k1 := 0; k1 < n; k1++ {
+		for k2 := 1; k2 <= n; k2++ {
+			if d.TSUMWindow(k1, k2) <= t {
+				if c := d.CSUMWindow(k1, k2); c > best {
+					best = c
+				}
+			}
+		}
+	}
+	return best
+}
+
+// NXSBrute recomputes eq. (12) by direct enumeration.
+func (d *Demand) NXSBrute(t units.Time) int64 {
+	if t <= 0 {
+		return 0
+	}
+	n := d.N()
+	var best int64
+	for k1 := 0; k1 < n; k1++ {
+		for k2 := 1; k2 <= n; k2++ {
+			if d.TSUMWindow(k1, k2) <= t {
+				if c := d.NSUMWindow(k1, k2); c > best {
+					best = c
+				}
+			}
+		}
+	}
+	return best
+}

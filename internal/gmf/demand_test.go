@@ -1,0 +1,332 @@
+package gmf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gmfnet/internal/units"
+)
+
+// demandFixture builds a Demand with hand-computable numbers:
+// frame: sep   cost  count
+//
+//	0:   30ms  6ms   3
+//	1:   20ms  1ms   1
+//	2:   50ms  2ms   2
+func demandFixture(t *testing.T) *Demand {
+	t.Helper()
+	f := testFlow()
+	d, err := NewDemand(f,
+		[]units.Time{6 * ms, 1 * ms, 2 * ms},
+		[]int64{3, 1, 2})
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	return d
+}
+
+func TestNewDemandErrors(t *testing.T) {
+	f := testFlow()
+	if _, err := NewDemand(f, []units.Time{1}, []int64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewDemand(f, []units.Time{-1, 1, 1}, []int64{1, 1, 1}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := NewDemand(f, []units.Time{1, 1, 1}, []int64{1, -1, 1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	bad := &Flow{Name: "bad"}
+	if _, err := NewDemand(bad, nil, nil); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}
+
+func TestDemandAggregates(t *testing.T) {
+	d := demandFixture(t)
+	if d.TSUM() != 100*ms {
+		t.Errorf("TSUM = %v", d.TSUM())
+	}
+	if d.CSUM() != 9*ms {
+		t.Errorf("CSUM = %v", d.CSUM())
+	}
+	if d.NSUM() != 6 {
+		t.Errorf("NSUM = %d", d.NSUM())
+	}
+	if d.N() != 3 || d.FlowName() != "t" {
+		t.Errorf("N/FlowName = %d/%q", d.N(), d.FlowName())
+	}
+	if d.Cost(0) != 6*ms || d.Count(2) != 2 {
+		t.Errorf("Cost/Count accessors wrong")
+	}
+}
+
+func TestWindowSums(t *testing.T) {
+	d := demandFixture(t)
+	cases := []struct {
+		k1, k2 int
+		cost   units.Time
+		count  int64
+		span   units.Time
+	}{
+		{0, 1, 6 * ms, 3, 0},
+		{0, 2, 7 * ms, 4, 30 * ms},
+		{0, 3, 9 * ms, 6, 50 * ms},
+		{1, 1, 1 * ms, 1, 0},
+		{2, 2, 8 * ms, 5, 50 * ms}, // frames 2,0
+		{2, 3, 9 * ms, 6, 80 * ms}, // frames 2,0,1
+	}
+	for _, c := range cases {
+		if got := d.CSUMWindow(c.k1, c.k2); got != c.cost {
+			t.Errorf("CSUMWindow(%d,%d) = %v, want %v", c.k1, c.k2, got, c.cost)
+		}
+		if got := d.NSUMWindow(c.k1, c.k2); got != c.count {
+			t.Errorf("NSUMWindow(%d,%d) = %d, want %d", c.k1, c.k2, got, c.count)
+		}
+		if got := d.TSUMWindow(c.k1, c.k2); got != c.span {
+			t.Errorf("TSUMWindow(%d,%d) = %v, want %v", c.k1, c.k2, got, c.span)
+		}
+	}
+}
+
+func TestWindowPanics(t *testing.T) {
+	d := demandFixture(t)
+	for _, bad := range [][2]int{{-1, 1}, {3, 1}, {0, 0}, {0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CSUMWindow(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			d.CSUMWindow(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestMXSHandValues(t *testing.T) {
+	d := demandFixture(t)
+	// Spans available: 0 (any single frame, max cost 6ms), 20ms (frames
+	// 1,2: 3ms), 30ms (frames 0,1: 7ms), 50ms (frames 0,1,2: 9ms; frames
+	// 2,0: 8ms), 70ms (1,2,0: 9ms), 80ms (2,0,1: 9ms).
+	cases := []struct {
+		t    units.Time
+		want units.Time
+	}{
+		{-5 * ms, 0},
+		{0, 0},
+		{1, 6 * ms}, // any positive interval fits one frame
+		{19 * ms, 6 * ms},
+		{20 * ms, 6 * ms}, // frames 1,2 give only 3ms; single frame 0 is better
+		{30 * ms, 7 * ms},
+		{49 * ms, 7 * ms},
+		{50 * ms, 9 * ms},
+		{99 * ms, 9 * ms},
+	}
+	for _, c := range cases {
+		if got := d.MXS(c.t); got != c.want {
+			t.Errorf("MXS(%v) = %v, want %v", c.t, got, c.want)
+		}
+		if got := d.MXSBrute(c.t); got != c.want {
+			t.Errorf("MXSBrute(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestNXSHandValues(t *testing.T) {
+	d := demandFixture(t)
+	cases := []struct {
+		t    units.Time
+		want int64
+	}{
+		{0, 0},
+		{1, 3},
+		{30 * ms, 4},
+		{50 * ms, 6},
+	}
+	for _, c := range cases {
+		if got := d.NXS(c.t); got != c.want {
+			t.Errorf("NXS(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestMXHandValues(t *testing.T) {
+	d := demandFixture(t)
+	cases := []struct {
+		t    units.Time
+		want units.Time
+	}{
+		{0, 0},
+		{100 * ms, 9 * ms},        // exactly one cycle
+		{150 * ms, 9*ms + 9*ms},   // cycle + MXS(50ms)=9ms
+		{230 * ms, 2*9*ms + 7*ms}, // 2 cycles + MXS(30ms)=7ms
+		{1, 6 * ms},
+	}
+	for _, c := range cases {
+		if got := d.MX(c.t); got != c.want {
+			t.Errorf("MX(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestNXHandValues(t *testing.T) {
+	d := demandFixture(t)
+	if got := d.NX(100 * ms); got != 6 {
+		t.Errorf("NX(100ms) = %d, want 6", got)
+	}
+	if got := d.NX(150 * ms); got != 12 {
+		t.Errorf("NX(150ms) = %d, want 12", got)
+	}
+	if got := d.NX(0); got != 0 {
+		t.Errorf("NX(0) = %d, want 0", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := demandFixture(t)
+	if got := d.Utilization(); got != 0.09 {
+		t.Errorf("Utilization = %g, want 0.09", got)
+	}
+	// 6 fragments × 1ms per fragment over 100ms = 0.06.
+	if got := d.CountUtilization(1 * ms); got != 0.06 {
+		t.Errorf("CountUtilization = %g, want 0.06", got)
+	}
+}
+
+// randomDemand builds a random well-formed Demand from a seed.
+func randomDemand(rng *rand.Rand) *Demand {
+	n := 1 + rng.Intn(8)
+	f := &Flow{Name: "r"}
+	cost := make([]units.Time, n)
+	count := make([]int64, n)
+	for k := 0; k < n; k++ {
+		f.Frames = append(f.Frames, Frame{
+			MinSep:      units.Time(1+rng.Intn(50)) * ms,
+			Deadline:    units.Time(1+rng.Intn(500)) * ms,
+			Jitter:      units.Time(rng.Intn(5)) * ms,
+			PayloadBits: int64(1 + rng.Intn(100000)),
+		})
+		cost[k] = units.Time(rng.Intn(10)) * ms
+		count[k] = int64(rng.Intn(12))
+	}
+	d, err := NewDemand(f, cost, count)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestStaircaseMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, probe uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDemand(rng)
+		tt := units.Time(probe) * ms / 4
+		return d.MXS(tt) == d.MXSBrute(tt) && d.NXS(tt) == d.NXSBrute(tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMXMonotone(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDemand(rng)
+		a := units.Time(aRaw) * ms / 8
+		b := units.Time(bRaw) * ms / 8
+		if a > b {
+			a, b = b, a
+		}
+		return d.MX(a) <= d.MX(b) && d.NX(a) <= d.NX(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MX must dominate actual demand: any k2 consecutive frames released as
+// fast as allowed inside an interval of their minimum span demand their
+// summed cost, and MX(span) must cover it.
+func TestMXDominatesWindows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDemand(rng)
+		n := d.N()
+		for k1 := 0; k1 < n; k1++ {
+			for k2 := 1; k2 <= n; k2++ {
+				span := d.TSUMWindow(k1, k2)
+				probe := span
+				if probe == 0 {
+					probe = 1
+				}
+				if d.MX(probe) < d.CSUMWindow(k1, k2) {
+					return false
+				}
+				if d.NX(probe) < d.NSUMWindow(k1, k2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MX is subadditive across full cycles: MX(t + TSUM) == MX(t) + CSUM.
+func TestMXCycleShift(t *testing.T) {
+	f := func(seed int64, probe uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDemand(rng)
+		tt := units.Time(probe) * ms / 4
+		return d.MX(tt+d.TSUM()) == d.MX(tt)+d.CSUM() &&
+			d.NX(tt+d.TSUM()) == d.NX(tt)+d.NSUM()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFrameDemandIsSporadic(t *testing.T) {
+	// For n=1 the GMF bounds collapse to the classical sporadic
+	// request-bound function ceil(t/T)*C.
+	f := &Flow{Name: "s", Frames: []Frame{{MinSep: 10 * ms, Deadline: 10 * ms, PayloadBits: 8}}}
+	d, err := NewDemand(f, []units.Time{3 * ms}, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []units.Time{1, 5 * ms, 10 * ms, 15 * ms, 20 * ms, 25 * ms} {
+		wantMul := int64(units.CeilDivTime(tt, 10*ms))
+		if got := d.MX(tt); got != units.Time(wantMul)*3*ms {
+			t.Errorf("MX(%v) = %v, want %v", tt, got, units.Time(wantMul)*3*ms)
+		}
+		if got := d.NX(tt); got != wantMul*2 {
+			t.Errorf("NX(%v) = %d, want %d", tt, got, wantMul*2)
+		}
+	}
+}
+
+func BenchmarkMXQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	d := randomDemand(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.MX(units.Time(i%1000) * ms / 3)
+	}
+}
+
+func BenchmarkNewDemand(b *testing.B) {
+	f := testFlow()
+	cost := []units.Time{6 * ms, 1 * ms, 2 * ms}
+	count := []int64{3, 1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDemand(f, cost, count); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package gmf implements the generalized multiframe (GMF) traffic model of
+// Baruah et al. extended with the paper's notion of generalized jitter.
+//
+// A flow τi is a cyclic sequence of n_i frames. Frame k is described by four
+// parameters: T_i^k, the minimum separation between the arrival of frame k
+// and frame k+1 at the source; D_i^k, the relative end-to-end deadline;
+// GJ_i^k, the generalized jitter (all Ethernet fragments of the frame are
+// released within [t, t+GJ_i^k) of the frame's arrival t); and S_i^k, the
+// UDP payload size in bits.
+//
+// The package also provides the request-bound machinery of the paper's
+// Section 3.1: windowed sums CSUM/NSUM/TSUM over frame sequences (eqs. 4-9)
+// and the functions MXS/MX/NXS/NX (eqs. 10-13) that upper-bound the time
+// (respectively the number of Ethernet frames) a flow demands from a link
+// during any interval.
+package gmf
+
+import (
+	"fmt"
+
+	"gmfnet/internal/units"
+)
+
+// Frame describes one frame (one UDP packet class) of a GMF flow.
+type Frame struct {
+	// MinSep is T_i^k: the minimum time between the arrival of this frame
+	// and the arrival of the next frame of the flow at the source node.
+	MinSep units.Time
+	// Deadline is D_i^k: the relative end-to-end deadline of the frame,
+	// measured from its arrival at the source node to its complete
+	// reception at the destination node.
+	Deadline units.Time
+	// Jitter is GJ_i^k: the generalized jitter at the source. All Ethernet
+	// fragments of the frame are released within [t, t+Jitter) of the
+	// frame arrival t.
+	Jitter units.Time
+	// PayloadBits is S_i^k: the number of payload bits in the UDP packet.
+	PayloadBits int64
+}
+
+// Flow is a generalized multiframe flow: a cyclically repeating sequence of
+// frames.
+type Flow struct {
+	// Name identifies the flow in reports and error messages.
+	Name string
+	// Frames holds the n_i frame descriptors in cyclic order.
+	Frames []Frame
+}
+
+// N returns n_i, the number of frames in the flow's cycle.
+func (f *Flow) N() int { return len(f.Frames) }
+
+// Validate checks that the flow is well formed: at least one frame,
+// positive separations and payloads, non-negative jitters and deadlines.
+func (f *Flow) Validate() error {
+	if f == nil {
+		return fmt.Errorf("gmf: nil flow")
+	}
+	if len(f.Frames) == 0 {
+		return fmt.Errorf("gmf: flow %q has no frames", f.Name)
+	}
+	for k, fr := range f.Frames {
+		if fr.MinSep <= 0 {
+			return fmt.Errorf("gmf: flow %q frame %d: MinSep %v must be positive", f.Name, k, fr.MinSep)
+		}
+		if fr.Deadline <= 0 {
+			return fmt.Errorf("gmf: flow %q frame %d: Deadline %v must be positive", f.Name, k, fr.Deadline)
+		}
+		if fr.Jitter < 0 {
+			return fmt.Errorf("gmf: flow %q frame %d: Jitter %v must be non-negative", f.Name, k, fr.Jitter)
+		}
+		if fr.PayloadBits <= 0 {
+			return fmt.Errorf("gmf: flow %q frame %d: PayloadBits %d must be positive", f.Name, k, fr.PayloadBits)
+		}
+	}
+	return nil
+}
+
+// TSUM returns eq. (6): the sum of all minimum separations, i.e. the
+// minimum duration of one full cycle of the flow.
+func (f *Flow) TSUM() units.Time {
+	var s units.Time
+	for _, fr := range f.Frames {
+		s += fr.MinSep
+	}
+	return s
+}
+
+// TSUMWindow returns eq. (9): the minimum time spanned by k2 consecutive
+// frame arrivals starting at frame k1, i.e. the sum of the k2-1 separations
+// T^{k1}, …, T^{k1+k2-2} (indices mod n). TSUMWindow(k1, 1) is 0.
+func (f *Flow) TSUMWindow(k1, k2 int) units.Time {
+	n := f.N()
+	if k1 < 0 || k1 >= n || k2 < 1 {
+		panic("gmf: TSUMWindow index out of range")
+	}
+	var s units.Time
+	for k := k1; k <= k1+k2-2; k++ {
+		s += f.Frames[k%n].MinSep
+	}
+	return s
+}
+
+// MaxJitter returns the largest source jitter over all frames of the flow.
+func (f *Flow) MaxJitter() units.Time {
+	var m units.Time
+	for _, fr := range f.Frames {
+		if fr.Jitter > m {
+			m = fr.Jitter
+		}
+	}
+	return m
+}
+
+// MinDeadline returns the smallest relative deadline over all frames.
+func (f *Flow) MinDeadline() units.Time {
+	m := units.MaxTime
+	for _, fr := range f.Frames {
+		if fr.Deadline < m {
+			m = fr.Deadline
+		}
+	}
+	return m
+}
+
+// MaxPayloadBits returns the largest payload over all frames.
+func (f *Flow) MaxPayloadBits() int64 {
+	var m int64
+	for _, fr := range f.Frames {
+		if fr.PayloadBits > m {
+			m = fr.PayloadBits
+		}
+	}
+	return m
+}
+
+// MinSeparation returns the smallest separation over all frames.
+func (f *Flow) MinSeparation() units.Time {
+	m := units.MaxTime
+	for _, fr := range f.Frames {
+		if fr.MinSep < m {
+			m = fr.MinSep
+		}
+	}
+	return m
+}
+
+// TotalPayloadBits returns the sum of payloads over one cycle.
+func (f *Flow) TotalPayloadBits() int64 {
+	var s int64
+	for _, fr := range f.Frames {
+		s += fr.PayloadBits
+	}
+	return s
+}
+
+// Sporadic collapses the flow to a single-frame (sporadic) flow using the
+// classical pessimistic transformation: the largest payload and jitter
+// combined with the smallest separation and deadline. This is the baseline
+// model the paper argues against for MPEG-like traffic.
+func (f *Flow) Sporadic() *Flow {
+	return &Flow{
+		Name: f.Name + "/sporadic",
+		Frames: []Frame{{
+			MinSep:      f.MinSeparation(),
+			Deadline:    f.MinDeadline(),
+			Jitter:      f.MaxJitter(),
+			PayloadBits: f.MaxPayloadBits(),
+		}},
+	}
+}
+
+// Clone returns a deep copy of the flow.
+func (f *Flow) Clone() *Flow {
+	frames := make([]Frame, len(f.Frames))
+	copy(frames, f.Frames)
+	return &Flow{Name: f.Name, Frames: frames}
+}
+
+// String returns a short human-readable description of the flow.
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow %q (n=%d, TSUM=%v)", f.Name, f.N(), f.TSUM())
+}

@@ -1,0 +1,169 @@
+package gmf
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/units"
+)
+
+const ms = units.Millisecond
+
+// testFlow returns a 3-frame GMF flow used across the tests.
+func testFlow() *Flow {
+	return &Flow{
+		Name: "t",
+		Frames: []Frame{
+			{MinSep: 30 * ms, Deadline: 100 * ms, Jitter: 1 * ms, PayloadBits: 144000},
+			{MinSep: 20 * ms, Deadline: 90 * ms, Jitter: 2 * ms, PayloadBits: 12000},
+			{MinSep: 50 * ms, Deadline: 120 * ms, Jitter: 0, PayloadBits: 48000},
+		},
+	}
+}
+
+func TestFlowValidateOK(t *testing.T) {
+	if err := testFlow().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFlowValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Flow)
+		want   string
+	}{
+		{"no frames", func(f *Flow) { f.Frames = nil }, "no frames"},
+		{"zero sep", func(f *Flow) { f.Frames[1].MinSep = 0 }, "MinSep"},
+		{"negative sep", func(f *Flow) { f.Frames[0].MinSep = -1 }, "MinSep"},
+		{"zero deadline", func(f *Flow) { f.Frames[2].Deadline = 0 }, "Deadline"},
+		{"negative jitter", func(f *Flow) { f.Frames[0].Jitter = -ms }, "Jitter"},
+		{"zero payload", func(f *Flow) { f.Frames[1].PayloadBits = 0 }, "PayloadBits"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := testFlow()
+			c.mutate(f)
+			err := f.Validate()
+			if err == nil {
+				t.Fatalf("Validate succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestNilFlowValidate(t *testing.T) {
+	var f *Flow
+	if err := f.Validate(); err == nil {
+		t.Fatal("nil flow validated")
+	}
+}
+
+func TestFlowAggregates(t *testing.T) {
+	f := testFlow()
+	if got := f.N(); got != 3 {
+		t.Errorf("N = %d, want 3", got)
+	}
+	if got := f.TSUM(); got != 100*ms {
+		t.Errorf("TSUM = %v, want 100ms", got)
+	}
+	if got := f.MaxJitter(); got != 2*ms {
+		t.Errorf("MaxJitter = %v, want 2ms", got)
+	}
+	if got := f.MinDeadline(); got != 90*ms {
+		t.Errorf("MinDeadline = %v, want 90ms", got)
+	}
+	if got := f.MinSeparation(); got != 20*ms {
+		t.Errorf("MinSeparation = %v, want 20ms", got)
+	}
+	if got := f.MaxPayloadBits(); got != 144000 {
+		t.Errorf("MaxPayloadBits = %d, want 144000", got)
+	}
+	if got := f.TotalPayloadBits(); got != 144000+12000+48000 {
+		t.Errorf("TotalPayloadBits = %d", got)
+	}
+}
+
+func TestTSUMWindow(t *testing.T) {
+	f := testFlow()
+	cases := []struct {
+		k1, k2 int
+		want   units.Time
+	}{
+		{0, 1, 0},       // single frame spans no separation
+		{0, 2, 30 * ms}, // frames 0,1 span T^0
+		{0, 3, 50 * ms}, // frames 0,1,2 span T^0+T^1
+		{1, 2, 20 * ms},
+		{2, 2, 50 * ms}, // wraps: frames 2,0 span T^2
+		{2, 3, 80 * ms}, // frames 2,0,1 span T^2+T^0
+		{1, 3, 70 * ms}, // frames 1,2,0 span T^1+T^2
+	}
+	for _, c := range cases {
+		if got := f.TSUMWindow(c.k1, c.k2); got != c.want {
+			t.Errorf("TSUMWindow(%d,%d) = %v, want %v", c.k1, c.k2, got, c.want)
+		}
+	}
+}
+
+func TestTSUMWindowPanics(t *testing.T) {
+	f := testFlow()
+	for _, bad := range [][2]int{{-1, 1}, {3, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TSUMWindow(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			f.TSUMWindow(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSporadicCollapse(t *testing.T) {
+	s := testFlow().Sporadic()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("sporadic flow invalid: %v", err)
+	}
+	if s.N() != 1 {
+		t.Fatalf("sporadic N = %d, want 1", s.N())
+	}
+	fr := s.Frames[0]
+	if fr.MinSep != 20*ms || fr.Deadline != 90*ms || fr.Jitter != 2*ms || fr.PayloadBits != 144000 {
+		t.Fatalf("sporadic frame = %+v", fr)
+	}
+	// The collapse must be pessimistic: its single frame dominates every
+	// original frame in payload and jitter, and is dominated in separation.
+	orig := testFlow()
+	for k, of := range orig.Frames {
+		if fr.PayloadBits < of.PayloadBits {
+			t.Errorf("frame %d payload exceeds sporadic", k)
+		}
+		if fr.MinSep > of.MinSep {
+			t.Errorf("frame %d separation below sporadic", k)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := testFlow()
+	c := f.Clone()
+	c.Frames[0].PayloadBits = 1
+	if f.Frames[0].PayloadBits == 1 {
+		t.Fatal("Clone shares frame storage")
+	}
+	if c.Name != f.Name || c.N() != f.N() {
+		t.Fatal("Clone lost metadata")
+	}
+}
+
+func TestFlowString(t *testing.T) {
+	s := testFlow().String()
+	for _, want := range []string{"\"t\"", "n=3", "100ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

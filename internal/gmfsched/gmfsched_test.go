@@ -1,0 +1,280 @@
+package gmfsched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/ether"
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+const ms = units.Millisecond
+
+// simpleTask: one frame, payload such that C = 2 ms at 10 Mbit/s is not
+// round; use explicit small numbers instead through a 2-frame flow.
+func twoFrameTask(t *testing.T) *Task {
+	t.Helper()
+	flow := &gmf.Flow{Name: "x", Frames: []gmf.Frame{
+		{MinSep: 10 * ms, Deadline: 5 * ms, PayloadBits: 11840 - 64},    // C = 1.2304 ms
+		{MinSep: 30 * ms, Deadline: 20 * ms, PayloadBits: 2*11840 - 64}, // C = 2.4608 ms
+	}}
+	task, err := NewTask(flow, 10*units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestNewTaskErrors(t *testing.T) {
+	if _, err := NewTask(&gmf.Flow{Name: "e"}, 10*units.Mbps, false); err == nil {
+		t.Error("invalid flow accepted")
+	}
+	good := &gmf.Flow{Name: "g", Frames: []gmf.Frame{{MinSep: ms, Deadline: ms, PayloadBits: 8}}}
+	if _, err := NewTask(good, 0, false); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	task := twoFrameTask(t)
+	if task.N() != 2 || task.Name() != "x" {
+		t.Fatalf("accessors: %d %q", task.N(), task.Name())
+	}
+	wantU := (1.2304 + 2.4608) / 40.0
+	if diff := task.Utilization() - wantU; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("utilization = %v, want %v", task.Utilization(), wantU)
+	}
+}
+
+func TestDBFHandComputed(t *testing.T) {
+	task := twoFrameTask(t)
+	c0 := units.TxTime(12304, 10*units.Mbps)   // 1.2304 ms
+	c1 := units.TxTime(2*12304, 10*units.Mbps) // 2.4608 ms
+	cases := []struct {
+		h    units.Time
+		want units.Time
+	}{
+		{0, 0},
+		{4 * ms, 0},                  // no deadline fits
+		{5 * ms, c0},                 // frame 0's deadline at 5 ms
+		{20 * ms, c1},                // frame 1 alone (start at k1=1)
+		{10*ms + 20*ms, c0 + c1},     // frame 0 at 0, frame 1 at 10 ms, deadline 30 ms
+		{30*ms + 5*ms, c1 + c0},      // start at frame 1: frame 0 arrives at 30 ms
+		{40*ms + 5*ms, c0 + c1 + c0}, // full cycle + next frame 0
+	}
+	for _, c := range cases {
+		if got := task.DBF(c.h); got != c.want {
+			t.Errorf("DBF(%v) = %v, want %v", c.h, got, c.want)
+		}
+	}
+}
+
+func TestDBFMonotone(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		flow := trace.Random("r", rng, trace.RandomOptions{DeadlineFactor: 1.5})
+		task, err := NewTask(flow, 100*units.Mbps, false)
+		if err != nil {
+			return false
+		}
+		a := units.Time(aRaw) * ms / 4
+		b := units.Time(bRaw) * ms / 4
+		if a > b {
+			a, b = b, a
+		}
+		return task.DBF(a) <= task.DBF(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBFFastForwardMatchesSlowWalk(t *testing.T) {
+	// Oracle: recompute DBF without the cycle fast-forward.
+	slow := func(task *Task, h units.Time) units.Time {
+		if h <= 0 {
+			return 0
+		}
+		n := task.N()
+		var best units.Time
+		for k1 := 0; k1 < n; k1++ {
+			var demand, arrival units.Time
+			for m := 0; arrival <= h; m++ {
+				idx := (k1 + m) % n
+				if arrival+task.d[idx] <= h {
+					demand += task.c[idx]
+				}
+				arrival += task.t[idx]
+			}
+			if demand > best {
+				best = demand
+			}
+		}
+		return best
+	}
+	f := func(seed int64, hRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		flow := trace.Random("r", rng, trace.RandomOptions{DeadlineFactor: 2})
+		task, err := NewTask(flow, 100*units.Mbps, false)
+		if err != nil {
+			return false
+		}
+		h := units.Time(hRaw) * ms
+		return task.DBF(h) == slow(task, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLMAD(t *testing.T) {
+	good := &gmf.Flow{Name: "g", Frames: []gmf.Frame{
+		{MinSep: 10 * ms, Deadline: 10 * ms, PayloadBits: 8},
+		{MinSep: 10 * ms, Deadline: 10 * ms, PayloadBits: 8},
+	}}
+	task, err := NewTask(good, units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !task.LMAD() {
+		t.Fatal("uniform deadlines must satisfy l-MAD")
+	}
+	bad := &gmf.Flow{Name: "b", Frames: []gmf.Frame{
+		{MinSep: 10 * ms, Deadline: 50 * ms, PayloadBits: 8}, // 50 > 10+5
+		{MinSep: 10 * ms, Deadline: 5 * ms, PayloadBits: 8},
+	}}
+	task, err = NewTask(bad, units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.LMAD() {
+		t.Fatal("decreasing absolute deadlines must violate l-MAD")
+	}
+}
+
+func TestEDFFeasibleEmptyAndOverload(t *testing.T) {
+	if res := EDFFeasible(nil); !res.Feasible {
+		t.Fatal("empty set infeasible")
+	}
+	heavy := &gmf.Flow{Name: "h", Frames: []gmf.Frame{
+		{MinSep: 10 * ms, Deadline: 10 * ms, PayloadBits: 140000 * 8},
+	}}
+	task, err := NewTask(heavy, 10*units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EDFFeasible([]*Task{task})
+	if res.Feasible {
+		t.Fatal("overloaded set feasible")
+	}
+	if res.Utilization < 1 {
+		t.Fatalf("utilization = %v", res.Utilization)
+	}
+}
+
+func TestEDFFeasibleBoundary(t *testing.T) {
+	// One flow with deadline exactly its transmission time: feasible
+	// alone; two of them with deadline below combined demand: not.
+	c := units.TxTime(12304, 10*units.Mbps)
+	one := &gmf.Flow{Name: "a", Frames: []gmf.Frame{
+		{MinSep: 100 * ms, Deadline: c, PayloadBits: 11840 - 64},
+	}}
+	ta, err := NewTask(one, 10*units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := EDFFeasible([]*Task{ta}); !res.Feasible {
+		t.Fatalf("single tight flow rejected: %+v", res)
+	}
+	tb, err := NewTask(&gmf.Flow{Name: "b", Frames: []gmf.Frame{
+		{MinSep: 100 * ms, Deadline: c, PayloadBits: 11840 - 64},
+	}}, 10*units.Mbps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EDFFeasible([]*Task{ta, tb})
+	if res.Feasible {
+		t.Fatal("two tight flows cannot both meet deadline C")
+	}
+	if res.FailAt != c {
+		t.Fatalf("FailAt = %v, want %v", res.FailAt, c)
+	}
+}
+
+// TestEDFDominatesPaperFirstHop: whenever the paper's first-hop analysis
+// (any work-conserving discipline) admits a single-link workload, the
+// idealized EDF test must too — EDF is optimal on one resource.
+func TestEDFDominatesPaperFirstHop(t *testing.T) {
+	rate := 10 * units.Mbps
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		topo := network.NewTopology()
+		if err := topo.AddHost("h1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.AddHost("h2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.AddDuplexLink("h1", "h2", rate, 0); err != nil {
+			t.Fatal(err)
+		}
+		nw := network.New(topo)
+		var tasks []*Task
+		nFlows := 1 + rng.Intn(4)
+		for f := 0; f < nFlows; f++ {
+			flow := trace.Random("r", rng, trace.RandomOptions{
+				MaxPayloadBytes: 15000,
+				DeadlineFactor:  0.5 + rng.Float64(),
+			})
+			if _, err := nw.AddFlow(&network.FlowSpec{
+				Flow:  flow,
+				Route: []network.NodeID{"h1", "h2"},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			task, err := NewTask(flow, rate, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, task)
+		}
+		an, err := core.NewAnalyzer(nw, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := an.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedulable() && !EDFFeasible(tasks).Feasible {
+			t.Fatalf("seed %d: paper analysis admits but EDF (optimal) rejects", seed)
+		}
+	}
+}
+
+func TestDBFAtMostRequestBound(t *testing.T) {
+	// dbf(t) (deadline-constrained demand) never exceeds the request
+	// bound MX(t) (all arrivals in t) of the same flow on the same link.
+	f := func(seed int64, hRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		flow := trace.Random("r", rng, trace.RandomOptions{DeadlineFactor: 1.2})
+		task, err := NewTask(flow, 100*units.Mbps, false)
+		if err != nil {
+			return false
+		}
+		d, err := ether.DemandFor(flow, 100*units.Mbps, false)
+		if err != nil {
+			return false
+		}
+		h := units.Time(hRaw) * ms / 2
+		return task.DBF(h) <= d.MX(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

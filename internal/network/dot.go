@@ -1,0 +1,42 @@
+package network
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the topology as a Graphviz document: hosts as boxes,
+// routers as diamonds, switches as circles, full-duplex neighbour pairs as
+// one undirected edge labelled with the rate (one-directional links render
+// as directed edges).
+func (t *Topology) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("graph topology {\n")
+	b.WriteString("  node [fontname=\"sans-serif\"];\n")
+	for _, n := range t.Nodes() {
+		shape := "circle"
+		switch n.Kind {
+		case EndHost:
+			shape = "box"
+		case Router:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", string(n.ID), shape)
+	}
+	duplexDone := make(map[[2]NodeID]bool)
+	for _, l := range t.Links() {
+		if duplexDone[[2]NodeID{l.To, l.From}] {
+			continue // already rendered as the duplex edge
+		}
+		if back := t.Link(l.To, l.From); back != nil && back.Rate == l.Rate {
+			duplexDone[[2]NodeID{l.From, l.To}] = true
+			fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", string(l.From), string(l.To), l.Rate.String())
+		} else {
+			fmt.Fprintf(&b, "  %q -- %q [dir=forward, label=%q];\n", string(l.From), string(l.To), l.Rate.String())
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,68 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/units"
+)
+
+func TestWriteDOTFigure1(t *testing.T) {
+	topo := MustFigure1(Figure1Options{})
+	var b strings.Builder
+	if err := topo.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph topology {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a DOT document:\n%s", out)
+	}
+	// Node shapes per kind.
+	for _, want := range []string{
+		`"0" [shape=box]`, `"4" [shape=circle]`, `"7" [shape=diamond]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Duplex links render once: 7 physical links, 7 edges.
+	if got := strings.Count(out, " -- "); got != 7 {
+		t.Fatalf("edges = %d, want 7", got)
+	}
+	if !strings.Contains(out, "10Mbit/s") {
+		t.Error("rate label missing")
+	}
+	if strings.Contains(out, "dir=forward") {
+		t.Error("duplex topology rendered directed edges")
+	}
+}
+
+func TestWriteDOTDirectedLink(t *testing.T) {
+	topo := NewTopology()
+	mustOK(t, topo.AddHost("a"))
+	mustOK(t, topo.AddHost("b"))
+	mustOK(t, topo.AddLink("a", "b", units.Mbps, 0)) // one direction only
+	var b strings.Builder
+	if err := topo.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dir=forward") {
+		t.Fatalf("one-way link not rendered directed:\n%s", b.String())
+	}
+}
+
+func TestWriteDOTAsymmetricRates(t *testing.T) {
+	topo := NewTopology()
+	mustOK(t, topo.AddHost("a"))
+	mustOK(t, topo.AddHost("b"))
+	mustOK(t, topo.AddLink("a", "b", units.Mbps, 0))
+	mustOK(t, topo.AddLink("b", "a", 2*units.Mbps, 0))
+	var b strings.Builder
+	if err := topo.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Different rates per direction: both directions rendered.
+	if got := strings.Count(b.String(), "dir=forward"); got != 2 {
+		t.Fatalf("directed edges = %d, want 2:\n%s", got, b.String())
+	}
+}

@@ -1,0 +1,69 @@
+package network
+
+import "gmfnet/internal/units"
+
+// Figure1Options configures the example network of the paper's Figure 1.
+type Figure1Options struct {
+	// Rate is the speed of every link; the paper's worked example uses
+	// 10 Mbit/s on link(0,4). Zero selects 10 Mbit/s.
+	Rate units.BitRate
+	// Prop is the propagation delay of every link; zero means zero delay
+	// (LAN scale).
+	Prop units.Time
+	// Switch holds the software-switch parameters; the zero value selects
+	// the paper's Click measurements.
+	Switch SwitchParams
+}
+
+// Figure1 builds the example network of the paper's Figure 1: IP-endhosts
+// 0-3, software Ethernet switches 4-6 and IP-router 7, wired as
+//
+//	0 ── 4 ── 6 ── 3
+//	1 ── 4    6 ── 7 (router)
+//	2 ── 5 ── 6
+//
+// All links are full duplex. The worked example's flow runs 0 → 4 → 6 → 3
+// (Figure 2).
+func Figure1(opt Figure1Options) (*Topology, error) {
+	if opt.Rate == 0 {
+		opt.Rate = 10 * units.Mbps
+	}
+	if opt.Switch == (SwitchParams{}) {
+		opt.Switch = DefaultSwitchParams()
+	}
+	t := NewTopology()
+	for _, h := range []NodeID{"0", "1", "2", "3"} {
+		if err := t.AddHost(h); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range []NodeID{"4", "5", "6"} {
+		if err := t.AddSwitch(s, opt.Switch); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.AddRouter("7"); err != nil {
+		return nil, err
+	}
+	pairs := [][2]NodeID{
+		{"0", "4"}, {"1", "4"}, {"2", "5"},
+		{"4", "6"}, {"5", "6"},
+		{"6", "3"}, {"6", "7"},
+	}
+	for _, p := range pairs {
+		if err := t.AddDuplexLink(p[0], p[1], opt.Rate, opt.Prop); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustFigure1 is Figure1 for tests and examples; it panics on error, which
+// cannot happen for a well-formed option set.
+func MustFigure1(opt Figure1Options) *Topology {
+	t, err := Figure1(opt)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,198 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/units"
+)
+
+// Priority is an IEEE 802.1p-style output-queue priority. Larger values
+// are more important. Commodity switches support 2-8 levels, but the model
+// accepts any non-negative value.
+type Priority int
+
+// FlowSpec binds a GMF flow to the network: its route, priority and
+// framing.
+type FlowSpec struct {
+	// Flow holds the GMF traffic parameters.
+	Flow *gmf.Flow
+	// Route is the node sequence from source to destination. Endpoints
+	// are hosts or routers; intermediates are switches.
+	Route []NodeID
+	// Priority is the 802.1p priority of the flow's Ethernet frames in
+	// switch output queues.
+	Priority Priority
+	// RTP selects RTP framing (adds the paper's 16-byte header).
+	RTP bool
+}
+
+// Source returns the first node of the route.
+func (fs *FlowSpec) Source() NodeID { return fs.Route[0] }
+
+// Destination returns the last node of the route.
+func (fs *FlowSpec) Destination() NodeID { return fs.Route[len(fs.Route)-1] }
+
+// Succ returns succ(τ,N): the node after N on the flow's route.
+func (fs *FlowSpec) Succ(n NodeID) (NodeID, bool) {
+	for i := 0; i < len(fs.Route)-1; i++ {
+		if fs.Route[i] == n {
+			return fs.Route[i+1], true
+		}
+	}
+	return "", false
+}
+
+// Prec returns prec(τ,N): the node before N on the flow's route.
+func (fs *FlowSpec) Prec(n NodeID) (NodeID, bool) {
+	for i := 1; i < len(fs.Route); i++ {
+		if fs.Route[i] == n {
+			return fs.Route[i-1], true
+		}
+	}
+	return "", false
+}
+
+// Uses reports whether the flow's route contains the directed link
+// from->to.
+func (fs *FlowSpec) Uses(from, to NodeID) bool {
+	for i := 0; i < len(fs.Route)-1; i++ {
+		if fs.Route[i] == from && fs.Route[i+1] == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Network is a topology together with the set of admitted flows. It is the
+// input to the schedulability analysis and to the simulator.
+type Network struct {
+	Topo  *Topology
+	flows []*FlowSpec
+}
+
+// New returns a Network over the given topology.
+func New(topo *Topology) *Network {
+	return &Network{Topo: topo}
+}
+
+// AddFlow validates the flow spec against the topology and registers it.
+// The returned index identifies the flow in analysis results.
+func (nw *Network) AddFlow(fs *FlowSpec) (int, error) {
+	if fs == nil || fs.Flow == nil {
+		return 0, fmt.Errorf("network: nil flow spec")
+	}
+	if err := fs.Flow.Validate(); err != nil {
+		return 0, err
+	}
+	if fs.Priority < 0 {
+		return 0, fmt.Errorf("network: flow %q: negative priority", fs.Flow.Name)
+	}
+	if err := nw.Topo.ValidateRoute(fs.Route); err != nil {
+		return 0, fmt.Errorf("network: flow %q: %w", fs.Flow.Name, err)
+	}
+	nw.flows = append(nw.flows, fs)
+	return len(nw.flows) - 1, nil
+}
+
+// RemoveLastFlow removes the most recently added flow. The admission
+// controller uses it to roll back a rejected tentative admission.
+func (nw *Network) RemoveLastFlow() {
+	if len(nw.flows) > 0 {
+		nw.flows = nw.flows[:len(nw.flows)-1]
+	}
+}
+
+// Flows returns the registered flow specs in admission order. The slice is
+// shared; callers must not mutate it.
+func (nw *Network) Flows() []*FlowSpec { return nw.flows }
+
+// NumFlows returns the number of registered flows.
+func (nw *Network) NumFlows() int { return len(nw.flows) }
+
+// Flow returns the i-th flow spec.
+func (nw *Network) Flow(i int) *FlowSpec { return nw.flows[i] }
+
+// FlowsOn returns flows(N1,N2): the indices of flows whose route uses the
+// directed link from->to, sorted ascending.
+func (nw *Network) FlowsOn(from, to NodeID) []int {
+	var out []int
+	for i, fs := range nw.flows {
+		if fs.Uses(from, to) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HEP returns hep(τi,N1,N2) per eq. (2): the indices of flows j != i on
+// the link from->to with priority >= the priority of flow i.
+func (nw *Network) HEP(i int, from, to NodeID) []int {
+	pi := nw.flows[i].Priority
+	var out []int
+	for j, fs := range nw.flows {
+		if j == i {
+			continue
+		}
+		if fs.Uses(from, to) && fs.Priority >= pi {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// LP returns lp(τi,N1,N2) per eq. (3): the indices of flows j != i on the
+// link from->to with priority strictly below flow i's.
+func (nw *Network) LP(i int, from, to NodeID) []int {
+	pi := nw.flows[i].Priority
+	var out []int
+	for j, fs := range nw.flows {
+		if j == i {
+			continue
+		}
+		if fs.Uses(from, to) && fs.Priority < pi {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Validate checks the whole network: topology links used by flows exist
+// (already ensured per flow) and every switch on a route has positive CIRC.
+func (nw *Network) Validate() error {
+	for i, fs := range nw.flows {
+		if err := nw.Topo.ValidateRoute(fs.Route); err != nil {
+			return fmt.Errorf("network: flow %d (%q): %w", i, fs.Flow.Name, err)
+		}
+		for _, id := range fs.Route[1 : len(fs.Route)-1] {
+			if _, err := nw.Topo.CIRC(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AssignPrioritiesDM assigns deadline-monotonic priorities: flows with a
+// smaller minimum deadline get a higher priority. Flows with equal minimum
+// deadlines share a priority level (they interfere with each other per the
+// >= in eq. (2)). Existing priorities are overwritten.
+func (nw *Network) AssignPrioritiesDM() {
+	type fd struct {
+		idx int
+		dl  units.Time
+	}
+	fds := make([]fd, len(nw.flows))
+	for i, fs := range nw.flows {
+		fds[i] = fd{i, fs.Flow.MinDeadline()}
+	}
+	sort.Slice(fds, func(a, b int) bool { return fds[a].dl > fds[b].dl })
+	prio := Priority(0)
+	for i, f := range fds {
+		if i > 0 && f.dl != fds[i-1].dl {
+			prio++
+		}
+		nw.flows[f.idx].Priority = prio
+	}
+}

@@ -1,0 +1,297 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/units"
+)
+
+const (
+	ms = units.Millisecond
+	us = units.Microsecond
+)
+
+func TestAddNodesAndLinks(t *testing.T) {
+	topo := NewTopology()
+	if err := topo.AddHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSwitch("s1", DefaultSwitchParams()); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddRouter("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink("h1", "s1", 10*units.Mbps, 0); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Node("h1").Kind != EndHost || topo.Node("s1").Kind != Switch || topo.Node("r1").Kind != Router {
+		t.Fatal("node kinds wrong")
+	}
+	l := topo.Link("h1", "s1")
+	if l == nil || l.Rate != 10*units.Mbps {
+		t.Fatalf("link lookup: %+v", l)
+	}
+	if topo.Link("s1", "h1") != nil {
+		t.Fatal("reverse link should not exist")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	topo := NewTopology()
+	if err := topo.AddHost(""); err == nil {
+		t.Error("empty id accepted")
+	}
+	mustOK(t, topo.AddHost("a"))
+	if err := topo.AddHost("a"); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := topo.AddSwitch("s", SwitchParams{CRoute: 0, CSend: 1}); err == nil {
+		t.Error("zero CRoute accepted")
+	}
+	if err := topo.AddSwitch("s", SwitchParams{CRoute: 1, CSend: 1, Processors: -1}); err == nil {
+		t.Error("negative processors accepted")
+	}
+	mustOK(t, topo.AddHost("b"))
+	if err := topo.AddLink("a", "zz", units.Mbps, 0); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := topo.AddLink("zz", "a", units.Mbps, 0); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := topo.AddLink("a", "a", units.Mbps, 0); err == nil {
+		t.Error("self link accepted")
+	}
+	if err := topo.AddLink("a", "b", 0, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := topo.AddLink("a", "b", units.Mbps, -1); err == nil {
+		t.Error("negative prop accepted")
+	}
+	mustOK(t, topo.AddLink("a", "b", units.Mbps, 0))
+	if err := topo.AddLink("a", "b", units.Mbps, 0); err == nil {
+		t.Error("duplicate link accepted")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if EndHost.String() != "endhost" || Switch.String() != "switch" || Router.String() != "router" {
+		t.Fatal("kind strings wrong")
+	}
+	if !strings.Contains(NodeKind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestNodesLinksSorted(t *testing.T) {
+	topo := MustFigure1(Figure1Options{})
+	nodes := topo.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID >= nodes[i].ID {
+			t.Fatal("Nodes not sorted")
+		}
+	}
+	links := topo.Links()
+	if len(links) != 14 {
+		t.Fatalf("Figure1 has %d directed links, want 14", len(links))
+	}
+	for i := 1; i < len(links); i++ {
+		a, b := links[i-1], links[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatal("Links not sorted")
+		}
+	}
+}
+
+func TestInterfacesAndCIRC(t *testing.T) {
+	topo := MustFigure1(Figure1Options{})
+	// Switch 6 connects to 4, 5, 3, 7: four interfaces, like the paper's
+	// Figure 5 example.
+	if got := topo.Interfaces("6"); got != 4 {
+		t.Fatalf("Interfaces(6) = %d, want 4", got)
+	}
+	circ, err := topo.CIRC("6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: CIRC = 4 × (2.7 + 1.0) µs = 14.8 µs.
+	if circ != 14800*units.Nanosecond {
+		t.Fatalf("CIRC(6) = %v, want 14.8µs", circ)
+	}
+	if got := topo.Interfaces("4"); got != 3 {
+		t.Fatalf("Interfaces(4) = %d, want 3", got)
+	}
+	if _, err := topo.CIRC("0"); err == nil {
+		t.Error("CIRC of a host should fail")
+	}
+	if _, err := topo.CIRC("nope"); err == nil {
+		t.Error("CIRC of unknown node should fail")
+	}
+}
+
+func TestCIRCMultiprocessor(t *testing.T) {
+	// Conclusions: 48 interfaces, 16 processors, Click costs -> each CPU
+	// serves 3 interfaces: CIRC = 3 × 3.7 µs = 11.1 µs.
+	p := DefaultSwitchParams()
+	p.Processors = 16
+	topo := NewTopology()
+	mustOK(t, topo.AddSwitch("big", p))
+	for i := 0; i < 48; i++ {
+		id := NodeID("h" + string(rune('A'+i/26)) + string(rune('a'+i%26)))
+		mustOK(t, topo.AddHost(id))
+		mustOK(t, topo.AddDuplexLink("big", id, units.Gbps, 0))
+	}
+	if got := topo.Interfaces("big"); got != 48 {
+		t.Fatalf("Interfaces = %d, want 48", got)
+	}
+	circ, err := topo.CIRC("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circ != 11100*units.Nanosecond {
+		t.Fatalf("CIRC = %v, want 11.1µs", circ)
+	}
+	// Non-divisible processor count rounds the per-CPU share up.
+	topo.Node("big").Switch.Processors = 5 // ceil(48/5)=10
+	circ, err = topo.CIRC("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circ != 37000*units.Nanosecond {
+		t.Fatalf("CIRC = %v, want 37µs", circ)
+	}
+}
+
+func TestCIRCNoInterfaces(t *testing.T) {
+	topo := NewTopology()
+	mustOK(t, topo.AddSwitch("lonely", DefaultSwitchParams()))
+	if _, err := topo.CIRC("lonely"); err == nil {
+		t.Fatal("CIRC with no interfaces should fail")
+	}
+}
+
+func TestRouteFigure1(t *testing.T) {
+	topo := MustFigure1(Figure1Options{})
+	r, err := topo.Route("0", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{"0", "4", "6", "3"}
+	if !equalRoute(r, want) {
+		t.Fatalf("Route(0,3) = %v, want %v", r, want)
+	}
+	r, err = topo.Route("2", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRoute(r, []NodeID{"2", "5", "6", "7"}) {
+		t.Fatalf("Route(2,7) = %v", r)
+	}
+}
+
+func TestRouteDoesNotTraverseHosts(t *testing.T) {
+	// h1 - s1 - h2 - s2 - h3: no route h1 -> h3 exists because h2 may not
+	// relay.
+	topo := NewTopology()
+	for _, h := range []NodeID{"h1", "h2", "h3"} {
+		mustOK(t, topo.AddHost(h))
+	}
+	for _, s := range []NodeID{"s1", "s2"} {
+		mustOK(t, topo.AddSwitch(s, DefaultSwitchParams()))
+	}
+	mustOK(t, topo.AddDuplexLink("h1", "s1", units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("s1", "h2", units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("h2", "s2", units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("s2", "h3", units.Mbps, 0))
+	if _, err := topo.Route("h1", "h3"); err == nil {
+		t.Fatal("route through a host was found")
+	}
+	if _, err := topo.Route("h1", "h2"); err != nil {
+		t.Fatalf("route h1->h2: %v", err)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	topo := MustFigure1(Figure1Options{})
+	if _, err := topo.Route("zz", "3"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := topo.Route("0", "zz"); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if _, err := topo.Route("0", "0"); err == nil {
+		t.Error("self route accepted")
+	}
+}
+
+func TestValidateRoute(t *testing.T) {
+	topo := MustFigure1(Figure1Options{})
+	good := []NodeID{"0", "4", "6", "3"}
+	if err := topo.ValidateRoute(good); err != nil {
+		t.Fatalf("good route rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		route []NodeID
+	}{
+		{"too short", []NodeID{"0"}},
+		{"unknown node", []NodeID{"0", "9", "3"}},
+		{"switch endpoint", []NodeID{"4", "6", "3"}},
+		{"missing link", []NodeID{"0", "5", "3"}},
+		{"repeat", []NodeID{"0", "4", "6", "4", "3"}},
+	}
+	for _, c := range cases {
+		if err := topo.ValidateRoute(c.route); err == nil {
+			t.Errorf("%s: route %v accepted", c.name, c.route)
+		}
+	}
+	// Host-switch-host is a legal route.
+	if err := topo.ValidateRoute([]NodeID{"1", "4", "0"}); err != nil {
+		t.Errorf("1-4-0 rejected: %v", err)
+	}
+}
+
+func TestValidateRouteHostIntermediate(t *testing.T) {
+	// A host strictly inside a route must be rejected: hosts do not relay.
+	topo := NewTopology()
+	for _, h := range []NodeID{"h1", "h2", "h3"} {
+		mustOK(t, topo.AddHost(h))
+	}
+	for _, s := range []NodeID{"s1", "s2"} {
+		mustOK(t, topo.AddSwitch(s, DefaultSwitchParams()))
+	}
+	mustOK(t, topo.AddDuplexLink("h1", "s1", units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("s1", "h2", units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("h2", "s2", units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("s2", "h3", units.Mbps, 0))
+	if err := topo.ValidateRoute([]NodeID{"h1", "s1", "h2", "s2", "h3"}); err == nil {
+		t.Fatal("route with host intermediate accepted")
+	}
+}
+
+func TestFigure1RouterReachable(t *testing.T) {
+	topo := MustFigure1(Figure1Options{})
+	if err := topo.ValidateRoute([]NodeID{"7", "6", "3"}); err != nil {
+		t.Fatalf("router-sourced route rejected: %v", err)
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalRoute(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

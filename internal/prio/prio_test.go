@@ -1,0 +1,165 @@
+package prio
+
+import (
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+const ms = units.Millisecond
+
+func mixedNet(t *testing.T, rate units.BitRate) *network.Network {
+	t.Helper()
+	topo := network.MustFigure1(network.Figure1Options{Rate: rate})
+	nw := network.New(topo)
+	specs := []*network.FlowSpec{
+		{
+			Flow:  trace.MPEGIBBPBBPBB("video", trace.MPEGOptions{Deadline: 300 * ms}),
+			Route: []network.NodeID{"0", "4", "6", "3"},
+		},
+		{
+			Flow:  trace.VoIP("voip", trace.VoIPOptions{Deadline: 30 * ms}),
+			Route: []network.NodeID{"1", "4", "6", "3"},
+		},
+		{
+			Flow:  trace.CBRVideo("cbr", 4000, 40*ms, 400*ms),
+			Route: []network.NodeID{"2", "5", "6", "3"},
+		},
+	}
+	for _, s := range specs {
+		if _, err := nw.AddFlow(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func TestAssignNil(t *testing.T) {
+	if _, err := Assign(nil, core.Config{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	nw := network.New(network.MustFigure1(network.Figure1Options{}))
+	ok, err := Assign(nw, core.Config{})
+	if err != nil || !ok {
+		t.Fatalf("empty network: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAssignFindsFeasibleAssignment(t *testing.T) {
+	nw := mixedNet(t, 10*units.Mbps)
+	ok, err := Assign(nw, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("OPA failed on a feasible scenario")
+	}
+	// Distinct levels 0..n-1.
+	seen := map[network.Priority]bool{}
+	for _, fs := range nw.Flows() {
+		if fs.Priority < 0 || int(fs.Priority) >= nw.NumFlows() {
+			t.Fatalf("priority %d out of range", fs.Priority)
+		}
+		if seen[fs.Priority] {
+			t.Fatalf("duplicate priority %d", fs.Priority)
+		}
+		seen[fs.Priority] = true
+	}
+	// The assignment really is schedulable.
+	an, err := core.NewAnalyzer(nw, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable() {
+		t.Fatal("returned assignment not schedulable")
+	}
+}
+
+func TestAssignPrefersTightDeadlineHigh(t *testing.T) {
+	// With a 30 ms VoIP deadline competing against multi-ms video bursts
+	// on shared links, the feasible assignments put voip above video;
+	// Audsley must discover one of them.
+	nw := mixedNet(t, 10*units.Mbps)
+	ok, err := Assign(nw, core.Config{})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	var video, voip network.Priority
+	for _, fs := range nw.Flows() {
+		switch fs.Flow.Name {
+		case "video":
+			video = fs.Priority
+		case "voip":
+			voip = fs.Priority
+		}
+	}
+	if voip < video {
+		t.Fatalf("voip prio %d below video %d despite tighter deadline", voip, video)
+	}
+}
+
+func TestAssignRestoresOnFailure(t *testing.T) {
+	nw := mixedNet(t, 10*units.Mbps)
+	// Add an impossible flow: deadline below its own transmission time.
+	if _, err := nw.AddFlow(&network.FlowSpec{
+		Flow:     trace.CBRVideo("doomed", 30000, 50*ms, 1*ms),
+		Route:    []network.NodeID{"0", "4", "6", "3"},
+		Priority: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]network.Priority, nw.NumFlows())
+	for i, fs := range nw.Flows() {
+		before[i] = fs.Priority
+	}
+	ok, err := Assign(nw, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impossible scenario reported feasible")
+	}
+	for i, fs := range nw.Flows() {
+		if fs.Priority != before[i] {
+			t.Fatalf("flow %d priority not restored: %d != %d", i, fs.Priority, before[i])
+		}
+	}
+}
+
+func TestAssignAtLeastAsGoodAsDM(t *testing.T) {
+	// Wherever deadline-monotonic assignment works, OPA must too.
+	mkNet := func() *network.Network { return mixedNet(t, 100*units.Mbps) }
+
+	dmNet := mkNet()
+	dmNet.AssignPrioritiesDM()
+	an, err := core.NewAnalyzer(dmNet, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmRes, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dmRes.Schedulable() {
+		t.Skip("DM baseline not schedulable; nothing to compare")
+	}
+
+	opaNet := mkNet()
+	ok, err := Assign(opaNet, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("OPA failed where DM succeeded")
+	}
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := NewTable("T1", "flow", "bound")
+	tb.AddRow("video", "12.5ms")
+	tb.AddRow("a", "3ms")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5 (%q)", len(lines), out)
+	}
+	if lines[0] != "T1" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "flow ") || !strings.Contains(lines[1], "bound") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns align: "video" is the widest cell in column 1.
+	if !strings.HasPrefix(lines[3], "video  ") {
+		t.Errorf("row = %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "a      ") {
+		t.Errorf("row = %q", lines[4])
+	}
+}
+
+func TestAddRowMismatchedCells(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")           // short row pads
+	tb.AddRow("1", "2", "3") // long row truncates
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Errorf("extra cell kept: %q", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "n", "x")
+	tb.AddRowf(42, 1.5)
+	out := tb.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "1.5") {
+		t.Errorf("formatted row missing: %q", out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title produced leading newline")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("ignored", "name", "note")
+	tb.AddRow("plain", "ok")
+	tb.AddRow("with,comma", `say "hi"`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,note\nplain,ok\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

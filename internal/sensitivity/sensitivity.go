@@ -1,0 +1,157 @@
+// Package sensitivity performs breakdown analysis on top of the holistic
+// schedulability analysis: how far can a workload be scaled before the
+// network stops being schedulable, and which resource saturates first.
+//
+// This is the classical "critical scaling factor" study applied to the
+// paper's setting; the paper itself only gives the yes/no admission test,
+// so operators get no headroom estimate. Scaling multiplies every frame's
+// payload (and therefore its transmission time and fragment count); the
+// search is a bisection over the verdict of core.Analyzer.
+package sensitivity
+
+import (
+	"fmt"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/network"
+)
+
+// Options tunes the breakdown search.
+type Options struct {
+	// Analysis configures the underlying analyzer.
+	Analysis core.Config
+	// MaxScale bounds the search from above. Zero selects 64.
+	MaxScale float64
+	// Tolerance is the relative precision of the returned scale. Zero
+	// selects 0.01 (1 %).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxScale == 0 {
+		o.MaxScale = 64
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.01
+	}
+	return o
+}
+
+// Breakdown is the result of a breakdown search.
+type Breakdown struct {
+	// Scale is the largest payload multiplier (within tolerance) at
+	// which the network remains schedulable. Zero means the workload is
+	// infeasible as given.
+	Scale float64
+	// AtMaxScale reports that even Options.MaxScale was schedulable; the
+	// true breakdown point is higher than the search bound.
+	AtMaxScale bool
+	// Result is the analysis at the reported scale.
+	Result *core.Result
+}
+
+// scaledNetwork builds a copy of the network with every payload multiplied
+// by scale (rounded up to keep the workload pessimistic).
+func scaledNetwork(nw *network.Network, scale float64) (*network.Network, error) {
+	out := network.New(nw.Topo)
+	for _, fs := range nw.Flows() {
+		flow := &gmf.Flow{Name: fs.Flow.Name}
+		for _, fr := range fs.Flow.Frames {
+			scaled := int64(float64(fr.PayloadBits)*scale + 0.999999)
+			if scaled < 1 {
+				scaled = 1
+			}
+			flow.Frames = append(flow.Frames, gmf.Frame{
+				MinSep:      fr.MinSep,
+				Deadline:    fr.Deadline,
+				Jitter:      fr.Jitter,
+				PayloadBits: scaled,
+			})
+		}
+		if _, err := out.AddFlow(&network.FlowSpec{
+			Flow:     flow,
+			Route:    fs.Route,
+			Priority: fs.Priority,
+			RTP:      fs.RTP,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// analyzeScaled reports whether the workload scaled by the multiplier is
+// schedulable.
+func analyzeScaled(nw *network.Network, scale float64, cfg core.Config) (*core.Result, error) {
+	scaled, err := scaledNetwork(nw, scale)
+	if err != nil {
+		return nil, err
+	}
+	an, err := core.NewAnalyzer(scaled, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return an.Analyze()
+}
+
+// FindBreakdown bisects for the largest payload scale that keeps the
+// network schedulable.
+func FindBreakdown(nw *network.Network, opt Options) (*Breakdown, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("sensitivity: nil network")
+	}
+	if nw.NumFlows() == 0 {
+		return nil, fmt.Errorf("sensitivity: network has no flows")
+	}
+	opt = opt.withDefaults()
+
+	base, err := analyzeScaled(nw, 1, opt.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	if !base.Schedulable() {
+		return &Breakdown{Scale: 0, Result: base}, nil
+	}
+
+	// Grow until infeasible or the cap is hit.
+	lo, hi := 1.0, 1.0
+	loRes := base
+	for hi < opt.MaxScale {
+		hi *= 2
+		if hi > opt.MaxScale {
+			hi = opt.MaxScale
+		}
+		res, err := analyzeScaled(nw, hi, opt.Analysis)
+		if err != nil {
+			return nil, err
+		}
+		if res.Schedulable() {
+			lo, loRes = hi, res
+			if hi == opt.MaxScale {
+				return &Breakdown{Scale: lo, AtMaxScale: true, Result: loRes}, nil
+			}
+			continue
+		}
+		break
+	}
+	if lo == hi {
+		// Never found an infeasible point below the cap.
+		return &Breakdown{Scale: lo, AtMaxScale: true, Result: loRes}, nil
+	}
+
+	// Bisect (lo schedulable, hi not).
+	for hi-lo > opt.Tolerance*lo {
+		mid := (lo + hi) / 2
+		res, err := analyzeScaled(nw, mid, opt.Analysis)
+		if err != nil {
+			return nil, err
+		}
+		if res.Schedulable() {
+			lo, loRes = mid, res
+		} else {
+			hi = mid
+		}
+	}
+	return &Breakdown{Scale: lo, Result: loRes}, nil
+}

@@ -1,0 +1,151 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+const ms = units.Millisecond
+
+func testNet(t *testing.T, rate units.BitRate) *network.Network {
+	t.Helper()
+	topo := network.MustFigure1(network.Figure1Options{Rate: rate})
+	nw := network.New(topo)
+	specs := []*network.FlowSpec{
+		{
+			Flow:     trace.MPEGIBBPBBPBB("mpeg", trace.MPEGOptions{Deadline: 300 * ms}),
+			Route:    []network.NodeID{"0", "4", "6", "3"},
+			Priority: 2,
+		},
+		{
+			Flow:     trace.VoIP("voip", trace.VoIPOptions{Deadline: 100 * ms}),
+			Route:    []network.NodeID{"2", "5", "6", "3"},
+			Priority: 3,
+		},
+	}
+	for _, s := range specs {
+		if _, err := nw.AddFlow(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := FindBreakdown(nil, Options{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	empty := network.New(network.MustFigure1(network.Figure1Options{}))
+	if _, err := FindBreakdown(empty, Options{}); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestBreakdownOnFeasibleScenario(t *testing.T) {
+	nw := testNet(t, 10*units.Mbps)
+	bd, err := FindBreakdown(nw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Scale <= 1 {
+		t.Fatalf("scale = %v, want > 1 (scenario has headroom)", bd.Scale)
+	}
+	if bd.AtMaxScale {
+		t.Fatalf("10 Mbit/s links cannot carry 64x the MPEG load")
+	}
+	if bd.Result == nil || !bd.Result.Schedulable() {
+		t.Fatal("result at breakdown scale must be schedulable")
+	}
+	// The point just above the breakdown must be infeasible.
+	above, err := analyzeScaled(nw, bd.Scale*1.1, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above.Schedulable() {
+		t.Fatalf("scale %.3f still schedulable; breakdown too small", bd.Scale*1.1)
+	}
+}
+
+func TestBreakdownInfeasibleBase(t *testing.T) {
+	// Saturate the first hop so even scale 1 fails.
+	nw := testNet(t, 10*units.Mbps)
+	if _, err := nw.AddFlow(&network.FlowSpec{
+		Flow:     trace.CBRVideo("hog", 150000, 100*ms, 100*ms), // 12 Mbit/s
+		Route:    []network.NodeID{"0", "4", "6", "3"},
+		Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := FindBreakdown(nw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Scale != 0 {
+		t.Fatalf("scale = %v, want 0 for infeasible base", bd.Scale)
+	}
+	if bd.Result.Schedulable() {
+		t.Fatal("result should be unschedulable")
+	}
+}
+
+func TestBreakdownHitsCap(t *testing.T) {
+	// A tiny flow on gigabit links: the cap binds.
+	topo := network.MustFigure1(network.Figure1Options{Rate: units.Gbps})
+	nw := network.New(topo)
+	if _, err := nw.AddFlow(&network.FlowSpec{
+		Flow:     trace.VoIP("v", trace.VoIPOptions{Deadline: 100 * ms}),
+		Route:    []network.NodeID{"0", "4", "6", "3"},
+		Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := FindBreakdown(nw, Options{MaxScale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bd.AtMaxScale || bd.Scale != 4 {
+		t.Fatalf("scale = %v atMax = %v, want 4/true", bd.Scale, bd.AtMaxScale)
+	}
+}
+
+func TestScaledNetworkRounding(t *testing.T) {
+	nw := testNet(t, 10*units.Mbps)
+	scaled, err := scaledNetwork(nw, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fs := range scaled.Flows() {
+		for k, fr := range fs.Flow.Frames {
+			orig := nw.Flow(i).Flow.Frames[k].PayloadBits
+			want := int64(float64(orig)*1.5 + 0.999999)
+			if fr.PayloadBits != want {
+				t.Fatalf("flow %d frame %d: payload %d, want %d", i, k, fr.PayloadBits, want)
+			}
+			// Timing parameters must be untouched.
+			if fr.MinSep != nw.Flow(i).Flow.Frames[k].MinSep {
+				t.Fatal("separation changed by scaling")
+			}
+		}
+	}
+}
+
+func TestToleranceControlsPrecision(t *testing.T) {
+	nw := testNet(t, 10*units.Mbps)
+	coarse, err := FindBreakdown(nw, Options{Tolerance: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := FindBreakdown(nw, Options{Tolerance: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are lower bounds on the true breakdown; the fine search must
+	// be at least as large as the coarse one minus its tolerance.
+	if fine.Scale < coarse.Scale*(1-0.2) {
+		t.Fatalf("fine %.4f vs coarse %.4f inconsistent", fine.Scale, coarse.Scale)
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"sort"
+
+	"gmfnet/internal/network"
+)
+
+// QueueKind classifies the buffered locations of the data path.
+type QueueKind int
+
+// Queue kinds.
+const (
+	// QueueHostPort is a host or router output queue (first hop).
+	QueueHostPort QueueKind = iota
+	// QueueSwitchInput is a switch input-interface FIFO.
+	QueueSwitchInput
+	// QueueSwitchOutput is a switch prioritised output queue (all
+	// priority levels combined).
+	QueueSwitchOutput
+)
+
+// String returns the kind's mnemonic.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueHostPort:
+		return "host-port"
+	case QueueSwitchInput:
+		return "switch-in"
+	case QueueSwitchOutput:
+		return "switch-out"
+	}
+	return "unknown"
+}
+
+// QueueID identifies one queue.
+type QueueID struct {
+	Kind QueueKind
+	// Node owns the queue; Peer is the link direction (receive-from for
+	// inputs, send-to for outputs).
+	Node, Peer network.NodeID
+}
+
+// Backlog is the observed occupancy high-water mark of one queue, in
+// Ethernet frames — the buffer size that would have avoided loss in this
+// run.
+type Backlog struct {
+	Queue QueueID
+	// MaxFrames is the largest number of Ethernet frames ever queued.
+	MaxFrames int
+}
+
+// backlogTracker accumulates high-water marks during a run.
+type backlogTracker struct {
+	max map[QueueID]int
+}
+
+func newBacklogTracker() *backlogTracker {
+	return &backlogTracker{max: make(map[QueueID]int)}
+}
+
+// observe records the current depth of a queue.
+func (b *backlogTracker) observe(id QueueID, depth int) {
+	if depth > b.max[id] {
+		b.max[id] = depth
+	}
+}
+
+// snapshot returns the high-water marks sorted by descending depth, ties
+// by queue identity.
+func (b *backlogTracker) snapshot() []Backlog {
+	out := make([]Backlog, 0, len(b.max))
+	for id, d := range b.max {
+		out = append(out, Backlog{Queue: id, MaxFrames: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxFrames != out[j].MaxFrames {
+			return out[i].MaxFrames > out[j].MaxFrames
+		}
+		a, b := out[i].Queue, out[j].Queue
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Peer < b.Peer
+	})
+	return out
+}

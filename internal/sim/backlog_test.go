@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+func TestQueueKindString(t *testing.T) {
+	if QueueHostPort.String() != "host-port" ||
+		QueueSwitchInput.String() != "switch-in" ||
+		QueueSwitchOutput.String() != "switch-out" {
+		t.Fatal("queue kind strings wrong")
+	}
+	if QueueKind(9).String() != "unknown" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestBacklogsRecorded(t *testing.T) {
+	// Two converging flows force queueing at the shared output.
+	a := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", 3*11840, 30*ms, 300*ms, 0), // 4 fragments
+		Route: []network.NodeID{"h1", "s", "h3"},
+	}
+	b := &network.FlowSpec{
+		Flow:  oneFrameFlow("b", 3*11840, 30*ms, 300*ms, 0),
+		Route: []network.NodeID{"h2", "s", "h3"},
+	}
+	res := run(t, oneSwitchNet(t, a, b), Config{Duration: units.Second})
+	if len(res.Backlogs) == 0 {
+		t.Fatal("no backlogs recorded")
+	}
+	// Sorted descending.
+	for i := 1; i < len(res.Backlogs); i++ {
+		if res.Backlogs[i-1].MaxFrames < res.Backlogs[i].MaxFrames {
+			t.Fatal("backlogs not sorted")
+		}
+	}
+	byID := make(map[QueueID]int)
+	for _, bl := range res.Backlogs {
+		if bl.MaxFrames <= 0 {
+			t.Fatalf("non-positive high-water mark: %+v", bl)
+		}
+		byID[bl.Queue] = bl.MaxFrames
+	}
+	// The shared switch output toward h3 must have buffered more than one
+	// frame (two flows of 4 fragments collide).
+	out := byID[QueueID{Kind: QueueSwitchOutput, Node: "s", Peer: "h3"}]
+	if out < 2 {
+		t.Fatalf("switch output backlog = %d, want >= 2", out)
+	}
+	// Host ports queue the fragments behind the one already on the wire:
+	// a 4-fragment frame leaves at most 3 waiting.
+	hp := byID[QueueID{Kind: QueueHostPort, Node: "h1", Peer: "s"}]
+	if hp != 3 {
+		t.Fatalf("host port backlog = %d, want 3", hp)
+	}
+	// Idle direction must not appear.
+	if _, ok := byID[QueueID{Kind: QueueSwitchOutput, Node: "s", Peer: "h1"}]; ok {
+		t.Fatal("idle output recorded a backlog")
+	}
+}
+
+func TestBacklogGrowsWithLoad(t *testing.T) {
+	mk := func(payload int64) int {
+		fs := &network.FlowSpec{
+			Flow:  oneFrameFlow("a", payload, 50*ms, 500*ms, 0),
+			Route: []network.NodeID{"h1", "s", "h2"},
+		}
+		res := run(t, oneSwitchNet(t, fs), Config{Duration: units.Second})
+		max := 0
+		for _, bl := range res.Backlogs {
+			if bl.Queue.Kind == QueueHostPort && bl.MaxFrames > max {
+				max = bl.MaxFrames
+			}
+		}
+		return max
+	}
+	small := mk(11840 - 64) // 1 fragment
+	large := mk(8 * 11840)  // 9 fragments
+	if large <= small {
+		t.Fatalf("host-port backlog small=%d large=%d; larger frames must queue deeper", small, large)
+	}
+	// The switch input FIFO never builds up here: CIRC (7.4 µs) drains far
+	// faster than the 10 Mbit/s wire delivers (1.23 ms per fragment).
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", 8*11840, 50*ms, 500*ms, 0),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	res := run(t, oneSwitchNet(t, fs), Config{Duration: units.Second})
+	for _, bl := range res.Backlogs {
+		if bl.Queue.Kind == QueueSwitchInput && bl.MaxFrames > 1 {
+			t.Fatalf("switch input backlog %d, want <= 1 (drain outpaces wire)", bl.MaxFrames)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// randomScenario builds a random workload on the Figure 1 topology. It
+// may or may not be schedulable; the caller filters.
+func randomScenario(seed int64) (*network.Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rates := []units.BitRate{10 * units.Mbps, 100 * units.Mbps}
+	topo, err := network.Figure1(network.Figure1Options{Rate: rates[rng.Intn(len(rates))]})
+	if err != nil {
+		return nil, err
+	}
+	nw := network.New(topo)
+	hosts := []network.NodeID{"0", "1", "2", "3"}
+	nFlows := 1 + rng.Intn(5)
+	for f := 0; f < nFlows; f++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		route, err := topo.Route(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		flow := trace.Random(fmt.Sprintf("r%d", f), rng, trace.RandomOptions{
+			MaxFrames:       5,
+			MinSep:          20 * units.Millisecond,
+			MaxSep:          80 * units.Millisecond,
+			MaxPayloadBytes: 20000,
+			DeadlineFactor:  4,
+			MaxJitter:       2 * units.Millisecond,
+		})
+		if _, err := nw.AddFlow(&network.FlowSpec{
+			Flow:     flow,
+			Route:    route,
+			Priority: network.Priority(rng.Intn(3)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// TestCrossValidateRandomScenarios is the fuzz harness for the central
+// soundness claim: over randomly generated workloads, whenever the
+// ModeSound analysis converges, the adversarial simulator must never
+// observe a response above the analytic bound.
+func TestCrossValidateRandomScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross validation is expensive")
+	}
+	analysed, validated := 0, 0
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			nw, err := randomScenario(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := core.NewAnalyzer(nw, core.Config{Mode: core.ModeSound})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := an.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			analysed++
+			if !res.Converged {
+				t.Skip("scenario diverged; nothing to validate")
+			}
+			for _, cfg := range []Config{
+				{Duration: units.Second},
+				{Duration: units.Second, Seed: seed, Jitter: JitterUniform, Phase: PhaseRandom, SeparationSlack: 0.3},
+			} {
+				s, err := New(nw, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				obs, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !obs.Conservation.Balanced() {
+					t.Fatalf("conservation violated: %+v", obs.Conservation)
+				}
+				for i := range obs.Flows {
+					if res.Flow(i).Err != nil {
+						continue
+					}
+					for k := range obs.Flows[i].PerFrame {
+						o := obs.Flows[i].PerFrame[k].MaxResponse
+						b := res.Flow(i).Frames[k].Response
+						if o > b {
+							t.Errorf("flow %d frame %d: observed %v > bound %v (cfg %+v)",
+								i, k, o, b, cfg)
+						}
+					}
+				}
+			}
+			validated++
+		})
+	}
+	t.Logf("cross-validated %d/%d random scenarios", validated, analysed)
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// TestEventHeapOrdering: events pop in time order with scheduling order as
+// the tie break — the foundation of the simulator's determinism.
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	times := []units.Time{50, 10, 30, 10, 50, 20}
+	for i, at := range times {
+		heap.Push(&h, &event{at: at, seq: int64(i)})
+	}
+	var gotAt []units.Time
+	var gotSeq []int64
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(*event)
+		gotAt = append(gotAt, e.at)
+		gotSeq = append(gotSeq, e.seq)
+	}
+	wantAt := []units.Time{10, 10, 20, 30, 50, 50}
+	wantSeq := []int64{1, 3, 5, 2, 0, 4}
+	for i := range wantAt {
+		if gotAt[i] != wantAt[i] || gotSeq[i] != wantSeq[i] {
+			t.Fatalf("pop %d = (%v, %d), want (%v, %d)", i, gotAt[i], gotSeq[i], wantAt[i], wantSeq[i])
+		}
+	}
+}
+
+// TestEventHeapProperty: any push sequence pops in non-decreasing time.
+func TestEventHeapProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h eventHeap
+		for i, r := range raw {
+			heap.Push(&h, &event{at: units.Time(r), seq: int64(i)})
+		}
+		var prev units.Time = -1
+		for h.Len() > 0 {
+			e := heap.Pop(&h).(*event)
+			if e.at < prev {
+				return false
+			}
+			prev = e.at
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleClampsPast: events scheduled in the past fire "now", never
+// rewinding simulated time.
+func TestScheduleClampsPast(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	s, err := New(directLinkNet(t, fs), Config{Duration: 10 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.now = 5 * ms
+	fired := units.Time(-1)
+	s.schedule(1*ms, func() { fired = s.now })
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	if fired != 5*ms {
+		t.Fatalf("past event fired at %v, want clamped to 5ms", fired)
+	}
+}
+
+// TestPortFIFOOrder: a port transmits frames strictly in enqueue order.
+func TestPortFIFOOrder(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", 4*11840, 100*ms, 100*ms, 0), // 5 fragments
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	tr := &CollectTracer{}
+	_ = run(t, directLinkNet(t, fs), Config{Duration: 50 * units.Millisecond, Tracer: tr})
+	lastFrag := -1
+	for _, e := range tr.Events {
+		if e.Kind != EvTxStart {
+			continue
+		}
+		if e.Frag != lastFrag+1 {
+			t.Fatalf("fragment %d transmitted after %d", e.Frag, lastFrag)
+		}
+		lastFrag = e.Frag
+	}
+	if lastFrag != 4 {
+		t.Fatalf("saw %d fragments, want 5", lastFrag+1)
+	}
+}
+
+// TestWireNeverOverlaps: on any single link, tx-start never happens while
+// a previous transmission is still running.
+func TestWireNeverOverlaps(t *testing.T) {
+	fs0 := &network.FlowSpec{
+		Flow:  mpegLike("v"),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	fs1 := &network.FlowSpec{
+		Flow:  oneFrameFlow("c", 2*11840, 25*ms, 100*ms, 0),
+		Route: []network.NodeID{"h3", "s", "h2"},
+	}
+	tr := &CollectTracer{}
+	_ = run(t, oneSwitchNet(t, fs0, fs1), Config{Duration: units.Second, Tracer: tr})
+	type link struct{ from, to network.NodeID }
+	busyUntil := make(map[link]units.Time)
+	started := make(map[link]units.Time)
+	for _, e := range tr.Events {
+		l := link{e.Node, e.Peer}
+		switch e.Kind {
+		case EvTxStart:
+			if e.At < busyUntil[l] {
+				t.Fatalf("link %v: tx-start at %v while busy until %v", l, e.At, busyUntil[l])
+			}
+			started[l] = e.At
+		case EvTxEnd:
+			busyUntil[l] = e.At
+		}
+	}
+	if len(busyUntil) == 0 {
+		t.Fatal("no transmissions observed")
+	}
+}

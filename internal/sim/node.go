@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/stride"
+	"gmfnet/internal/units"
+)
+
+// port is the transmitting side of one directed link: a FIFO queue and a
+// transmitter. For a host or router it is the work-conserving output
+// queue of the first hop; for a switch it is the NIC that drains the
+// single-slot card FIFO filled by the send task.
+type port struct {
+	sim  *Simulator
+	link *network.Link
+
+	queue []*frame
+	busy  bool
+
+	// onDrain, when non-nil, is called each time a transmission finishes;
+	// the switch uses it to wake its CPU (the card FIFO has a free slot).
+	onDrain func()
+}
+
+// enqueue adds a frame and starts transmitting when idle.
+func (p *port) enqueue(f *frame) {
+	p.queue = append(p.queue, f)
+	if p.sim.nw.Topo.Node(p.link.From).Kind != network.Switch {
+		p.sim.backlog.observe(QueueID{Kind: QueueHostPort, Node: p.link.From, Peer: p.link.To}, len(p.queue))
+	}
+	p.maybeTransmit()
+}
+
+func (p *port) maybeTransmit() {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	f := p.queue[0]
+	p.queue = p.queue[1:]
+	p.busy = true
+	p.sim.emit(EvTxStart, p.link.From, p.link.To, f, f.frag)
+	txDone := p.sim.now + units.TxTime(f.wireBits, p.link.Rate)
+	arrive := txDone + p.link.Prop
+	p.sim.schedule(txDone, func() {
+		p.sim.emit(EvTxEnd, p.link.From, p.link.To, f, f.frag)
+		p.busy = false
+		if p.onDrain != nil {
+			p.onDrain()
+		}
+		p.maybeTransmit()
+	})
+	p.sim.schedule(arrive, func() { p.sim.deliver(f, p.link.To) })
+}
+
+// taskKind distinguishes the two Click task types.
+type taskKind int
+
+const (
+	taskRoute taskKind = iota
+	taskSend
+)
+
+// swTask is one stride-scheduled software task of a switch.
+type swTask struct {
+	kind taskKind
+	// peer is the neighbour whose input FIFO (route) or output queue
+	// (send) this task serves.
+	peer network.NodeID
+}
+
+// cpu is one processor of a switch: a stride scheduler over its tasks.
+type cpu struct {
+	sw      *swNode
+	sched   *stride.Scheduler
+	tasks   map[string]swTask
+	running bool
+}
+
+// swNode is a software Ethernet switch per the paper's Figure 5.
+type swNode struct {
+	sim  *Simulator
+	node *network.Node
+
+	// inFIFO holds frames received from each neighbour, awaiting the
+	// route task.
+	inFIFO map[network.NodeID][]*frame
+	// prioQ holds, per outgoing neighbour, the prioritised output queue:
+	// a slice of per-priority FIFOs indexed via prioOrder.
+	prioQ map[network.NodeID]map[network.Priority][]*frame
+	// cardFree reports whether the outgoing card FIFO (capacity one) has
+	// room; the send task only moves a frame when it does.
+	cardFree map[network.NodeID]bool
+
+	cpus   []*cpu
+	byPeer map[network.NodeID]*cpu
+}
+
+func newSwitchNode(s *Simulator, node *network.Node) (*swNode, error) {
+	sw := &swNode{
+		sim:      s,
+		node:     node,
+		inFIFO:   make(map[network.NodeID][]*frame),
+		prioQ:    make(map[network.NodeID]map[network.Priority][]*frame),
+		cardFree: make(map[network.NodeID]bool),
+		byPeer:   make(map[network.NodeID]*cpu),
+	}
+	// Interfaces = union of in- and out-neighbours, sorted for
+	// determinism.
+	peerSet := make(map[network.NodeID]bool)
+	for _, l := range s.nw.Topo.Links() {
+		if l.From == node.ID {
+			peerSet[l.To] = true
+		}
+		if l.To == node.ID {
+			peerSet[l.From] = true
+		}
+	}
+	peers := make([]network.NodeID, 0, len(peerSet))
+	for p := range peerSet {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("sim: switch %q has no interfaces", node.ID)
+	}
+
+	// Partition interfaces over the processors (Conclusions section):
+	// contiguous groups of ceil(n/m), both tasks of an interface on the
+	// same CPU.
+	m := node.Switch.Processors
+	if m <= 0 {
+		m = 1
+	}
+	group := int(units.CeilDiv(int64(len(peers)), int64(m)))
+	for start := 0; start < len(peers); start += group {
+		end := start + group
+		if end > len(peers) {
+			end = len(peers)
+		}
+		c := &cpu{sw: sw, sched: stride.New(), tasks: make(map[string]swTask)}
+		for _, peer := range peers[start:end] {
+			routeName := "route:" + string(peer)
+			sendName := "send:" + string(peer)
+			if _, err := c.sched.Add(routeName, 1); err != nil {
+				return nil, err
+			}
+			c.tasks[routeName] = swTask{kind: taskRoute, peer: peer}
+			if _, err := c.sched.Add(sendName, 1); err != nil {
+				return nil, err
+			}
+			c.tasks[sendName] = swTask{kind: taskSend, peer: peer}
+			sw.byPeer[peer] = c
+		}
+		sw.cpus = append(sw.cpus, c)
+	}
+
+	for _, peer := range peers {
+		peer := peer
+		sw.cardFree[peer] = true
+		if out := s.ports[portKey{node.ID, peer}]; out != nil {
+			// The card FIFO slot frees when the wire finishes; the CPU
+			// may then stage the next frame.
+			out.onDrain = func() {
+				sw.cardFree[peer] = true
+				if c := sw.byPeer[peer]; c != nil {
+					c.wake()
+				}
+			}
+		}
+	}
+	return sw, nil
+}
+
+// receive stores an arriving frame in the input FIFO and wakes the CPU
+// serving that interface.
+func (sw *swNode) receive(f *frame) {
+	from := sw.prevHop(f)
+	sw.sim.emit(EvSwitchInFIFO, sw.node.ID, from, f, f.frag)
+	sw.inFIFO[from] = append(sw.inFIFO[from], f)
+	sw.sim.backlog.observe(QueueID{Kind: QueueSwitchInput, Node: sw.node.ID, Peer: from}, len(sw.inFIFO[from]))
+	if c := sw.byPeer[from]; c != nil {
+		c.wake()
+	}
+}
+
+// prevHop returns the neighbour the frame arrived from.
+func (sw *swNode) prevHop(f *frame) network.NodeID {
+	fs := sw.sim.nw.Flow(f.flow)
+	p, ok := fs.Prec(sw.node.ID)
+	if !ok {
+		panic(fmt.Sprintf("sim: switch %q not on route of flow %q", sw.node.ID, fs.Flow.Name))
+	}
+	return p
+}
+
+// hasWork reports whether any task of this CPU could make progress or at
+// least must keep polling: a non-empty input FIFO or output queue.
+func (c *cpu) hasWork() bool {
+	for _, t := range c.tasks {
+		switch t.kind {
+		case taskRoute:
+			if len(c.sw.inFIFO[t.peer]) > 0 {
+				return true
+			}
+		case taskSend:
+			if queuedFrames(c.sw.prioQ[t.peer]) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func queuedFrames(q map[network.Priority][]*frame) int {
+	n := 0
+	for _, fifo := range q {
+		n += len(fifo)
+	}
+	return n
+}
+
+// wake starts the CPU's polling loop if it is sleeping.
+func (c *cpu) wake() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.step()
+}
+
+// step dispatches the next stride-scheduled task, executes it, and
+// schedules the following step. The CPU sleeps when no task has work,
+// which preserves worst-case timing because the analysis covers any task
+// phasing.
+func (c *cpu) step() {
+	if !c.hasWork() {
+		c.running = false
+		return
+	}
+	task := c.tasks[c.sched.Next().Name()]
+	sw := c.sw
+	p := sw.node.Switch
+	switch task.kind {
+	case taskRoute:
+		fifo := sw.inFIFO[task.peer]
+		if len(fifo) == 0 {
+			c.idleStep(p.CRoute)
+			return
+		}
+		f := fifo[0]
+		sw.inFIFO[task.peer] = fifo[1:]
+		done := sw.sim.now + p.CRoute
+		sw.sim.schedule(done, func() {
+			sw.enqueuePrio(f)
+			c.step()
+		})
+	case taskSend:
+		if !sw.cardFree[task.peer] {
+			c.idleStep(p.CSend)
+			return
+		}
+		f := sw.dequeuePrio(task.peer)
+		if f == nil {
+			c.idleStep(p.CSend)
+			return
+		}
+		sw.cardFree[task.peer] = false
+		done := sw.sim.now + p.CSend
+		sw.sim.schedule(done, func() {
+			sw.sendToCard(task.peer, f)
+			c.step()
+		})
+	}
+}
+
+// idleStep burns the poll cost of a task that found no work.
+func (c *cpu) idleStep(full units.Time) {
+	cost := c.sw.sim.cfg.PollCost
+	if cost <= 0 {
+		cost = full
+	}
+	c.sw.sim.schedule(c.sw.sim.now+cost, c.step)
+}
+
+// enqueuePrio places a routed frame in the output priority queue toward
+// its next hop.
+func (sw *swNode) enqueuePrio(f *frame) {
+	fs := sw.sim.nw.Flow(f.flow)
+	next := sw.sim.succ[f.flow][sw.node.ID]
+	q := sw.prioQ[next]
+	if q == nil {
+		q = make(map[network.Priority][]*frame)
+		sw.prioQ[next] = q
+	}
+	q[fs.Priority] = append(q[fs.Priority], f)
+	sw.sim.backlog.observe(QueueID{Kind: QueueSwitchOutput, Node: sw.node.ID, Peer: next}, queuedFrames(q))
+	sw.sim.emit(EvRouted, sw.node.ID, next, f, f.frag)
+	if c := sw.byPeer[next]; c != nil {
+		c.wake()
+	}
+}
+
+// dequeuePrio removes the head of the highest non-empty priority FIFO of
+// the output toward peer, or returns nil.
+func (sw *swNode) dequeuePrio(peer network.NodeID) *frame {
+	q := sw.prioQ[peer]
+	if len(q) == 0 {
+		return nil
+	}
+	best := network.Priority(-1)
+	for prio, fifo := range q {
+		if len(fifo) > 0 && prio > best {
+			best = prio
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	f := q[best][0]
+	q[best] = q[best][1:]
+	if len(q[best]) == 0 {
+		delete(q, best)
+	}
+	return f
+}
+
+// sendToCard puts the frame into the outgoing card FIFO; the card
+// transmits immediately and the slot frees (via the port's onDrain hook)
+// when the transmission ends.
+func (sw *swNode) sendToCard(peer network.NodeID, f *frame) {
+	out := sw.sim.ports[portKey{sw.node.ID, peer}]
+	if out == nil {
+		panic(fmt.Sprintf("sim: switch %q has no link to %q", sw.node.ID, peer))
+	}
+	sw.sim.emit(EvStagedToCard, sw.node.ID, peer, f, f.frag)
+	out.enqueue(f)
+}

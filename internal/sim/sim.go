@@ -1,0 +1,405 @@
+// Package sim is a discrete-event simulator of the paper's data path: GMF
+// sources, work-conserving host queues, links with transmission and
+// propagation delay, and software Ethernet switches with the internals of
+// the paper's Figure 5 — per-input-interface FIFOs, a stride-scheduled CPU
+// running one route task per input and one send task per output,
+// per-output priority queues and a single-slot NIC FIFO.
+//
+// The simulator measures the end-to-end response time of every UDP frame
+// (from its arrival at the source until its last Ethernet fragment reaches
+// the destination) and is used to validate that the analytic bounds of
+// package core dominate observed behaviour. By default it is adversarial:
+// sources release frames at exactly their minimum separations, all flows
+// start synchronised at time zero, and fragments are released at the end
+// of their jitter windows.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"gmfnet/internal/ether"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// JitterModel selects where inside [t, t+GJ) the fragments of a frame are
+// released.
+type JitterModel int
+
+const (
+	// JitterBack releases every fragment at the end of the window, the
+	// adversarial placement (response is measured from the window start).
+	JitterBack JitterModel = iota
+	// JitterNone releases every fragment at the window start.
+	JitterNone
+	// JitterUniform spreads fragments uniformly over the window.
+	JitterUniform
+)
+
+// PhaseModel selects the flows' start offsets.
+type PhaseModel int
+
+const (
+	// PhaseSynchronized starts every flow at time zero — the critical
+	// instant the analysis assumes.
+	PhaseSynchronized PhaseModel = iota
+	// PhaseRandom gives each flow a random offset within its cycle.
+	PhaseRandom
+)
+
+// Config tunes a simulation run.
+type Config struct {
+	// Duration is the simulated time span. Zero selects one second.
+	Duration units.Time
+	// Seed feeds the deterministic PRNG.
+	Seed int64
+	// SeparationSlack inflates inter-arrival times: each separation is
+	// T × (1 + SeparationSlack × U[0,1)). Zero keeps minimum separations.
+	SeparationSlack float64
+	// Jitter selects the fragment release placement.
+	Jitter JitterModel
+	// Phase selects the flows' start offsets.
+	Phase PhaseModel
+	// PollCost is the CPU time a stride-scheduled task consumes when it
+	// finds no work. Zero selects the task's full cost, which reproduces
+	// the analysis' worst-case CIRC exactly; a real Click poll returns
+	// faster.
+	PollCost units.Time
+	// KeepSamples records every response time so that
+	// FrameStats.Percentile works; costs memory proportional to the
+	// number of delivered frames.
+	KeepSamples bool
+	// Tracer, when non-nil, receives every data-path event of the run.
+	Tracer Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = units.Second
+	}
+	return c
+}
+
+// FrameStats aggregates the observed response times of one GMF frame index
+// of one flow.
+type FrameStats struct {
+	// Completed is the number of UDP frames fully delivered.
+	Completed int64
+	// MaxResponse is the largest observed end-to-end response time.
+	MaxResponse units.Time
+	// SumResponse accumulates response times for MeanResponse.
+	SumResponse units.Time
+	// InFlight counts UDP frames released but not delivered when the
+	// simulation ended (they do not contribute to MaxResponse).
+	InFlight int64
+
+	samples []units.Time // populated when Config.KeepSamples is set
+	sorted  bool
+}
+
+// MeanResponse returns the average observed response time.
+func (s *FrameStats) MeanResponse() units.Time {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.SumResponse / units.Time(s.Completed)
+}
+
+// FlowStats holds per-frame statistics of one flow.
+type FlowStats struct {
+	Name     string
+	PerFrame []FrameStats
+}
+
+// MaxResponse returns the largest observed response over all frames.
+func (s *FlowStats) MaxResponse() units.Time {
+	var m units.Time
+	for i := range s.PerFrame {
+		if s.PerFrame[i].MaxResponse > m {
+			m = s.PerFrame[i].MaxResponse
+		}
+	}
+	return m
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Flows holds statistics per flow, in network order.
+	Flows []FlowStats
+	// Events is the number of processed events.
+	Events int64
+	// EndTime is the simulated end time.
+	EndTime units.Time
+	// Conservation is the frame mass balance of the run.
+	Conservation Conservation
+	// Backlogs holds the queue-occupancy high-water marks, sorted by
+	// descending depth — the buffer provisioning view.
+	Backlogs []Backlog
+}
+
+// event is one scheduled action. seq breaks time ties deterministically in
+// schedule order.
+type event struct {
+	at  units.Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// frame is one Ethernet frame in flight.
+type frame struct {
+	flow     int
+	cycle    int64 // which repetition of the GMF cycle
+	frameIdx int   // k within the cycle
+	frag     int
+	nfrags   int
+	wireBits int64
+	// udpArrival is when the UDP frame arrived at the source; responses
+	// are measured from here.
+	udpArrival units.Time
+}
+
+// Simulator runs one scenario. Create with New, run with Run.
+type Simulator struct {
+	nw  *network.Network
+	cfg Config
+	rng *rand.Rand
+
+	now    units.Time
+	seq    int64
+	events eventHeap
+	nEv    int64
+
+	ports    map[portKey]*port // transmitting side of every link
+	switches map[network.NodeID]*swNode
+	stats    []FlowStats
+	pending  map[pendingKey]*pendingFrame
+	cons     Conservation
+	backlog  *backlogTracker
+	// succ[i][node] and prio[i] route frames inside switches.
+	succ []map[network.NodeID]network.NodeID
+}
+
+type portKey struct{ from, to network.NodeID }
+
+type pendingKey struct {
+	flow     int
+	cycle    int64
+	frameIdx int
+}
+
+type pendingFrame struct {
+	got      int
+	nfrags   int
+	frameIdx int
+	arrival  units.Time
+}
+
+// New builds a simulator for the network. The network must validate.
+func New(nw *network.Network, cfg Config) (*Simulator, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("sim: nil network")
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Simulator{
+		nw:       nw,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		ports:    make(map[portKey]*port),
+		switches: make(map[network.NodeID]*swNode),
+		pending:  make(map[pendingKey]*pendingFrame),
+		backlog:  newBacklogTracker(),
+	}
+	for _, l := range nw.Topo.Links() {
+		s.ports[portKey{l.From, l.To}] = &port{sim: s, link: l}
+	}
+	for _, n := range nw.Topo.Nodes() {
+		if n.Kind == network.Switch {
+			sw, err := newSwitchNode(s, n)
+			if err != nil {
+				return nil, err
+			}
+			s.switches[n.ID] = sw
+		}
+	}
+	s.stats = make([]FlowStats, nw.NumFlows())
+	s.succ = make([]map[network.NodeID]network.NodeID, nw.NumFlows())
+	for i, fs := range nw.Flows() {
+		s.stats[i] = FlowStats{
+			Name:     fs.Flow.Name,
+			PerFrame: make([]FrameStats, fs.Flow.N()),
+		}
+		s.succ[i] = make(map[network.NodeID]network.NodeID)
+		for h := 0; h < len(fs.Route)-1; h++ {
+			s.succ[i][fs.Route[h]] = fs.Route[h+1]
+		}
+	}
+	return s, nil
+}
+
+// schedule queues fn at time at (clamped to now).
+func (s *Simulator) schedule(at units.Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Run executes the scenario and returns the collected statistics.
+func (s *Simulator) Run() (*Result, error) {
+	for i := range s.nw.Flows() {
+		s.startSource(i)
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at > s.cfg.Duration {
+			break
+		}
+		s.now = e.at
+		s.nEv++
+		e.fn()
+	}
+	// Frames still pending are reported as in flight.
+	for key, p := range s.pending {
+		s.stats[key.flow].PerFrame[p.frameIdx].InFlight++
+		s.cons.InFlightUDP++
+	}
+	return &Result{
+		Flows:        s.stats,
+		Events:       s.nEv,
+		EndTime:      s.now,
+		Conservation: s.cons,
+		Backlogs:     s.backlog.snapshot(),
+	}, nil
+}
+
+// startSource schedules the first UDP frame arrival of a flow.
+func (s *Simulator) startSource(i int) {
+	fs := s.nw.Flow(i)
+	var offset units.Time
+	if s.cfg.Phase == PhaseRandom {
+		offset = units.Time(s.rng.Int63n(int64(fs.Flow.TSUM())))
+	}
+	s.schedule(offset, func() { s.udpArrival(i, 0, 0) })
+}
+
+// udpArrival handles the arrival of frame k (cycle c) of flow i at its
+// source: it releases the frame's Ethernet fragments into the source
+// port's queue and schedules the next arrival.
+func (s *Simulator) udpArrival(i int, c int64, k int) {
+	fs := s.nw.Flow(i)
+	fr := fs.Flow.Frames[k]
+	arrival := s.now
+
+	udpBits := ether.UDPBits(fr.PayloadBits, fs.RTP)
+	frags := ether.Fragments(udpBits)
+	s.pending[pendingKey{i, c, k}] = &pendingFrame{
+		nfrags:   len(frags),
+		frameIdx: k,
+		arrival:  arrival,
+	}
+	s.cons.ReleasedUDP++
+	s.cons.ReleasedFragments += int64(len(frags))
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Event(TraceEvent{
+			At: s.now, Kind: EvUDPArrival, Node: fs.Route[0],
+			Flow: fs.Flow.Name, Cycle: c, FrameIdx: k, Frag: -1,
+		})
+	}
+	out := s.ports[portKey{fs.Route[0], fs.Route[1]}]
+	for fi, bits := range frags {
+		release := arrival
+		switch s.cfg.Jitter {
+		case JitterBack:
+			release += fr.Jitter
+		case JitterUniform:
+			if fr.Jitter > 0 {
+				release += units.Time(s.rng.Int63n(int64(fr.Jitter)))
+			}
+		}
+		f := &frame{
+			flow: i, cycle: c, frameIdx: k,
+			frag: fi, nfrags: len(frags),
+			wireBits: bits, udpArrival: arrival,
+		}
+		s.schedule(release, func() {
+			s.emit(EvFragRelease, fs.Route[0], fs.Route[1], f, f.frag)
+			out.enqueue(f)
+		})
+	}
+
+	// Next arrival: minimum separation, optionally inflated.
+	sep := fr.MinSep
+	if s.cfg.SeparationSlack > 0 {
+		sep += units.Time(s.cfg.SeparationSlack * s.rng.Float64() * float64(fr.MinSep))
+	}
+	nextK := (k + 1) % fs.Flow.N()
+	nextC := c
+	if nextK == 0 {
+		nextC++
+	}
+	s.schedule(s.now+sep, func() { s.udpArrival(i, nextC, nextK) })
+}
+
+// deliver handles an Ethernet frame reaching the next node after the
+// wire's propagation delay.
+func (s *Simulator) deliver(f *frame, node network.NodeID) {
+	fs := s.nw.Flow(f.flow)
+	if node == fs.Destination() {
+		key := pendingKey{f.flow, f.cycle, f.frameIdx}
+		p := s.pending[key]
+		if p == nil {
+			return // duplicate delivery cannot happen; be defensive
+		}
+		p.got++
+		s.cons.DeliveredFragments++
+		if p.got == p.nfrags {
+			delete(s.pending, key)
+			s.cons.DeliveredUDP++
+			s.emit(EvDelivered, node, "", f, -1)
+			resp := s.now - p.arrival
+			st := &s.stats[f.flow].PerFrame[p.frameIdx]
+			st.Completed++
+			st.SumResponse += resp
+			if resp > st.MaxResponse {
+				st.MaxResponse = resp
+			}
+			if s.cfg.KeepSamples {
+				st.samples = append(st.samples, resp)
+				st.sorted = false
+			}
+		}
+		return
+	}
+	sw := s.switches[node]
+	if sw == nil {
+		// Validated routes only relay through switches.
+		panic(fmt.Sprintf("sim: frame for non-switch relay %q", node))
+	}
+	sw.receive(f)
+}

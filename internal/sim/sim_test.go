@@ -1,0 +1,417 @@
+package sim
+
+import (
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/ether"
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+const (
+	ms = units.Millisecond
+	us = units.Microsecond
+)
+
+func oneFrameFlow(name string, payloadBits int64, sep, dl, jit units.Time) *gmf.Flow {
+	return &gmf.Flow{Name: name, Frames: []gmf.Frame{{
+		MinSep: sep, Deadline: dl, Jitter: jit, PayloadBits: payloadBits,
+	}}}
+}
+
+func directLinkNet(t *testing.T, flows ...*network.FlowSpec) *network.Network {
+	t.Helper()
+	topo := network.NewTopology()
+	mustOK(t, topo.AddHost("h1"))
+	mustOK(t, topo.AddHost("h2"))
+	mustOK(t, topo.AddDuplexLink("h1", "h2", 10*units.Mbps, 0))
+	nw := network.New(topo)
+	for _, fs := range flows {
+		if _, err := nw.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func oneSwitchNet(t *testing.T, flows ...*network.FlowSpec) *network.Network {
+	t.Helper()
+	topo := network.NewTopology()
+	mustOK(t, topo.AddHost("h1"))
+	mustOK(t, topo.AddHost("h2"))
+	mustOK(t, topo.AddHost("h3"))
+	mustOK(t, topo.AddSwitch("s", network.DefaultSwitchParams()))
+	mustOK(t, topo.AddDuplexLink("h1", "s", 10*units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("h2", "s", 10*units.Mbps, 0))
+	mustOK(t, topo.AddDuplexLink("h3", "s", 10*units.Mbps, 0))
+	nw := network.New(topo)
+	for _, fs := range flows {
+		if _, err := nw.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func run(t *testing.T, nw *network.Network, cfg Config) *Result {
+	t.Helper()
+	s, err := New(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const fullFramePayload = 11840 - 64
+
+var c1 = units.TxTime(12304, 10*units.Mbps)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestSingleFlowDirectLinkExactResponse(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	res := run(t, directLinkNet(t, fs), Config{Duration: units.Second})
+	st := res.Flows[0].PerFrame[0]
+	if st.Completed < 9 {
+		t.Fatalf("completed = %d, want >= 9 over 1s at 100ms period", st.Completed)
+	}
+	// No contention: every response equals the transmission time.
+	if st.MaxResponse != c1 {
+		t.Fatalf("max response = %v, want %v", st.MaxResponse, c1)
+	}
+	if st.MeanResponse() != c1 {
+		t.Fatalf("mean response = %v, want %v", st.MeanResponse(), c1)
+	}
+}
+
+func TestJitterBackDelaysResponse(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 2*ms),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	res := run(t, directLinkNet(t, fs), Config{Duration: units.Second, Jitter: JitterBack})
+	if got := res.Flows[0].PerFrame[0].MaxResponse; got != 2*ms+c1 {
+		t.Fatalf("max response = %v, want %v", got, 2*ms+c1)
+	}
+	// With fragments at the window start, the jitter does not show up.
+	res = run(t, directLinkNet(t, fs), Config{Duration: units.Second, Jitter: JitterNone})
+	if got := res.Flows[0].PerFrame[0].MaxResponse; got != c1 {
+		t.Fatalf("JitterNone max response = %v, want %v", got, c1)
+	}
+}
+
+func TestPropagationDelayObserved(t *testing.T) {
+	topo := network.NewTopology()
+	mustOK(t, topo.AddHost("h1"))
+	mustOK(t, topo.AddHost("h2"))
+	mustOK(t, topo.AddDuplexLink("h1", "h2", 10*units.Mbps, 7*us))
+	nw := network.New(topo)
+	if _, err := nw.AddFlow(&network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, nw, Config{Duration: units.Second})
+	if got := res.Flows[0].PerFrame[0].MaxResponse; got != c1+7*us {
+		t.Fatalf("max response = %v, want %v", got, c1+7*us)
+	}
+}
+
+func TestFragmentationCounts(t *testing.T) {
+	// A 3-fragment UDP frame must arrive as a whole before completing.
+	payload := int64(3 * 11840) // -> 4 fragments (UDP header pushes over)
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", payload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	res := run(t, directLinkNet(t, fs), Config{Duration: units.Second})
+	st := res.Flows[0].PerFrame[0]
+	udp := ether.UDPBits(payload, false)
+	want := units.TxTime(ether.WireBits(udp), 10*units.Mbps)
+	if st.MaxResponse != want {
+		t.Fatalf("max response = %v, want %v (all fragments back to back)", st.MaxResponse, want)
+	}
+}
+
+func TestTwoFlowsShareLink(t *testing.T) {
+	a := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	b := &network.FlowSpec{
+		Flow:  oneFrameFlow("b", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	res := run(t, directLinkNet(t, a, b), Config{Duration: units.Second})
+	// Synchronised release: one of the two waits for the other.
+	slower := res.Flows[0].PerFrame[0].MaxResponse
+	if res.Flows[1].PerFrame[0].MaxResponse > slower {
+		slower = res.Flows[1].PerFrame[0].MaxResponse
+	}
+	if slower != 2*c1 {
+		t.Fatalf("slower flow max response = %v, want %v", slower, 2*c1)
+	}
+}
+
+func TestSwitchPipelineDelivers(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	res := run(t, oneSwitchNet(t, fs), Config{Duration: units.Second})
+	st := res.Flows[0].PerFrame[0]
+	if st.Completed < 9 {
+		t.Fatalf("completed = %d, want >= 9", st.Completed)
+	}
+	// Lower bound: two transmissions plus route and send costs.
+	p := network.DefaultSwitchParams()
+	min := 2*c1 + p.CRoute + p.CSend
+	if st.MaxResponse < min {
+		t.Fatalf("max response %v below physical minimum %v", st.MaxResponse, min)
+	}
+}
+
+func TestPriorityQueueingAtSwitch(t *testing.T) {
+	// Two flows from different hosts converge on the same output; the
+	// high-priority flow must see a smaller worst-case response than the
+	// low-priority one under saturation.
+	mk := func(name string, src network.NodeID, prio network.Priority) *network.FlowSpec {
+		return &network.FlowSpec{
+			// 20 kB every 25 ms at 10 Mbit/s is ~66% load each: the
+			// output link saturates and priorities matter.
+			Flow:     oneFrameFlow(name, 160000, 25*ms, 250*ms, 0),
+			Route:    []network.NodeID{src, "s", "h3"},
+			Priority: prio,
+		}
+	}
+	hi := mk("hi", "h1", 5)
+	lo := mk("lo", "h2", 1)
+	res := run(t, oneSwitchNet(t, hi, lo), Config{Duration: 2 * units.Second})
+	hiMax := res.Flows[0].PerFrame[0].MaxResponse
+	loMax := res.Flows[1].PerFrame[0].MaxResponse
+	if hiMax == 0 || loMax == 0 {
+		t.Fatalf("no completions: hi=%v lo=%v", hiMax, loMax)
+	}
+	if hiMax >= loMax {
+		t.Fatalf("priority inversion: hi %v >= lo %v", hiMax, loMax)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	mkRes := func() *Result {
+		fs := &network.FlowSpec{
+			Flow:  mpegLike("v"),
+			Route: []network.NodeID{"h1", "s", "h2"},
+		}
+		return run(t, oneSwitchNet(t, fs), Config{
+			Duration: units.Second, Seed: 42,
+			Jitter: JitterUniform, SeparationSlack: 0.3, Phase: PhaseRandom,
+		})
+	}
+	a, b := mkRes(), mkRes()
+	if a.Events != b.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Events, b.Events)
+	}
+	for k := range a.Flows[0].PerFrame {
+		if a.Flows[0].PerFrame[k].MaxResponse != b.Flows[0].PerFrame[k].MaxResponse {
+			t.Fatal("responses differ between identical seeded runs")
+		}
+	}
+}
+
+func TestSeedChangesRandomisedRuns(t *testing.T) {
+	mkRes := func(seed int64) *Result {
+		fs := &network.FlowSpec{
+			Flow:  mpegLike("v"),
+			Route: []network.NodeID{"h1", "s", "h2"},
+		}
+		return run(t, oneSwitchNet(t, fs), Config{
+			Duration: units.Second, Seed: seed,
+			Jitter: JitterUniform, SeparationSlack: 0.5, Phase: PhaseRandom,
+		})
+	}
+	a, b := mkRes(1), mkRes(2)
+	if a.Flows[0].PerFrame[0].MeanResponse() == b.Flows[0].PerFrame[0].MeanResponse() &&
+		a.Events == b.Events {
+		t.Fatal("different seeds produced identical runs; PRNG unused?")
+	}
+}
+
+func mpegLike(name string) *gmf.Flow {
+	return &gmf.Flow{Name: name, Frames: []gmf.Frame{
+		{MinSep: 30 * ms, Deadline: 300 * ms, Jitter: ms, PayloadBits: 144000},
+		{MinSep: 30 * ms, Deadline: 300 * ms, Jitter: ms, PayloadBits: 12000},
+		{MinSep: 30 * ms, Deadline: 300 * ms, Jitter: ms, PayloadBits: 48000},
+	}}
+}
+
+// TestAnalysisBoundsDominateSimulation is the central soundness check: on
+// the Figure 1 network with cross traffic, the analytic bound of every
+// flow/frame must dominate the worst response the adversarial simulator
+// observes.
+func TestAnalysisBoundsDominateSimulation(t *testing.T) {
+	scenarios := []struct {
+		name string
+		cfg  Config
+	}{
+		{"adversarial", Config{Duration: 3 * units.Second}},
+		{"randomised", Config{Duration: 3 * units.Second, Seed: 7, Jitter: JitterUniform, SeparationSlack: 0.25, Phase: PhaseRandom}},
+		{"fast-poll", Config{Duration: 3 * units.Second, PollCost: 200 * units.Nanosecond}},
+	}
+	build := func() *network.Network {
+		topo := network.MustFigure1(network.Figure1Options{Rate: 100 * units.Mbps})
+		nw := network.New(topo)
+		specs := []*network.FlowSpec{
+			{Flow: mpegLike("v0"), Route: []network.NodeID{"0", "4", "6", "3"}, Priority: 2},
+			{Flow: mpegLike("v1"), Route: []network.NodeID{"1", "4", "6", "3"}, Priority: 1},
+			{Flow: oneFrameFlow("voip", 160*8, 20*ms, 100*ms, 500*us), Route: []network.NodeID{"2", "5", "6", "3"}, Priority: 3},
+		}
+		for _, s := range specs {
+			if _, err := nw.AddFlow(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nw
+	}
+
+	nw := build()
+	an, err := core.NewAnalyzer(nw, core.Config{Mode: core.ModeSound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bound.Schedulable() {
+		t.Fatalf("scenario unexpectedly unschedulable (converged=%v)", bound.Converged)
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			res := run(t, nw, sc.cfg)
+			for i := range res.Flows {
+				for k := range res.Flows[i].PerFrame {
+					observed := res.Flows[i].PerFrame[k].MaxResponse
+					analytic := bound.Flow(i).Frames[k].Response
+					if observed > analytic {
+						t.Errorf("flow %d frame %d: observed %v exceeds bound %v",
+							i, k, observed, analytic)
+					}
+					if res.Flows[i].PerFrame[k].Completed == 0 {
+						t.Errorf("flow %d frame %d: nothing delivered", i, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestInFlightAccounting(t *testing.T) {
+	// A very short run ends with the frame still in flight.
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	res := run(t, directLinkNet(t, fs), Config{Duration: 100 * us})
+	st := res.Flows[0].PerFrame[0]
+	if st.Completed != 0 || st.InFlight != 1 {
+		t.Fatalf("completed=%d inflight=%d, want 0/1", st.Completed, st.InFlight)
+	}
+}
+
+func TestMultiprocessorSwitchStillDelivers(t *testing.T) {
+	p := network.DefaultSwitchParams()
+	p.Processors = 2
+	topo := network.NewTopology()
+	mustOK(t, topo.AddHost("h1"))
+	mustOK(t, topo.AddHost("h2"))
+	mustOK(t, topo.AddHost("h3"))
+	mustOK(t, topo.AddHost("h4"))
+	mustOK(t, topo.AddSwitch("s", p))
+	for _, h := range []network.NodeID{"h1", "h2", "h3", "h4"} {
+		mustOK(t, topo.AddDuplexLink(h, "s", 10*units.Mbps, 0))
+	}
+	nw := network.New(topo)
+	if _, err := nw.AddFlow(&network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 50*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "s", "h4"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddFlow(&network.FlowSpec{
+		Flow:  oneFrameFlow("b", fullFramePayload, 50*ms, 100*ms, 0),
+		Route: []network.NodeID{"h3", "s", "h2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, nw, Config{Duration: units.Second})
+	for i := range res.Flows {
+		if res.Flows[i].PerFrame[0].Completed < 15 {
+			t.Fatalf("flow %d completed %d, want >= 15", i, res.Flows[i].PerFrame[0].Completed)
+		}
+	}
+}
+
+func TestFlowStatsHelpers(t *testing.T) {
+	st := FlowStats{PerFrame: []FrameStats{
+		{MaxResponse: 3 * ms, Completed: 2, SumResponse: 4 * ms},
+		{MaxResponse: 7 * ms},
+	}}
+	if st.MaxResponse() != 7*ms {
+		t.Fatalf("MaxResponse = %v", st.MaxResponse())
+	}
+	if st.PerFrame[0].MeanResponse() != 2*ms {
+		t.Fatalf("MeanResponse = %v", st.PerFrame[0].MeanResponse())
+	}
+	empty := FrameStats{}
+	if empty.MeanResponse() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulateSecond(b *testing.B) {
+	topo := network.MustFigure1(network.Figure1Options{Rate: 100 * units.Mbps})
+	nw := network.New(topo)
+	specs := []*network.FlowSpec{
+		{Flow: mpegLike("v0"), Route: []network.NodeID{"0", "4", "6", "3"}, Priority: 2},
+		{Flow: mpegLike("v1"), Route: []network.NodeID{"1", "4", "6", "3"}, Priority: 1},
+	}
+	for _, s := range specs {
+		if _, err := nw.AddFlow(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(nw, Config{Duration: units.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// frameKey identifies one UDP frame instance in a trace.
+type frameKey struct {
+	flow     string
+	cycle    int64
+	frameIdx int
+}
+
+// stageSpan accumulates the last entry and exit instants of a frame at one
+// stage.
+type stageSpan struct {
+	entry, exit units.Time
+}
+
+// measureStageLatencies derives, per flow name and per stage resource
+// string, the maximum observed stage latency (last fragment entering the
+// stage to last fragment leaving it) from a trace. Only frames observed
+// completing the stage contribute.
+func measureStageLatencies(t *testing.T, events []TraceEvent, nw *network.Network) map[string]map[string]units.Time {
+	t.Helper()
+	// For each frame instance collect the latest timestamp of each event
+	// kind at each location.
+	last := make(map[frameKey]map[string]units.Time)
+	note := func(e TraceEvent, tag string) {
+		key := frameKey{e.Flow, e.Cycle, e.FrameIdx}
+		m := last[key]
+		if m == nil {
+			m = make(map[string]units.Time)
+			last[key] = m
+		}
+		if e.At > m[tag] {
+			m[tag] = e.At
+		}
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case EvFragRelease:
+			note(e, "release")
+		case EvSwitchInFIFO:
+			note(e, "in@"+string(e.Node))
+		case EvRouted:
+			note(e, "routed@"+string(e.Node))
+		case EvTxEnd:
+			note(e, "txend@"+string(e.Node)+">"+string(e.Peer))
+		}
+	}
+
+	routes := make(map[string][]network.NodeID)
+	for _, fs := range nw.Flows() {
+		routes[fs.Flow.Name] = fs.Route
+	}
+	out := make(map[string]map[string]units.Time)
+	for key, m := range last {
+		route := routes[key.flow]
+		spans := make(map[string]stageSpan)
+		// First hop: last release -> arrival at route[1].
+		firstExit, ok := exitInstant(m, route, 0)
+		if rel, okRel := m["release"]; okRel && ok {
+			spans[core.Resource{Kind: core.KindLink, Node: route[0], To: route[1]}.String()] =
+				stageSpan{rel, firstExit}
+		}
+		for h := 1; h < len(route)-1; h++ {
+			node := route[h]
+			inT, okIn := m["in@"+string(node)]
+			routedT, okRouted := m["routed@"+string(node)]
+			if okIn && okRouted {
+				spans[core.Resource{Kind: core.KindIngress, Node: node, To: route[h-1]}.String()] =
+					stageSpan{inT, routedT}
+			}
+			exitT, okExit := exitInstant(m, route, h)
+			if okRouted && okExit {
+				spans[core.Resource{Kind: core.KindLink, Node: node, To: route[h+1]}.String()] =
+					stageSpan{routedT, exitT}
+			}
+		}
+		flowMax := out[key.flow]
+		if flowMax == nil {
+			flowMax = make(map[string]units.Time)
+			out[key.flow] = flowMax
+		}
+		for res, span := range spans {
+			if span.exit < span.entry {
+				t.Fatalf("frame %+v stage %s: exit %v before entry %v", key, res, span.exit, span.entry)
+			}
+			if lat := span.exit - span.entry; lat > flowMax[res] {
+				flowMax[res] = lat
+			}
+		}
+	}
+	return out
+}
+
+// exitInstant returns when the frame finished leaving route[h]: arrival at
+// the next switch, or end of transmission toward a host/router.
+func exitInstant(m map[string]units.Time, route []network.NodeID, h int) (units.Time, bool) {
+	next := route[h+1]
+	if h+1 < len(route)-1 { // next is a switch
+		v, ok := m["in@"+string(next)]
+		return v, ok
+	}
+	v, ok := m["txend@"+string(route[h])+">"+string(next)]
+	return v, ok
+}
+
+// TestPerStageBoundsDominateSimulation validates each pipeline stage's
+// bound separately — a much finer check than the end-to-end comparison.
+func TestPerStageBoundsDominateSimulation(t *testing.T) {
+	topo := network.MustFigure1(network.Figure1Options{Rate: 10 * units.Mbps})
+	nw := network.New(topo)
+	specs := []*network.FlowSpec{
+		{Flow: mpegLike("mpeg"), Route: []network.NodeID{"0", "4", "6", "3"}, Priority: 2},
+		{Flow: oneFrameFlow("voip", 160*8, 20*ms, 100*ms, 0), Route: []network.NodeID{"2", "5", "6", "3"}, Priority: 3},
+	}
+	for _, s := range specs {
+		if _, err := nw.AddFlow(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := core.NewAnalyzer(nw, core.Config{Mode: core.ModeSound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.Schedulable() {
+		t.Fatal("scenario must be schedulable")
+	}
+
+	tr := &CollectTracer{}
+	res := run(t, nw, Config{Duration: 2 * units.Second, Tracer: tr})
+	if res.Conservation.DeliveredUDP == 0 {
+		t.Fatal("nothing delivered")
+	}
+
+	measured := measureStageLatencies(t, tr.Events, nw)
+	checked := 0
+	for i := range bounds.Flows {
+		fr := bounds.Flow(i)
+		flowMax := measured[fr.Name]
+		if flowMax == nil {
+			t.Fatalf("no measurements for flow %q", fr.Name)
+		}
+		// Per-stage bound: max over frames k of the stage's bound.
+		stageBound := make(map[string]units.Time)
+		for k := range fr.Frames {
+			for _, st := range fr.Frames[k].Stages {
+				if st.Response > stageBound[st.Resource.String()] {
+					stageBound[st.Resource.String()] = st.Response
+				}
+			}
+		}
+		for res, lat := range flowMax {
+			bound, ok := stageBound[res]
+			if !ok {
+				t.Fatalf("flow %q: measured unknown stage %s", fr.Name, res)
+			}
+			if lat > bound {
+				t.Errorf("flow %q stage %s: observed %v exceeds bound %v", fr.Name, res, lat, bound)
+			}
+			checked++
+		}
+	}
+	if checked < 8 {
+		t.Fatalf("only %d stage comparisons; trace extraction broken?", checked)
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"sort"
+
+	"gmfnet/internal/units"
+)
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the recorded response
+// times, or 0 when sampling was disabled (Config.KeepSamples) or nothing
+// completed. p = 1 returns the maximum.
+func (s *FrameStats) Percentile(p float64) units.Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	idx := int(p * float64(len(s.samples)-1))
+	return s.samples[idx]
+}
+
+// Samples returns the number of recorded response samples.
+func (s *FrameStats) Samples() int { return len(s.samples) }
+
+// Conservation summarises frame accounting over a run: everything released
+// must be delivered or still in flight — the simulator's mass-balance
+// invariant, checked by tests and exposed for diagnostics.
+type Conservation struct {
+	// ReleasedUDP counts UDP frames released by sources.
+	ReleasedUDP int64
+	// DeliveredUDP counts UDP frames fully received at destinations.
+	DeliveredUDP int64
+	// InFlightUDP counts UDP frames pending at simulation end.
+	InFlightUDP int64
+	// ReleasedFragments and DeliveredFragments count Ethernet frames.
+	ReleasedFragments  int64
+	DeliveredFragments int64
+}
+
+// Balanced reports whether released = delivered + in flight.
+func (c Conservation) Balanced() bool {
+	return c.ReleasedUDP == c.DeliveredUDP+c.InFlightUDP &&
+		c.ReleasedFragments >= c.DeliveredFragments
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+func TestPercentilesWithSampling(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  mpegLike("v"),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	res := run(t, oneSwitchNet(t, fs), Config{
+		Duration:        2 * units.Second,
+		KeepSamples:     true,
+		Jitter:          JitterUniform,
+		SeparationSlack: 0.2,
+		Seed:            11,
+	})
+	st := &res.Flows[0].PerFrame[0]
+	if st.Samples() == 0 {
+		t.Fatal("no samples recorded despite KeepSamples")
+	}
+	if int64(st.Samples()) != st.Completed {
+		t.Fatalf("samples %d != completed %d", st.Samples(), st.Completed)
+	}
+	p0 := st.Percentile(0)
+	p50 := st.Percentile(0.5)
+	p100 := st.Percentile(1)
+	if !(p0 <= p50 && p50 <= p100) {
+		t.Fatalf("percentiles not monotone: %v %v %v", p0, p50, p100)
+	}
+	if p100 != st.MaxResponse {
+		t.Fatalf("p100 %v != max %v", p100, st.MaxResponse)
+	}
+	if st.MeanResponse() < p0 || st.MeanResponse() > p100 {
+		t.Fatalf("mean %v outside [min,max]", st.MeanResponse())
+	}
+	// Out-of-range arguments clamp.
+	if st.Percentile(-1) != p0 || st.Percentile(2) != p100 {
+		t.Fatal("percentile clamping broken")
+	}
+}
+
+func TestPercentileWithoutSampling(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	res := run(t, directLinkNet(t, fs), Config{Duration: units.Second})
+	if got := res.Flows[0].PerFrame[0].Percentile(0.5); got != 0 {
+		t.Fatalf("percentile without sampling = %v, want 0", got)
+	}
+}
+
+func TestConservationBalanced(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  mpegLike("v"),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	cfgs := []Config{
+		{Duration: units.Second},
+		{Duration: 100 * units.Millisecond}, // ends with frames in flight
+		{Duration: units.Second, Jitter: JitterUniform, SeparationSlack: 0.5, Seed: 5, Phase: PhaseRandom},
+	}
+	for i, cfg := range cfgs {
+		res := run(t, oneSwitchNet(t, fs), cfg)
+		c := res.Conservation
+		if !c.Balanced() {
+			t.Fatalf("config %d: conservation violated: %+v", i, c)
+		}
+		if c.ReleasedUDP == 0 {
+			t.Fatalf("config %d: nothing released", i)
+		}
+		var delivered int64
+		for k := range res.Flows[0].PerFrame {
+			delivered += res.Flows[0].PerFrame[k].Completed
+		}
+		if delivered != c.DeliveredUDP {
+			t.Fatalf("config %d: stats delivered %d != conservation %d", i, delivered, c.DeliveredUDP)
+		}
+	}
+}
+
+func TestConservationFragments(t *testing.T) {
+	// Multi-fragment frames: fragment counters must track UDP counters.
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", 3*11840, 50*ms, 100*ms, 0), // 4 fragments
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	res := run(t, oneSwitchNet(t, fs), Config{Duration: units.Second})
+	c := res.Conservation
+	if c.ReleasedFragments != 4*c.ReleasedUDP {
+		t.Fatalf("released fragments %d != 4×%d", c.ReleasedFragments, c.ReleasedUDP)
+	}
+	if c.DeliveredFragments < 4*c.DeliveredUDP {
+		t.Fatalf("delivered fragments %d < 4×%d", c.DeliveredFragments, c.DeliveredUDP)
+	}
+}

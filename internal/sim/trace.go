@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// EventKind classifies trace events along a fragment's life cycle.
+type EventKind int
+
+// Trace event kinds, in the order a fragment normally experiences them at
+// each hop.
+const (
+	// EvUDPArrival marks a UDP frame arriving at its source (one event
+	// per UDP frame, Frag == -1).
+	EvUDPArrival EventKind = iota
+	// EvFragRelease marks an Ethernet fragment entering the source
+	// node's output queue (after its jitter offset).
+	EvFragRelease
+	// EvTxStart and EvTxEnd bracket a fragment's transmission on a link;
+	// Node is the transmitter, Peer the receiver.
+	EvTxStart
+	EvTxEnd
+	// EvSwitchInFIFO marks reception into a switch input FIFO.
+	EvSwitchInFIFO
+	// EvRouted marks the route task moving the fragment into an output
+	// priority queue.
+	EvRouted
+	// EvStagedToCard marks the send task moving the fragment into the
+	// output card FIFO.
+	EvStagedToCard
+	// EvDelivered marks a complete UDP frame at the destination (one
+	// event per UDP frame, Frag == -1).
+	EvDelivered
+)
+
+// String returns the event kind's mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case EvUDPArrival:
+		return "udp-arrival"
+	case EvFragRelease:
+		return "frag-release"
+	case EvTxStart:
+		return "tx-start"
+	case EvTxEnd:
+		return "tx-end"
+	case EvSwitchInFIFO:
+		return "switch-in"
+	case EvRouted:
+		return "routed"
+	case EvStagedToCard:
+		return "staged"
+	case EvDelivered:
+		return "delivered"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// TraceEvent is one observation of the simulated data path.
+type TraceEvent struct {
+	// At is the simulation time of the event.
+	At units.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// Node is where the event happened; Peer is the other end for link
+	// events (receiver) and switch stages (input/output neighbour).
+	Node, Peer network.NodeID
+	// Flow is the flow name; Cycle and FrameIdx identify the UDP frame;
+	// Frag is the fragment index (-1 for whole-frame events).
+	Flow     string
+	Cycle    int64
+	FrameIdx int
+	Frag     int
+}
+
+// Tracer receives every trace event of a run. Implementations must be
+// fast; they run inside the event loop.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// CollectTracer accumulates events in memory.
+type CollectTracer struct {
+	// Events holds the observations in emission order.
+	Events []TraceEvent
+}
+
+// Event implements Tracer.
+func (c *CollectTracer) Event(e TraceEvent) { c.Events = append(c.Events, e) }
+
+// WriterTracer renders each event as one text line.
+type WriterTracer struct {
+	// W receives the rendered lines.
+	W io.Writer
+}
+
+// Event implements Tracer.
+func (w WriterTracer) Event(e TraceEvent) {
+	frag := fmt.Sprintf("frag %d/%d", e.Frag, 0)
+	if e.Frag < 0 {
+		frag = "frame"
+	} else {
+		frag = fmt.Sprintf("frag %d", e.Frag)
+	}
+	peer := ""
+	if e.Peer != "" {
+		peer = "->" + string(e.Peer)
+	}
+	fmt.Fprintf(w.W, "%-12v %-12s %s%s flow=%s cycle=%d k=%d %s\n",
+		e.At, e.Kind, e.Node, peer, e.Flow, e.Cycle, e.FrameIdx, frag)
+}
+
+// emit sends an event to the configured tracer, if any.
+func (s *Simulator) emit(kind EventKind, node, peer network.NodeID, f *frame, frag int) {
+	if s.cfg.Tracer == nil {
+		return
+	}
+	s.cfg.Tracer.Event(TraceEvent{
+		At:       s.now,
+		Kind:     kind,
+		Node:     node,
+		Peer:     peer,
+		Flow:     s.nw.Flow(f.flow).Flow.Name,
+		Cycle:    f.cycle,
+		FrameIdx: f.frameIdx,
+		Frag:     frag,
+	})
+}

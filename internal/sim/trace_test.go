@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvUDPArrival: "udp-arrival", EvFragRelease: "frag-release",
+		EvTxStart: "tx-start", EvTxEnd: "tx-end",
+		EvSwitchInFIFO: "switch-in", EvRouted: "routed",
+		EvStagedToCard: "staged", EvDelivered: "delivered",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(EventKind(42).String(), "42") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestTraceSingleFragmentLifecycle(t *testing.T) {
+	// One flow, one fragment per frame, one switch: the trace must show
+	// the full Figure 5 path in order.
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 200*ms, 200*ms, 0),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	tr := &CollectTracer{}
+	_ = run(t, oneSwitchNet(t, fs), Config{Duration: 150 * units.Millisecond, Tracer: tr})
+
+	wantOrder := []EventKind{
+		EvUDPArrival, EvFragRelease,
+		EvTxStart, EvTxEnd, // h1 -> s
+		EvSwitchInFIFO, EvRouted, EvStagedToCard,
+		EvTxStart, EvTxEnd, // s -> h2
+		EvDelivered,
+	}
+	if len(tr.Events) != len(wantOrder) {
+		kinds := make([]EventKind, len(tr.Events))
+		for i, e := range tr.Events {
+			kinds[i] = e.Kind
+		}
+		t.Fatalf("events = %v, want %v", kinds, wantOrder)
+	}
+	var prev units.Time
+	for i, e := range tr.Events {
+		if e.Kind != wantOrder[i] {
+			t.Fatalf("event %d = %v, want %v", i, e.Kind, wantOrder[i])
+		}
+		if e.At < prev {
+			t.Fatalf("event %d time %v before %v", i, e.At, prev)
+		}
+		prev = e.At
+		if e.Flow != "a" {
+			t.Fatalf("event %d flow %q", i, e.Flow)
+		}
+	}
+	// Spot-check locations.
+	if tr.Events[2].Node != "h1" || tr.Events[2].Peer != "s" {
+		t.Fatalf("tx-start at %v->%v", tr.Events[2].Node, tr.Events[2].Peer)
+	}
+	if tr.Events[5].Node != "s" || tr.Events[5].Peer != "h2" {
+		t.Fatalf("routed at %v->%v", tr.Events[5].Node, tr.Events[5].Peer)
+	}
+}
+
+func TestTraceFragmentCountsMatchConservation(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  mpegLike("v"),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	tr := &CollectTracer{}
+	res := run(t, oneSwitchNet(t, fs), Config{Duration: 500 * units.Millisecond, Tracer: tr})
+	counts := map[EventKind]int64{}
+	for _, e := range tr.Events {
+		counts[e.Kind]++
+	}
+	c := res.Conservation
+	if counts[EvUDPArrival] != c.ReleasedUDP {
+		t.Fatalf("udp arrivals %d != released %d", counts[EvUDPArrival], c.ReleasedUDP)
+	}
+	if counts[EvDelivered] != c.DeliveredUDP {
+		t.Fatalf("delivered events %d != delivered %d", counts[EvDelivered], c.DeliveredUDP)
+	}
+	if counts[EvFragRelease] != c.ReleasedFragments {
+		t.Fatalf("frag releases %d != released %d", counts[EvFragRelease], c.ReleasedFragments)
+	}
+	// Every routed fragment was first received; every staged one first
+	// routed.
+	if counts[EvRouted] > counts[EvSwitchInFIFO] || counts[EvStagedToCard] > counts[EvRouted] {
+		t.Fatalf("pipeline counts inconsistent: %v", counts)
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var b strings.Builder
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 200*ms, 200*ms, 0),
+		Route: []network.NodeID{"h1", "h2"},
+	}
+	_ = run(t, directLinkNet(t, fs), Config{Duration: 100 * units.Millisecond, Tracer: WriterTracer{W: &b}})
+	out := b.String()
+	for _, want := range []string{"udp-arrival", "tx-start", "tx-end", "delivered", "flow=a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 5 {
+		t.Fatalf("only %d trace lines", lines)
+	}
+}
+
+func TestTracingDoesNotChangeBehaviour(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  mpegLike("v"),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	plain := run(t, oneSwitchNet(t, fs), Config{Duration: units.Second})
+	traced := run(t, oneSwitchNet(t, fs), Config{Duration: units.Second, Tracer: &CollectTracer{}})
+	for k := range plain.Flows[0].PerFrame {
+		if plain.Flows[0].PerFrame[k].MaxResponse != traced.Flows[0].PerFrame[k].MaxResponse {
+			t.Fatal("tracing changed observed responses")
+		}
+	}
+	if plain.Events != traced.Events {
+		t.Fatal("tracing changed event count")
+	}
+}

@@ -1,0 +1,86 @@
+// Package sporadic implements the baseline the paper argues against for
+// MPEG-like traffic: holistic analysis under the classic sporadic model.
+//
+// Each GMF flow is collapsed to a single-frame flow with the smallest
+// separation, smallest deadline, largest payload and largest jitter of any
+// of its frames — the only sound sporadic abstraction of a GMF flow. The
+// collapsed network is then analysed by the same engine (package core), so
+// any difference in verdicts isolates the traffic model, not the
+// implementation. The paper's motivation for adopting the generalized
+// multiframe model is exactly that this collapse is very pessimistic for
+// variable-bit-rate video.
+package sporadic
+
+import (
+	"fmt"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+)
+
+// CollapseNetwork returns a copy of the network in which every flow is
+// replaced by its sporadic collapse (same route, priority and framing).
+func CollapseNetwork(nw *network.Network) (*network.Network, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("sporadic: nil network")
+	}
+	out := network.New(nw.Topo)
+	for _, fs := range nw.Flows() {
+		collapsed := &network.FlowSpec{
+			Flow:     fs.Flow.Sporadic(),
+			Route:    fs.Route,
+			Priority: fs.Priority,
+			RTP:      fs.RTP,
+		}
+		if _, err := out.AddFlow(collapsed); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Analyze runs the holistic analysis on the sporadic collapse of the
+// network. The result's flow names carry a "/sporadic" suffix.
+func Analyze(nw *network.Network, cfg core.Config) (*core.Result, error) {
+	collapsed, err := CollapseNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	an, err := core.NewAnalyzer(collapsed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return an.Analyze()
+}
+
+// Comparison pairs the GMF and sporadic verdicts for one network.
+type Comparison struct {
+	// GMF is the verdict under the generalized multiframe analysis.
+	GMF *core.Result
+	// Sporadic is the verdict under the sporadic collapse.
+	Sporadic *core.Result
+}
+
+// Compare analyses the network under both models.
+func Compare(nw *network.Network, cfg core.Config) (*Comparison, error) {
+	an, err := core.NewAnalyzer(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gmfRes, err := an.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	spoRes, err := Analyze(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{GMF: gmfRes, Sporadic: spoRes}, nil
+}
+
+// GMFOnlyAdmitted reports whether the GMF analysis admits the network
+// while the sporadic collapse rejects it — the regime where the paper's
+// model pays off.
+func (c *Comparison) GMFOnlyAdmitted() bool {
+	return c.GMF.Schedulable() && !c.Sporadic.Schedulable()
+}

@@ -1,0 +1,132 @@
+package sporadic
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+const ms = units.Millisecond
+
+func figure1Net(t *testing.T, rate units.BitRate, flows ...*network.FlowSpec) *network.Network {
+	t.Helper()
+	topo := network.MustFigure1(network.Figure1Options{Rate: rate})
+	nw := network.New(topo)
+	for _, fs := range flows {
+		if _, err := nw.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func TestCollapseNetwork(t *testing.T) {
+	mpeg := trace.MPEGIBBPBBPBB("v", trace.MPEGOptions{})
+	nw := figure1Net(t, 100*units.Mbps, &network.FlowSpec{
+		Flow: mpeg, Route: []network.NodeID{"0", "4", "6", "3"}, Priority: 2, RTP: true,
+	})
+	col, err := CollapseNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumFlows() != 1 {
+		t.Fatalf("flows = %d", col.NumFlows())
+	}
+	fs := col.Flow(0)
+	if fs.Flow.N() != 1 {
+		t.Fatalf("collapsed N = %d, want 1", fs.Flow.N())
+	}
+	if !strings.HasSuffix(fs.Flow.Name, "/sporadic") {
+		t.Fatalf("name = %q", fs.Flow.Name)
+	}
+	if fs.Priority != 2 || !fs.RTP {
+		t.Fatal("spec fields not preserved")
+	}
+	// The collapse pairs the biggest payload with the smallest separation.
+	if fs.Flow.Frames[0].PayloadBits != mpeg.MaxPayloadBits() {
+		t.Fatal("payload not maximal")
+	}
+	if fs.Flow.Frames[0].MinSep != mpeg.MinSeparation() {
+		t.Fatal("separation not minimal")
+	}
+}
+
+func TestCollapseNilNetwork(t *testing.T) {
+	if _, err := CollapseNetwork(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Analyze(nil, core.Config{}); err == nil {
+		t.Fatal("nil accepted by Analyze")
+	}
+}
+
+func TestSporadicIsMorePessimistic(t *testing.T) {
+	// The sporadic collapse must never produce a smaller bound than the
+	// GMF analysis for the first (largest) frame, and its utilisation can
+	// render feasible networks infeasible.
+	mpeg := trace.MPEGIBBPBBPBB("v", trace.MPEGOptions{})
+	nw := figure1Net(t, 100*units.Mbps,
+		&network.FlowSpec{Flow: mpeg, Route: []network.NodeID{"0", "4", "6", "3"}, Priority: 2},
+		&network.FlowSpec{Flow: trace.VoIP("voip", trace.VoIPOptions{Deadline: 50 * ms}), Route: []network.NodeID{"1", "4", "6", "3"}, Priority: 3},
+	)
+	cmp, err := Compare(nw, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.GMF.Converged {
+		t.Fatal("GMF analysis did not converge")
+	}
+	if cmp.Sporadic.Converged {
+		// When both converge, the sporadic bound on the video flow must
+		// dominate the GMF bound of its worst frame.
+		gmfWorst := cmp.GMF.Flow(0).MaxResponse()
+		spoWorst := cmp.Sporadic.Flow(0).MaxResponse()
+		if spoWorst < gmfWorst {
+			t.Fatalf("sporadic bound %v below GMF %v", spoWorst, gmfWorst)
+		}
+	}
+}
+
+// TestGMFAdmitsWhereSporadicRejects reproduces the paper's motivation: a
+// VBR video workload feasible under GMF analysis but rejected when
+// collapsed to sporadic (min separation with max payload explodes
+// utilisation).
+func TestGMFAdmitsWhereSporadicRejects(t *testing.T) {
+	// One big frame then nine small ones: GMF utilisation is ~10%, but
+	// the sporadic collapse assumes the big frame (~10 ms of wire time at
+	// 100 Mbit/s) every 10 ms — ~100% per flow, so two flows overload.
+	mk := func(name string) *gmf.Flow {
+		f := &gmf.Flow{Name: name}
+		f.Frames = append(f.Frames, gmf.Frame{
+			MinSep: 10 * ms, Deadline: 150 * ms, PayloadBits: 120000 * 8,
+		})
+		for i := 0; i < 9; i++ {
+			f.Frames = append(f.Frames, gmf.Frame{
+				MinSep: 10 * ms, Deadline: 150 * ms, PayloadBits: 400 * 8,
+			})
+		}
+		return f
+	}
+	nw := figure1Net(t, 100*units.Mbps,
+		&network.FlowSpec{Flow: mk("vbr0"), Route: []network.NodeID{"0", "4", "6", "3"}, Priority: 1},
+		&network.FlowSpec{Flow: mk("vbr1"), Route: []network.NodeID{"1", "4", "6", "3"}, Priority: 1},
+	)
+	cmp, err := Compare(nw, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.GMF.Schedulable() {
+		t.Fatalf("GMF rejected the workload (converged=%v)", cmp.GMF.Converged)
+	}
+	if cmp.Sporadic.Schedulable() {
+		t.Fatal("sporadic collapse unexpectedly admitted the workload")
+	}
+	if !cmp.GMFOnlyAdmitted() {
+		t.Fatal("GMFOnlyAdmitted should be true")
+	}
+}

@@ -1,0 +1,152 @@
+// Package stride implements stride scheduling (Waldspurger & Weihl, 1995),
+// the proportional-share dispatcher used by the Click software inside the
+// paper's Ethernet switches.
+//
+// Each task owns a number of tickets. Its stride is Stride1/tickets for a
+// large constant Stride1, and its pass counter starts at its stride. The
+// dispatcher always runs the task with the least pass (ties broken
+// deterministically by registration order), then advances that task's pass
+// by its stride. A task with twice the tickets is therefore dispatched
+// twice as often.
+//
+// With equal tickets for every task, stride scheduling degenerates to
+// round-robin — the configuration the paper assumes (its footnote 1: the
+// Click default) and the one that yields CIRC(N) = NINTERFACES(N) ×
+// (CROUTE(N)+CSEND(N)).
+package stride
+
+import "fmt"
+
+// Stride1 is the large constant divided by a task's tickets to obtain its
+// stride. 1<<20 matches the original paper's suggestion.
+const Stride1 = 1 << 20
+
+// Task is one schedulable entity.
+type Task struct {
+	name    string
+	tickets int64
+	stride  int64
+	pass    int64
+	index   int // registration order; deterministic tie break
+}
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// Tickets returns the task's ticket allocation.
+func (t *Task) Tickets() int64 { return t.tickets }
+
+// Pass returns the task's current pass value.
+func (t *Task) Pass() int64 { return t.pass }
+
+// Scheduler is a stride-scheduling dispatcher. The zero value is unusable;
+// create one with New.
+type Scheduler struct {
+	tasks []*Task
+	heap  []*Task // min-heap on (pass, index)
+}
+
+// New returns an empty scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Add registers a task with the given ticket count and returns it.
+// Per the original algorithm the task's pass starts at its stride.
+func (s *Scheduler) Add(name string, tickets int64) (*Task, error) {
+	if tickets <= 0 {
+		return nil, fmt.Errorf("stride: task %q: tickets must be positive, got %d", name, tickets)
+	}
+	if tickets > Stride1 {
+		return nil, fmt.Errorf("stride: task %q: tickets %d exceed Stride1", name, tickets)
+	}
+	t := &Task{
+		name:    name,
+		tickets: tickets,
+		stride:  Stride1 / tickets,
+		pass:    Stride1 / tickets,
+		index:   len(s.tasks),
+	}
+	s.tasks = append(s.tasks, t)
+	s.push(t)
+	return t, nil
+}
+
+// Len returns the number of registered tasks.
+func (s *Scheduler) Len() int { return len(s.tasks) }
+
+// Tasks returns the registered tasks in registration order. The slice is
+// shared; callers must not mutate it.
+func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// Next dispatches: it returns the task with the least pass and advances
+// that task's pass by its stride. It panics if no tasks are registered,
+// because a switch without tasks cannot exist in a validated model.
+func (s *Scheduler) Next() *Task {
+	if len(s.heap) == 0 {
+		panic("stride: Next on empty scheduler")
+	}
+	t := s.heap[0]
+	t.pass += t.stride
+	s.siftDown(0)
+	return t
+}
+
+// Peek returns the task that Next would dispatch, without advancing it.
+func (s *Scheduler) Peek() *Task {
+	if len(s.heap) == 0 {
+		panic("stride: Peek on empty scheduler")
+	}
+	return s.heap[0]
+}
+
+func (s *Scheduler) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.pass != b.pass {
+		return a.pass < b.pass
+	}
+	return a.index < b.index
+}
+
+func (s *Scheduler) push(t *Task) {
+	s.heap = append(s.heap, t)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+}
+
+// RoundRobin builds a scheduler with one ticket per name: the Click
+// default configuration in which stride scheduling collapses to
+// round-robin.
+func RoundRobin(names ...string) (*Scheduler, error) {
+	s := New()
+	for _, n := range names {
+		if _, err := s.Add(n, 1); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

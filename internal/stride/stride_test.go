@@ -1,0 +1,215 @@
+package stride
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddErrors(t *testing.T) {
+	s := New()
+	if _, err := s.Add("a", 0); err == nil {
+		t.Error("zero tickets accepted")
+	}
+	if _, err := s.Add("a", -3); err == nil {
+		t.Error("negative tickets accepted")
+	}
+	if _, err := s.Add("a", Stride1+1); err == nil {
+		t.Error("oversized tickets accepted")
+	}
+	if _, err := s.Add("a", 1); err != nil {
+		t.Errorf("valid add failed: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	s := New()
+	task, err := s.Add("io", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Name() != "io" || task.Tickets() != 4 {
+		t.Fatalf("accessors: %q %d", task.Name(), task.Tickets())
+	}
+	if task.Pass() != Stride1/4 {
+		t.Fatalf("initial pass = %d, want stride %d", task.Pass(), Stride1/4)
+	}
+	if got := s.Tasks(); len(got) != 1 || got[0] != task {
+		t.Fatal("Tasks() wrong")
+	}
+}
+
+func TestEmptySchedulerPanics(t *testing.T) {
+	s := New()
+	for name, f := range map[string]func(){
+		"Next": func() { s.Next() },
+		"Peek": func() { s.Peek() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty scheduler did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRoundRobinOrder(t *testing.T) {
+	// Equal tickets must produce strict round-robin: the paper's
+	// footnote 1 relies on this.
+	s, err := RoundRobin("in0", "in1", "out0", "out1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < 12; i++ {
+		got = append(got, s.Next().Name())
+	}
+	want := []string{
+		"in0", "in1", "out0", "out1",
+		"in0", "in1", "out0", "out1",
+		"in0", "in1", "out0", "out1",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d = %q, want %q (sequence %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRoundRobinSeparation(t *testing.T) {
+	// Property: with k equal-ticket tasks, consecutive dispatches of the
+	// same task are exactly k apart — the fact behind CIRC(N).
+	f := func(kRaw uint8, nRaw uint16) bool {
+		k := int(kRaw%15) + 1
+		n := int(nRaw%500) + k
+		names := make([]string, k)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		s, err := RoundRobin(names...)
+		if err != nil {
+			return false
+		}
+		last := make(map[string]int)
+		for i := 0; i < n; i++ {
+			name := s.Next().Name()
+			if prev, seen := last[name]; seen && i-prev != k {
+				return false
+			}
+			last[name] = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionalShare(t *testing.T) {
+	// A task with double tickets runs twice as often, within ±1 dispatch
+	// over any window (stride scheduling's strong throughput accuracy).
+	s := New()
+	if _, err := s.Add("heavy", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("light", 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[s.Next().Name()]++
+	}
+	if counts["heavy"] != 2000 || counts["light"] != 1000 {
+		t.Fatalf("counts = %v, want heavy=2000 light=1000", counts)
+	}
+}
+
+func TestProportionalShareRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		s := New()
+		tickets := make([]int64, k)
+		var total int64
+		for i := 0; i < k; i++ {
+			tickets[i] = int64(1 + rng.Intn(8))
+			total += tickets[i]
+			if _, err := s.Add(string(rune('a'+i)), tickets[i]); err != nil {
+				return false
+			}
+		}
+		rounds := 400 * total
+		counts := make(map[string]int64)
+		for i := int64(0); i < rounds; i++ {
+			counts[s.Next().Name()]++
+		}
+		// Relative error of each task's share must be below 1%.
+		for i := 0; i < k; i++ {
+			want := float64(rounds) * float64(tickets[i]) / float64(total)
+			got := float64(counts[string(rune('a'+i))])
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.01*want+float64(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekMatchesNext(t *testing.T) {
+	s, err := RoundRobin("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		want := s.Peek()
+		if got := s.Next(); got != want {
+			t.Fatalf("dispatch %d: Peek %q != Next %q", i, want.Name(), got.Name())
+		}
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two identical schedulers must produce identical sequences.
+	mk := func() *Scheduler {
+		s := New()
+		for _, n := range []string{"x", "y", "z"} {
+			if _, err := s.Add(n, 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.Next().Name() != b.Next().Name() {
+			t.Fatal("schedulers diverged")
+		}
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	s := New()
+	for i := 0; i < 16; i++ {
+		if _, err := s.Add(string(rune('a'+i)), int64(1+i%4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"fmt"
+
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/units"
+)
+
+// GOPSizes maps picture types to payload sizes in bytes.
+type GOPSizes struct {
+	// I, P and B are the payloads of the respective picture types.
+	I, P, B int64
+}
+
+// DefaultGOPSizes matches the MPEGIBBPBBPBB defaults: I frames carry the
+// combined I+P payload of the paper's example.
+func DefaultGOPSizes() GOPSizes { return GOPSizes{I: 18000, P: 6000, B: 1500} }
+
+// MPEGFromGOP builds a GMF flow from an arbitrary GOP pattern string such
+// as "IBBPBBPBB" or "IPPPP". Each letter becomes one frame with the
+// corresponding payload; all frames share the period, deadline and jitter.
+// Only 'I', 'P' and 'B' (upper case) are accepted.
+func MPEGFromGOP(name, pattern string, sizes GOPSizes, period, deadline, jitter units.Time) (*gmf.Flow, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("trace: empty GOP pattern")
+	}
+	if sizes.I <= 0 || sizes.P <= 0 || sizes.B <= 0 {
+		return nil, fmt.Errorf("trace: GOP sizes must be positive, got %+v", sizes)
+	}
+	if period <= 0 || deadline <= 0 || jitter < 0 {
+		return nil, fmt.Errorf("trace: invalid timing (period %v, deadline %v, jitter %v)", period, deadline, jitter)
+	}
+	f := &gmf.Flow{Name: name}
+	for i, ch := range pattern {
+		var bytes int64
+		switch ch {
+		case 'I':
+			bytes = sizes.I
+		case 'P':
+			bytes = sizes.P
+		case 'B':
+			bytes = sizes.B
+		default:
+			return nil, fmt.Errorf("trace: GOP pattern %q: invalid picture type %q at %d", pattern, ch, i)
+		}
+		f.Frames = append(f.Frames, gmf.Frame{
+			MinSep:      period,
+			Deadline:    deadline,
+			Jitter:      jitter,
+			PayloadBits: bytes * 8,
+		})
+	}
+	return f, nil
+}

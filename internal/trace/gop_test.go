@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/units"
+)
+
+func TestMPEGFromGOP(t *testing.T) {
+	f, err := MPEGFromGOP("v", "IBBP", DefaultGOPSizes(), 30*ms, 120*ms, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 4 {
+		t.Fatalf("N = %d", f.N())
+	}
+	want := []int64{18000, 1500, 1500, 6000}
+	for k, w := range want {
+		if f.Frames[k].PayloadBits != w*8 {
+			t.Errorf("frame %d = %d bits, want %d", k, f.Frames[k].PayloadBits, w*8)
+		}
+	}
+	if f.TSUM() != 120*ms {
+		t.Fatalf("TSUM = %v", f.TSUM())
+	}
+}
+
+func TestMPEGFromGOPMatchesPreset(t *testing.T) {
+	viaGOP, err := MPEGFromGOP("m", "IBBPBBPBB", DefaultGOPSizes(), 30*ms, 100*ms, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preset := MPEGIBBPBBPBB("m", MPEGOptions{})
+	if viaGOP.N() != preset.N() {
+		t.Fatalf("N mismatch: %d vs %d", viaGOP.N(), preset.N())
+	}
+	for k := range preset.Frames {
+		if viaGOP.Frames[k].PayloadBits != preset.Frames[k].PayloadBits {
+			t.Errorf("frame %d payload mismatch", k)
+		}
+	}
+}
+
+func TestMPEGFromGOPErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		pattern string
+		sizes   GOPSizes
+		period  units.Time
+		dl      units.Time
+		jit     units.Time
+		wantErr string
+	}{
+		{"empty", "", DefaultGOPSizes(), ms, ms, 0, "empty"},
+		{"lowercase", "ibb", DefaultGOPSizes(), ms, ms, 0, "invalid picture type"},
+		{"bad char", "IXP", DefaultGOPSizes(), ms, ms, 0, "invalid picture type"},
+		{"zero size", "I", GOPSizes{I: 0, P: 1, B: 1}, ms, ms, 0, "positive"},
+		{"zero period", "I", DefaultGOPSizes(), 0, ms, 0, "timing"},
+		{"zero deadline", "I", DefaultGOPSizes(), ms, 0, 0, "timing"},
+		{"neg jitter", "I", DefaultGOPSizes(), ms, ms, -1, "timing"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := MPEGFromGOP("v", c.pattern, c.sizes, c.period, c.dl, c.jit)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q missing %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gmfnet/internal/units"
+)
+
+const ms = units.Millisecond
+
+func TestMPEGDefaults(t *testing.T) {
+	f := MPEGIBBPBBPBB("mpeg", MPEGOptions{})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 9 {
+		t.Fatalf("N = %d, want 9 (IBBPBBPBB)", f.N())
+	}
+	// Figure 3/4: transmitted every 30 ms, cycle of 270 ms.
+	if f.TSUM() != 270*ms {
+		t.Fatalf("TSUM = %v, want 270ms", f.TSUM())
+	}
+	// Frame order: I+P, B, B, P, B, B, P, B, B.
+	wantBytes := []int64{18000, 1500, 1500, 6000, 1500, 1500, 6000, 1500, 1500}
+	for k, w := range wantBytes {
+		if f.Frames[k].PayloadBits != w*8 {
+			t.Errorf("frame %d payload = %d bits, want %d", k, f.Frames[k].PayloadBits, w*8)
+		}
+	}
+	if f.MaxJitter() != ms {
+		t.Fatalf("jitter = %v, want 1ms", f.MaxJitter())
+	}
+}
+
+func TestMPEGCustomAndZeroJitter(t *testing.T) {
+	f := MPEGIBBPBBPBB("m", MPEGOptions{
+		IPBytes: 20000, PBytes: 7000, BBytes: 1600,
+		FramePeriod: 40 * ms, Deadline: 200 * ms, Jitter: -1,
+	})
+	if f.TSUM() != 360*ms {
+		t.Fatalf("TSUM = %v, want 360ms", f.TSUM())
+	}
+	if f.MaxJitter() != 0 {
+		t.Fatalf("jitter = %v, want 0", f.MaxJitter())
+	}
+	if f.Frames[0].PayloadBits != 20000*8 || f.Frames[3].PayloadBits != 7000*8 {
+		t.Fatal("custom sizes not applied")
+	}
+}
+
+func TestVoIPDefaults(t *testing.T) {
+	f := VoIP("voip", VoIPOptions{})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 1 {
+		t.Fatalf("N = %d, want 1", f.N())
+	}
+	fr := f.Frames[0]
+	if fr.PayloadBits != 160*8 || fr.MinSep != 20*ms || fr.Deadline != 20*ms {
+		t.Fatalf("defaults wrong: %+v", fr)
+	}
+}
+
+func TestCBRVideo(t *testing.T) {
+	f := CBRVideo("cbr", 5000, 10*ms, 50*ms)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Frames[0].PayloadBits != 40000 || f.TSUM() != 10*ms {
+		t.Fatalf("cbr frame wrong: %+v", f.Frames[0])
+	}
+}
+
+func TestRandomFlowsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := Random("r", rng, RandomOptions{MaxJitter: 5 * ms})
+		if err := fl.Validate(); err != nil {
+			return false
+		}
+		// Deadline factor 1.0: deadline equals TSUM.
+		return fl.Frames[0].Deadline == fl.TSUM()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	opt := RandomOptions{
+		MinFrames: 2, MaxFrames: 4,
+		MinSep: 5 * ms, MaxSep: 10 * ms,
+		MinPayloadBytes: 100, MaxPayloadBytes: 200,
+		DeadlineFactor: 2.0,
+	}
+	for i := 0; i < 200; i++ {
+		fl := Random("r", rng, opt)
+		if fl.N() < 2 || fl.N() > 4 {
+			t.Fatalf("N = %d out of [2,4]", fl.N())
+		}
+		for _, fr := range fl.Frames {
+			if fr.MinSep < 5*ms || fr.MinSep > 10*ms {
+				t.Fatalf("sep %v out of bounds", fr.MinSep)
+			}
+			if fr.PayloadBits < 800 || fr.PayloadBits > 1600 {
+				t.Fatalf("payload %d out of bounds", fr.PayloadBits)
+			}
+			if fr.Jitter != 0 {
+				t.Fatalf("jitter %v, want 0 when MaxJitter unset", fr.Jitter)
+			}
+		}
+		if fl.Frames[0].Deadline != 2*fl.TSUM() {
+			t.Fatalf("deadline %v != 2×TSUM %v", fl.Frames[0].Deadline, fl.TSUM())
+		}
+	}
+}
+
+func TestRandomPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted bounds did not panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(1))
+	Random("r", rng, RandomOptions{MinFrames: 5, MaxFrames: 2})
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random("r", rand.New(rand.NewSource(9)), RandomOptions{})
+	b := Random("r", rand.New(rand.NewSource(9)), RandomOptions{})
+	if a.N() != b.N() {
+		t.Fatal("same seed produced different flows")
+	}
+	for k := range a.Frames {
+		if a.Frames[k] != b.Frames[k] {
+			t.Fatal("same seed produced different frames")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBitRateStringParseRoundTrip: String output always parses back to a
+// close value.
+func TestBitRateStringParseRoundTrip(t *testing.T) {
+	f := func(raw int64) bool {
+		v := BitRate(raw % int64(100*Gbps))
+		if v <= 0 {
+			v = -v + 1
+		}
+		got, err := ParseBitRate(v.String())
+		if err != nil {
+			return false
+		}
+		diff := float64(got - v)
+		if diff < 0 {
+			diff = -diff
+		}
+		// String keeps 6 decimals of the chosen unit.
+		return diff <= 1e-6*float64(v)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxTimeAdditive: transmitting a+b bits takes within 1 ps of the sum
+// of the parts (ceil rounding may add at most one picosecond per part).
+func TestTxTimeAdditive(t *testing.T) {
+	f := func(aRaw, bRaw uint32, rRaw int64) bool {
+		a, b := int64(aRaw%1_000_000), int64(bRaw%1_000_000)
+		r := BitRate(rRaw % int64(10*Gbps))
+		if r <= 0 {
+			r = 10 * Mbps
+		}
+		whole := TxTime(a+b, r)
+		parts := TxTime(a, r) + TxTime(b, r)
+		return parts >= whole && parts-whole <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaturatingAddCommutes on representative values.
+func TestSaturatingAddCommutes(t *testing.T) {
+	f := func(aRaw, bRaw int64) bool {
+		a, b := Time(aRaw), Time(bRaw)
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		return SaturatingAdd(a, b) == SaturatingAdd(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package units provides the fixed-point time and bit-rate arithmetic used
+// throughout gmfnet.
+//
+// All durations are held as int64 picoseconds and all divisions that
+// produce a duration round up, so response-time bounds computed from these
+// primitives can only err on the pessimistic (safe) side. One picosecond of
+// resolution represents a single bit time on a 1 Tbit/s link; int64
+// picoseconds cover about 106 days, far beyond any busy period analysed
+// here.
+package units
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Time is a duration or instant measured in picoseconds.
+type Time int64
+
+// Duration unit constants.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// MaxTime is the largest representable Time.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of
+// milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns the duration as a floating-point number of
+// microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanoseconds returns the duration as a floating-point number of
+// nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Duration converts t to a time.Duration, rounding toward zero.
+// Durations beyond the range of time.Duration saturate.
+func (t Time) Duration() time.Duration { return time.Duration(t / Nanosecond) }
+
+// FromDuration converts a time.Duration to a Time.
+func FromDuration(d time.Duration) Time { return Time(d) * Nanosecond }
+
+// FromSeconds converts a floating-point number of seconds to a Time,
+// rounding to the nearest picosecond.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// String renders the duration with an adaptive unit, e.g. "14.8µs",
+// "270ms", "1.2s".
+func (t Time) String() string {
+	neg := t < 0
+	a := t
+	if neg {
+		a = -a
+	}
+	var val float64
+	var unit string
+	switch {
+	case a == 0:
+		return "0s"
+	case a < Nanosecond:
+		val, unit = float64(a), "ps"
+	case a < Microsecond:
+		val, unit = a.Nanoseconds(), "ns"
+	case a < Millisecond:
+		val, unit = a.Microseconds(), "µs"
+	case a < Second:
+		val, unit = a.Milliseconds(), "ms"
+	default:
+		val, unit = a.Seconds(), "s"
+	}
+	s := strconv.FormatFloat(val, 'f', 6, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if neg {
+		s = "-" + s
+	}
+	return s + unit
+}
+
+// ParseTime parses a human-readable duration such as "30ms", "2.7us",
+// "1.5e-3s". Recognised suffixes: ps, ns, us, µs, ms, s, m, h.
+func ParseTime(s string) (Time, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("units: empty duration")
+	}
+	type suf struct {
+		text string
+		mult Time
+	}
+	// Longest suffixes first so "ms" is not matched as "s".
+	suffixes := []suf{
+		{"ps", Picosecond}, {"ns", Nanosecond}, {"µs", Microsecond},
+		{"us", Microsecond}, {"ms", Millisecond}, {"s", Second},
+		{"m", Minute}, {"h", Hour},
+	}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(s, sf.text) {
+			num := strings.TrimSpace(strings.TrimSuffix(s, sf.text))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: bad duration %q: %v", s, err)
+			}
+			return Time(math.Round(v * float64(sf.mult))), nil
+		}
+	}
+	return 0, fmt.Errorf("units: duration %q lacks a unit suffix", s)
+}
+
+// BitRate is a link speed in bits per second.
+type BitRate int64
+
+// Bit-rate unit constants.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+	Gbps                 = 1000 * Mbps
+)
+
+// String renders the rate with an adaptive unit, e.g. "10Mbit/s".
+func (r BitRate) String() string {
+	a := r
+	neg := a < 0
+	if neg {
+		a = -a
+	}
+	var val float64
+	var unit string
+	switch {
+	case a >= Gbps:
+		val, unit = float64(a)/float64(Gbps), "Gbit/s"
+	case a >= Mbps:
+		val, unit = float64(a)/float64(Mbps), "Mbit/s"
+	case a >= Kbps:
+		val, unit = float64(a)/float64(Kbps), "kbit/s"
+	default:
+		val, unit = float64(a), "bit/s"
+	}
+	s := strconv.FormatFloat(val, 'f', 6, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if neg {
+		s = "-" + s
+	}
+	return s + unit
+}
+
+// ParseBitRate parses a human-readable rate such as "10Mbps", "1Gbit/s",
+// "9600bps".
+func ParseBitRate(s string) (BitRate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("units: empty bit rate")
+	}
+	type suf struct {
+		text string
+		mult BitRate
+	}
+	suffixes := []suf{
+		{"Gbit/s", Gbps}, {"Mbit/s", Mbps}, {"kbit/s", Kbps}, {"bit/s", BitPerSecond},
+		{"Gbps", Gbps}, {"Mbps", Mbps}, {"Kbps", Kbps}, {"kbps", Kbps},
+		{"bps", BitPerSecond},
+	}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(s, sf.text) {
+			num := strings.TrimSpace(strings.TrimSuffix(s, sf.text))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: bad bit rate %q: %v", s, err)
+			}
+			return BitRate(math.Round(v * float64(sf.mult))), nil
+		}
+	}
+	return 0, fmt.Errorf("units: bit rate %q lacks a unit suffix", s)
+}
+
+// TxTime returns the time needed to transmit the given number of bits at
+// rate r, rounded up to the next picosecond. It panics if bits or r is not
+// positive, because a zero-rate link or negative frame cannot occur in a
+// validated model.
+func TxTime(bits int64, r BitRate) Time {
+	if bits < 0 {
+		panic("units: negative bit count")
+	}
+	if r <= 0 {
+		panic("units: non-positive bit rate")
+	}
+	return Time(mulDivCeil(uint64(bits), uint64(Second), uint64(r)))
+}
+
+// CeilDiv returns ceil(a/b) for non-negative a and positive b.
+func CeilDiv(a, b int64) int64 {
+	if a < 0 || b <= 0 {
+		panic("units: CeilDiv requires a >= 0, b > 0")
+	}
+	return (a + b - 1) / b
+}
+
+// CeilDivTime returns ceil(a/b) for non-negative Times.
+func CeilDivTime(a, b Time) int64 { return CeilDiv(int64(a), int64(b)) }
+
+// mulDivCeil computes ceil(a*m/d) using 128-bit intermediate arithmetic.
+// It panics if the result overflows 63 bits, which in this codebase means a
+// model parameter is out of any physically meaningful range.
+func mulDivCeil(a, m, d uint64) int64 {
+	hi, lo := bits.Mul64(a, m)
+	if hi >= d {
+		panic("units: mulDivCeil overflow")
+	}
+	q, rem := bits.Div64(hi, lo, d)
+	if rem > 0 {
+		q++
+	}
+	if q > math.MaxInt64 {
+		panic("units: mulDivCeil overflow")
+	}
+	return int64(q)
+}
+
+// MulDivCeil computes ceil(a*m/d) for non-negative arguments with positive
+// divisor, without intermediate overflow.
+func MulDivCeil(a, m, d int64) int64 {
+	if a < 0 || m < 0 || d <= 0 {
+		panic("units: MulDivCeil requires a,m >= 0, d > 0")
+	}
+	return mulDivCeil(uint64(a), uint64(m), uint64(d))
+}
+
+// SaturatingAdd returns a+b, saturating at MaxTime instead of wrapping.
+func SaturatingAdd(a, b Time) Time {
+	if a > MaxTime-b {
+		return MaxTime
+	}
+	return a + b
+}

@@ -1,0 +1,309 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConstants(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Fatalf("Nanosecond = %d, want 1000", Nanosecond)
+	}
+	if Second != 1_000_000_000_000 {
+		t.Fatalf("Second = %d, want 1e12", Second)
+	}
+	if Minute != 60*Second || Hour != 3600*Second {
+		t.Fatalf("minute/hour constants wrong: %d %d", Minute, Hour)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in      Time
+		seconds float64
+	}{
+		{0, 0},
+		{Second, 1},
+		{500 * Millisecond, 0.5},
+		{Microsecond, 1e-6},
+		{270 * Millisecond, 0.27},
+	}
+	for _, c := range cases {
+		if got := c.in.Seconds(); got != c.seconds {
+			t.Errorf("(%d).Seconds() = %g, want %g", c.in, got, c.seconds)
+		}
+	}
+	if got := (14800 * Nanosecond).Microseconds(); got != 14.8 {
+		t.Errorf("Microseconds = %g, want 14.8", got)
+	}
+	if got := (270 * Millisecond).Milliseconds(); got != 270 {
+		t.Errorf("Milliseconds = %g, want 270", got)
+	}
+	if got := (5 * Nanosecond).Nanoseconds(); got != 5 {
+		t.Errorf("Nanoseconds = %g, want 5", got)
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	d := 37 * time.Millisecond
+	tt := FromDuration(d)
+	if tt != 37*Millisecond {
+		t.Fatalf("FromDuration = %v, want 37ms", tt)
+	}
+	if tt.Duration() != d {
+		t.Fatalf("Duration round trip = %v, want %v", tt.Duration(), d)
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(0.27); got != 270*Millisecond {
+		t.Fatalf("FromSeconds(0.27) = %d, want %d", got, 270*Millisecond)
+	}
+	if got := FromSeconds(2.7e-6); got != 2700*Nanosecond {
+		t.Fatalf("FromSeconds(2.7e-6) = %d, want %d", got, 2700*Nanosecond)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{1, "1ps"},
+		{1500, "1.5ns"},
+		{14800 * Nanosecond, "14.8µs"},
+		{270 * Millisecond, "270ms"},
+		{2 * Second, "2s"},
+		{-3 * Millisecond, "-3ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"30ms", 30 * Millisecond},
+		{"2.7us", 2700 * Nanosecond},
+		{"2.7µs", 2700 * Nanosecond},
+		{"1s", Second},
+		{" 100 ns", 100 * Nanosecond},
+		{"0.001s", Millisecond},
+		{"5ps", 5},
+		{"2m", 2 * Minute},
+		{"1h", Hour},
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if err != nil {
+			t.Errorf("ParseTime(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTime(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTimeErrors(t *testing.T) {
+	for _, in := range []string{"", "10", "abcms", "10 parsecs"} {
+		if _, err := ParseTime(in); err == nil {
+			t.Errorf("ParseTime(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseTimeStringRoundTrip(t *testing.T) {
+	f := func(raw int64) bool {
+		v := Time(raw % int64(Hour))
+		if v < 0 {
+			v = -v
+		}
+		got, err := ParseTime(v.String())
+		if err != nil {
+			return false
+		}
+		// String keeps 6 significant decimals of the chosen unit, so allow
+		// relative error of 1e-6.
+		diff := float64(got - v)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-6*float64(v)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{10 * Mbps, "10Mbit/s"},
+		{Gbps, "1Gbit/s"},
+		{64 * Kbps, "64kbit/s"},
+		{300, "300bit/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BitRate
+	}{
+		{"10Mbps", 10 * Mbps},
+		{"10Mbit/s", 10 * Mbps},
+		{"1Gbit/s", Gbps},
+		{"9600bps", 9600},
+		{"0.5Mbps", 500 * Kbps},
+	}
+	for _, c := range cases {
+		got, err := ParseBitRate(c.in)
+		if err != nil {
+			t.Errorf("ParseBitRate(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBitRate(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "10", "xMbps"} {
+		if _, err := ParseBitRate(in); err == nil {
+			t.Errorf("ParseBitRate(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	// 12304 bits at 10 Mbit/s = 1230.4 µs.
+	got := TxTime(12304, 10*Mbps)
+	want := Time(12304) * Second / (10 * 1000 * 1000)
+	if got != want {
+		t.Fatalf("TxTime = %d, want %d", got, want)
+	}
+	if got.Microseconds() != 1230.4 {
+		t.Fatalf("TxTime = %v µs, want 1230.4", got.Microseconds())
+	}
+	// 1 bit at 1 Gbit/s = 1 ns exactly.
+	if got := TxTime(1, Gbps); got != Nanosecond {
+		t.Fatalf("TxTime(1, 1Gbps) = %d, want %d", got, Nanosecond)
+	}
+	// Rounds up: 1 bit at 3 bit/s is 333333333334 ps, not ...33.
+	if got := TxTime(1, 3); got != Time(333333333334) {
+		t.Fatalf("TxTime(1,3) = %d", got)
+	}
+	if got := TxTime(0, Gbps); got != 0 {
+		t.Fatalf("TxTime(0) = %d, want 0", got)
+	}
+}
+
+func TestTxTimePanics(t *testing.T) {
+	assertPanics(t, func() { TxTime(-1, Gbps) })
+	assertPanics(t, func() { TxTime(1, 0) })
+	assertPanics(t, func() { TxTime(1, -5) })
+}
+
+func TestTxTimeNeverOptimistic(t *testing.T) {
+	f := func(bitsRaw, rateRaw int64) bool {
+		bits := bitsRaw % 1_000_000_000
+		if bits < 0 {
+			bits = -bits
+		}
+		rate := BitRate(rateRaw % int64(100*Gbps))
+		if rate <= 0 {
+			rate = 10 * Mbps
+		}
+		got := TxTime(bits, rate)
+		exact := float64(bits) * float64(Second) / float64(rate)
+		// got must be >= exact (pessimistic) and within 1 ps of it.
+		return float64(got) >= exact-0.5 && float64(got)-exact < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {11840, 11840, 1}, {11841, 11840, 2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	assertPanics(t, func() { CeilDiv(-1, 5) })
+	assertPanics(t, func() { CeilDiv(1, 0) })
+}
+
+func TestCeilDivTime(t *testing.T) {
+	if got := CeilDivTime(270*Millisecond, 270*Millisecond); got != 1 {
+		t.Fatalf("CeilDivTime = %d, want 1", got)
+	}
+	if got := CeilDivTime(271*Millisecond, 270*Millisecond); got != 2 {
+		t.Fatalf("CeilDivTime = %d, want 2", got)
+	}
+}
+
+func TestMulDivCeil(t *testing.T) {
+	if got := MulDivCeil(10, 10, 3); got != 34 {
+		t.Fatalf("MulDivCeil(10,10,3) = %d, want 34", got)
+	}
+	// Large values that would overflow int64 multiplication.
+	if got := MulDivCeil(math.MaxInt64/2, 2, math.MaxInt64); got != 1 {
+		t.Fatalf("MulDivCeil large = %d, want 1", got)
+	}
+	assertPanics(t, func() { MulDivCeil(-1, 1, 1) })
+	assertPanics(t, func() { MulDivCeil(math.MaxInt64, math.MaxInt64, 1) })
+}
+
+func TestMulDivCeilMatchesBigArithmetic(t *testing.T) {
+	f := func(a, m uint32, d uint32) bool {
+		aa, mm := int64(a%(1<<31)), int64(m%(1<<31))
+		dd := int64(d%1000) + 1
+		got := MulDivCeil(aa, mm, dd)
+		prod := aa * mm // fits: 31-bit × 31-bit
+		want := (prod + dd - 1) / dd
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturatingAdd(t *testing.T) {
+	if got := SaturatingAdd(1, 2); got != 3 {
+		t.Fatalf("SaturatingAdd(1,2) = %d", got)
+	}
+	if got := SaturatingAdd(MaxTime-1, 5); got != MaxTime {
+		t.Fatalf("SaturatingAdd near max = %d, want MaxTime", got)
+	}
+	if got := SaturatingAdd(MaxTime, MaxTime); got != MaxTime {
+		t.Fatalf("SaturatingAdd(max,max) = %d, want MaxTime", got)
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	f()
+}

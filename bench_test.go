@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"gmfnet"
+	"gmfnet/internal/admission"
 	"gmfnet/internal/core"
 	"gmfnet/internal/ether"
 	"gmfnet/internal/exp"
@@ -220,6 +221,110 @@ func BenchmarkAdmissionRequest(b *testing.B) {
 		}
 		if !d.Admitted {
 			b.Fatalf("request %d rejected; raise the bench link rate", i)
+		}
+	}
+}
+
+// admissionBenchSetup builds the network.Campus topology used by the
+// BenchmarkAdmission* pair and the resident local VoIP flows that make
+// up the steady state.
+func admissionBenchSetup(b *testing.B, switches, hostsPer, residents int) (*network.Topology, []*network.FlowSpec) {
+	b.Helper()
+	topo, _, err := network.Campus(switches, hostsPer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]*network.FlowSpec, 0, residents)
+	for i := 0; i < residents; i++ {
+		s := i % switches
+		a := (i / switches) % hostsPer
+		c := (a + 1) % hostsPer
+		specs = append(specs, &network.FlowSpec{
+			Flow: trace.VoIP(fmt.Sprintf("res%d", i), trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+			Route: []network.NodeID{
+				network.NodeID(fmt.Sprintf("h%d_%d", s, a)),
+				network.NodeID(fmt.Sprintf("sw%d", s)),
+				network.NodeID(fmt.Sprintf("h%d_%d", s, c)),
+			},
+			Priority: 2,
+		})
+	}
+	return topo, specs
+}
+
+func admissionProbe(i int) *network.FlowSpec {
+	return &network.FlowSpec{
+		Flow:     trace.VoIP(fmt.Sprintf("probe%d", i), trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+		Route:    []network.NodeID{"h0_0", "sw0", "h0_2"},
+		Priority: 2,
+	}
+}
+
+// BenchmarkAdmissionIncremental64 measures one admission + departure
+// cycle through the engine-backed controller at a 64-flow steady state:
+// snapshot, validate the newcomer only, delta-analyse its interference
+// neighbourhood, and (for the departure) re-converge the affected flows.
+func BenchmarkAdmissionIncremental64(b *testing.B) {
+	topo, specs := admissionBenchSetup(b, 8, 4, 64)
+	ctl, err := admission.NewController(network.New(topo), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, fs := range specs {
+		d, err := ctl.Request(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Admitted {
+			b.Fatalf("resident %s rejected during setup", fs.Flow.Name)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ctl.Request(admissionProbe(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Admitted {
+			b.Fatal("probe rejected")
+		}
+		if _, err := ctl.Release(d.FlowName); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmissionCold64 is the identical workload through the
+// from-scratch baseline: every request rebuilds a cold Analyzer and runs
+// the full holistic fixpoint over all 65 flows.
+func BenchmarkAdmissionCold64(b *testing.B) {
+	topo, specs := admissionBenchSetup(b, 8, 4, 64)
+	ctl, err := admission.NewColdController(network.New(topo), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, fs := range specs {
+		d, err := ctl.Request(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Admitted {
+			b.Fatalf("resident %s rejected during setup", fs.Flow.Name)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ctl.Request(admissionProbe(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Admitted {
+			b.Fatal("probe rejected")
+		}
+		if _, err := ctl.Release(d.FlowName); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

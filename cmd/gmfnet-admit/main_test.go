@@ -24,8 +24,25 @@ func TestRunScenarioFile(t *testing.T) {
 	}
 }
 
+func TestRunStream(t *testing.T) {
+	if err := run([]string{"-stream", "40", "-seed", "3", "-switches", "4", "-hosts", "3"}); err != nil {
+		t.Fatalf("stream mode failed: %v", err)
+	}
+}
+
+func TestRunStreamCold(t *testing.T) {
+	if err := run([]string{"-stream", "10", "-seed", "3", "-switches", "2", "-hosts", "2", "-cold"}); err != nil {
+		t.Fatalf("cold stream mode failed: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	for _, args := range [][]string{{}, {"/nonexistent.json"}} {
+	for _, args := range [][]string{
+		{},
+		{"/nonexistent.json"},
+		{"-stream", "5", "-switches", "0"},
+		{"-stream", "5", "-hosts", "1"},
+	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}

@@ -80,6 +80,11 @@ type (
 	VoIPOptions = trace.VoIPOptions
 	// AdmissionDecision records one admission request outcome.
 	AdmissionDecision = admission.Decision
+	// AdmissionController admits flows against a network incrementally.
+	AdmissionController = admission.Controller
+	// Engine is the persistent, warm-startable analysis engine behind
+	// incremental admission control.
+	Engine = core.Engine
 	// ModelComparison pairs GMF and sporadic verdicts.
 	ModelComparison = sporadic.Comparison
 )
@@ -194,9 +199,22 @@ func (s *System) CompareModels(cfg AnalysisConfig) (*ModelComparison, error) {
 }
 
 // NewAdmissionController returns an admission controller over the
-// system's network; flows already present are treated as admitted.
+// system's network; flows already present are treated as admitted. The
+// controller runs on a persistent Engine: the network is validated once,
+// each request re-analyses only the flows sharing resources with the
+// newcomer, and rejections roll back via snapshot instead of recompute.
 func (s *System) NewAdmissionController(cfg AnalysisConfig) (*admission.Controller, error) {
 	return admission.NewController(s.nw, cfg)
+}
+
+// NewEngine returns a persistent, warm-startable analysis engine over the
+// system's network. The engine keeps demand caches, the last converged
+// jitter fixpoint and the interference index across calls, so a stream of
+// AddFlow/RemoveFlow + Analyze calls costs a fraction of repeated cold
+// Analyze calls. Mutate the flow set only through the engine (or call
+// Engine.Invalidate after out-of-band changes).
+func (s *System) NewEngine(cfg AnalysisConfig) (*Engine, error) {
+	return core.NewEngine(s.nw, cfg)
 }
 
 // Breakdown is the result of a breakdown (critical-scaling) search.

@@ -1,0 +1,3 @@
+module gmfnet
+
+go 1.24

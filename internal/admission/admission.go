@@ -3,6 +3,14 @@
 // network, the holistic analysis recomputes every bound, and the flow is
 // admitted only when the whole network remains schedulable (existing
 // guarantees included).
+//
+// Controller runs on the incremental core.Engine: it validates the
+// network once, snapshots the engine's warm state before every tentative
+// admission, re-analyses only the flows that transitively share a
+// resource with the newcomer, and restores the snapshot on rejection
+// instead of recomputing. ColdController is the original from-scratch
+// implementation, retained as the reference baseline for differential
+// tests and benchmarks.
 package admission
 
 import (
@@ -23,35 +31,158 @@ type Decision struct {
 	Result *core.Result
 }
 
-// Controller owns a network and admits or rejects flows against it.
+// Controller owns a network and admits or rejects flows against it,
+// re-analysing incrementally between requests.
 type Controller struct {
+	eng *core.Engine
+
+	decisions []Decision
+	released  int
+}
+
+// NewController returns a controller over the network; flows already in
+// the network are treated as admitted (they are not re-checked). The
+// network is validated once here; each later request validates only its
+// own flow.
+func NewController(nw *network.Network, cfg core.Config) (*Controller, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("admission: nil network")
+	}
+	eng, err := core.NewEngine(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{eng: eng}, nil
+}
+
+// Network returns the controlled network with all currently admitted
+// flows.
+func (c *Controller) Network() *network.Network { return c.eng.Network() }
+
+// Engine exposes the underlying incremental engine, e.g. to read the
+// current bounds without issuing a request.
+func (c *Controller) Engine() *core.Engine { return c.eng }
+
+// Request tentatively adds the flow, re-analyses the affected part of the
+// network from the engine's warm state, and keeps the flow only when
+// every flow (old and new) stays schedulable; on rejection the engine is
+// rolled back to its pre-request snapshot. The returned error reports
+// malformed requests; a sound rejection returns a Decision with
+// Admitted == false and a nil error.
+func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
+	snap := c.eng.Snapshot()
+	if _, err := c.eng.AddFlow(fs); err != nil {
+		return Decision{}, err
+	}
+	res, err := c.eng.Analyze()
+	if err != nil {
+		if rerr := c.eng.Restore(snap); rerr != nil {
+			return Decision{}, fmt.Errorf("admission: rollback failed: %v (after %w)", rerr, err)
+		}
+		return Decision{}, err
+	}
+	d := Decision{
+		FlowName: fs.Flow.Name,
+		Admitted: res.Schedulable(),
+		Result:   res,
+	}
+	if !d.Admitted {
+		if rerr := c.eng.Restore(snap); rerr != nil {
+			return Decision{}, fmt.Errorf("admission: rollback failed: %v", rerr)
+		}
+	}
+	c.decisions = append(c.decisions, d)
+	return d, nil
+}
+
+// RequestAll processes a batch of requests in order, stopping at the
+// first malformed request. Decisions for the requests processed so far
+// are returned alongside any error.
+func (c *Controller) RequestAll(specs []*network.FlowSpec) ([]Decision, error) {
+	out := make([]Decision, 0, len(specs))
+	for _, fs := range specs {
+		d, err := c.Request(fs)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Release removes the first admitted flow with the given name (a
+// departure) and re-analyses the flows that shared resources with it, so
+// the published bounds stay current. It reports whether a flow was
+// removed.
+func (c *Controller) Release(name string) (bool, error) {
+	nw := c.eng.Network()
+	for i := 0; i < nw.NumFlows(); i++ {
+		if nw.Flow(i).Flow.Name != name {
+			continue
+		}
+		if err := c.eng.RemoveFlow(i); err != nil {
+			return false, err
+		}
+		// Removing a flow can only shrink interference, so the remaining
+		// set stays schedulable; the delta pass just refreshes bounds.
+		if _, err := c.eng.Analyze(); err != nil {
+			return false, err
+		}
+		c.released++
+		return true, nil
+	}
+	return false, nil
+}
+
+// Decisions returns all decisions in request order.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// Admitted returns the number of admitted flows among the processed
+// requests.
+func (c *Controller) Admitted() int {
+	n := 0
+	for _, d := range c.decisions {
+		if d.Admitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Rejected returns the number of rejected requests.
+func (c *Controller) Rejected() int { return len(c.decisions) - c.Admitted() }
+
+// Released returns the number of departures processed by Release.
+func (c *Controller) Released() int { return c.released }
+
+// ColdController is the from-scratch reference: every request re-builds a
+// cold Analyzer and re-runs the full holistic fixpoint over every flow,
+// and a rejection is rolled back by popping the tentative flow. It exists
+// to differential-test and benchmark the incremental Controller against.
+type ColdController struct {
 	nw  *network.Network
 	cfg core.Config
 
 	decisions []Decision
 }
 
-// NewController returns a controller over the network; flows already in
-// the network are treated as admitted (they are not re-checked).
-func NewController(nw *network.Network, cfg core.Config) (*Controller, error) {
+// NewColdController returns the from-scratch baseline controller.
+func NewColdController(nw *network.Network, cfg core.Config) (*ColdController, error) {
 	if nw == nil {
 		return nil, fmt.Errorf("admission: nil network")
 	}
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
-	return &Controller{nw: nw, cfg: cfg}, nil
+	return &ColdController{nw: nw, cfg: cfg}, nil
 }
 
-// Network returns the controlled network with all currently admitted
-// flows.
-func (c *Controller) Network() *network.Network { return c.nw }
+// Network returns the controlled network.
+func (c *ColdController) Network() *network.Network { return c.nw }
 
-// Request tentatively adds the flow, analyses the network, and keeps the
-// flow only when every flow (old and new) stays schedulable. The returned
-// error reports malformed requests; a sound rejection returns a Decision
-// with Admitted == false and a nil error.
-func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
+// Request tentatively adds the flow, analyses the whole network cold, and
+// keeps the flow only when every flow stays schedulable.
+func (c *ColdController) Request(fs *network.FlowSpec) (Decision, error) {
 	if _, err := c.nw.AddFlow(fs); err != nil {
 		return Decision{}, err
 	}
@@ -77,20 +208,16 @@ func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
 	return d, nil
 }
 
-// Decisions returns all decisions in request order.
-func (c *Controller) Decisions() []Decision { return c.decisions }
-
-// Admitted returns the number of admitted flows among the processed
-// requests.
-func (c *Controller) Admitted() int {
-	n := 0
-	for _, d := range c.decisions {
-		if d.Admitted {
-			n++
+// Release removes the first flow with the given name.
+func (c *ColdController) Release(name string) (bool, error) {
+	for i := 0; i < c.nw.NumFlows(); i++ {
+		if c.nw.Flow(i).Flow.Name == name {
+			c.nw.RemoveFlow(i)
+			return true, nil
 		}
 	}
-	return n
+	return false, nil
 }
 
-// Rejected returns the number of rejected requests.
-func (c *Controller) Rejected() int { return len(c.decisions) - c.Admitted() }
+// Decisions returns all decisions in request order.
+func (c *ColdController) Decisions() []Decision { return c.decisions }

@@ -1,6 +1,8 @@
 package admission
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"gmfnet/internal/core"
@@ -145,4 +147,170 @@ func TestMalformedRequestReturnsError(t *testing.T) {
 
 func name(i int) string {
 	return "cbr" + string(rune('a'+i))
+}
+
+func TestRequestAllAndRelease(t *testing.T) {
+	c := newController(t)
+	specs := []*network.FlowSpec{
+		voipSpec("v1", "0"),
+		voipSpec("v2", "1"),
+		voipSpec("v3", "2"),
+	}
+	specs[2].Route = []network.NodeID{"2", "5", "6", "3"}
+	ds, err := c.RequestAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 || c.Admitted() != 3 {
+		t.Fatalf("batch admitted %d of %d", c.Admitted(), len(ds))
+	}
+	ok, err := c.Release("v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || c.Network().NumFlows() != 2 || c.Released() != 1 {
+		t.Fatalf("release: ok=%v flows=%d released=%d", ok, c.Network().NumFlows(), c.Released())
+	}
+	if ok, _ := c.Release("ghost"); ok {
+		t.Fatal("released a flow that does not exist")
+	}
+	// Departure must leave the controller consistent for new requests.
+	d, err := c.Request(voipSpec("v4", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Admitted {
+		t.Fatal("request after release rejected")
+	}
+}
+
+// TestIncrementalMatchesColdController drives the incremental controller
+// and the from-scratch baseline through identical randomized request/
+// departure sequences; every decision, the admitted flow sets and the
+// published bounds must agree exactly.
+func TestIncrementalMatchesColdController(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			topo := network.MustFigure1(network.Figure1Options{Rate: 10 * units.Mbps})
+			inc, err := NewController(network.New(topo), core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := NewColdController(network.New(topo), core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := []network.NodeID{"0", "1", "2"}
+			routesTo3 := map[network.NodeID][]network.NodeID{
+				"0": {"0", "4", "6", "3"},
+				"1": {"1", "4", "6", "3"},
+				"2": {"2", "5", "6", "3"},
+			}
+			var admittedNames []string
+			for op := 0; op < 25; op++ {
+				if len(admittedNames) > 0 && r.Float64() < 0.25 {
+					victim := admittedNames[r.Intn(len(admittedNames))]
+					okInc, err := inc.Release(victim)
+					if err != nil {
+						t.Fatal(err)
+					}
+					okCold, err := cold.Release(victim)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if okInc != okCold {
+						t.Fatalf("op %d: release %q diverged: %v vs %v", op, victim, okInc, okCold)
+					}
+					for i, n := range admittedNames {
+						if n == victim {
+							admittedNames = append(admittedNames[:i], admittedNames[i+1:]...)
+							break
+						}
+					}
+				} else {
+					src := hosts[r.Intn(len(hosts))]
+					mk := func(nm string) *network.FlowSpec {
+						switch r.Intn(3) {
+						case 0:
+							return &network.FlowSpec{
+								Flow:     trace.VoIP(nm, trace.VoIPOptions{Deadline: 100 * ms}),
+								Route:    routesTo3[src],
+								Priority: network.Priority(1 + r.Intn(3)),
+							}
+						case 1:
+							return &network.FlowSpec{
+								Flow:     trace.CBRVideo(nm, 4000+r.Int63n(12000), 40*ms, 250*ms),
+								Route:    routesTo3[src],
+								Priority: network.Priority(r.Intn(3)),
+							}
+						default:
+							return &network.FlowSpec{
+								Flow:     trace.MPEGIBBPBBPBB(nm, trace.MPEGOptions{Deadline: 300 * ms}),
+								Route:    routesTo3[src],
+								Priority: network.Priority(r.Intn(2)),
+							}
+						}
+					}
+					nm := fmt.Sprintf("f%d", op)
+					// Draw once; hand equal specs to both controllers.
+					spec := mk(nm)
+					specCopy := *spec
+					dInc, err := inc.Request(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dCold, err := cold.Request(&specCopy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if dInc.Admitted != dCold.Admitted {
+						t.Fatalf("op %d (%s): decisions diverged: incremental=%v cold=%v",
+							op, nm, dInc.Admitted, dCold.Admitted)
+					}
+					if dInc.Admitted {
+						admittedNames = append(admittedNames, nm)
+					}
+				}
+				// The two admitted flow sets must match exactly.
+				if inc.Network().NumFlows() != cold.Network().NumFlows() {
+					t.Fatalf("op %d: flow counts diverged: %d vs %d",
+						op, inc.Network().NumFlows(), cold.Network().NumFlows())
+				}
+				for i := 0; i < inc.Network().NumFlows(); i++ {
+					if inc.Network().Flow(i).Flow.Name != cold.Network().Flow(i).Flow.Name {
+						t.Fatalf("op %d: flow %d differs: %q vs %q", op, i,
+							inc.Network().Flow(i).Flow.Name, cold.Network().Flow(i).Flow.Name)
+					}
+				}
+			}
+			// Published bounds of the final admitted set must be identical
+			// to a cold analysis.
+			res, err := inc.Engine().Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := core.NewAnalyzer(cold.Network(), core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := an.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Schedulable() != ref.Schedulable() || len(res.Flows) != len(ref.Flows) {
+				t.Fatalf("final state diverged: %v/%d vs %v/%d",
+					res.Schedulable(), len(res.Flows), ref.Schedulable(), len(ref.Flows))
+			}
+			for i := range ref.Flows {
+				for k := range ref.Flows[i].Frames {
+					if res.Flows[i].Frames[k].Response != ref.Flows[i].Frames[k].Response {
+						t.Fatalf("flow %d frame %d bound %v vs %v", i, k,
+							res.Flows[i].Frames[k].Response, ref.Flows[i].Frames[k].Response)
+					}
+				}
+			}
+		})
+	}
 }

@@ -64,6 +64,10 @@ func (a *Analyzer) demand(j int, rate units.BitRate) *gmf.Demand {
 type jitterState struct {
 	perFrame map[jitterKey][]units.Time // one entry per frame of the flow
 	changed  bool
+	// changedFlows records which flows' jitters changed since the last
+	// resetChanged; the incremental engine's worklist iteration uses it to
+	// re-analyse only the flows whose inputs actually moved.
+	changedFlows map[int]bool
 }
 
 type jitterKey struct {
@@ -75,7 +79,10 @@ type jitterKey struct {
 // jitter at its first resource is its source jitter GJ_j^k; the jitter at
 // every downstream resource starts at zero.
 func newJitterState(nw *network.Network) *jitterState {
-	js := &jitterState{perFrame: make(map[jitterKey][]units.Time)}
+	js := &jitterState{
+		perFrame:     make(map[jitterKey][]units.Time),
+		changedFlows: make(map[int]bool),
+	}
 	for j, fs := range nw.Flows() {
 		n := fs.Flow.N()
 		for _, res := range flowResources(fs) {
@@ -114,6 +121,9 @@ func (js *jitterState) set(j int, res Resource, k int, v units.Time) {
 	if slot[k] != v {
 		slot[k] = v
 		js.changed = true
+		if js.changedFlows != nil {
+			js.changedFlows[j] = true
+		}
 	}
 }
 
@@ -142,4 +152,75 @@ func (js *jitterState) extra(j int, res Resource) units.Time {
 	return m
 }
 
-func (js *jitterState) resetChanged() { js.changed = false }
+func (js *jitterState) resetChanged() {
+	js.changed = false
+	for j := range js.changedFlows {
+		delete(js.changedFlows, j)
+	}
+}
+
+// addFlow registers cold-start slots for a newly added flow j: the source
+// jitter at the first resource, zero everywhere downstream — exactly the
+// entries newJitterState would have created.
+func (js *jitterState) addFlow(j int, fs *network.FlowSpec) {
+	n := fs.Flow.N()
+	for _, res := range flowResources(fs) {
+		js.perFrame[jitterKey{j, res}] = make([]units.Time, n)
+	}
+	first := Resource{Kind: KindLink, Node: fs.Route[0], To: fs.Route[1]}
+	slot := js.perFrame[jitterKey{j, first}]
+	for k := 0; k < n; k++ {
+		slot[k] = fs.Flow.Frames[k].Jitter
+	}
+}
+
+// coldReset restores flow j's slots to the cold-start assignment. The
+// incremental engine applies it to every flow affected by a departure, so
+// that the subsequent delta iteration ascends to the least fixpoint from
+// below instead of descending from the stale (now too large) one.
+func (js *jitterState) coldReset(j int, fs *network.FlowSpec) {
+	for _, res := range flowResources(fs) {
+		slot := js.perFrame[jitterKey{j, res}]
+		for k := range slot {
+			slot[k] = 0
+		}
+	}
+	first := Resource{Kind: KindLink, Node: fs.Route[0], To: fs.Route[1]}
+	slot := js.perFrame[jitterKey{j, first}]
+	for k := range slot {
+		slot[k] = fs.Flow.Frames[k].Jitter
+	}
+}
+
+// removeFlowReindex drops flow i's slots and shifts the keys of every flow
+// above i down by one, mirroring Network.RemoveFlow's index compaction.
+func (js *jitterState) removeFlowReindex(i int) {
+	next := make(map[jitterKey][]units.Time, len(js.perFrame))
+	for key, slot := range js.perFrame {
+		switch {
+		case key.flow == i:
+			// dropped
+		case key.flow > i:
+			key.flow--
+			next[key] = slot
+		default:
+			next[key] = slot
+		}
+	}
+	js.perFrame = next
+}
+
+// clone deep-copies the state; engine snapshots use it for rollback.
+func (js *jitterState) clone() *jitterState {
+	out := &jitterState{
+		perFrame:     make(map[jitterKey][]units.Time, len(js.perFrame)),
+		changed:      js.changed,
+		changedFlows: make(map[int]bool),
+	}
+	for key, slot := range js.perFrame {
+		cp := make([]units.Time, len(slot))
+		copy(cp, slot)
+		out.perFrame[key] = cp
+	}
+	return out
+}

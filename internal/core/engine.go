@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gmfnet/internal/network"
+)
+
+// Engine is a persistent, warm-startable analysis engine for online
+// admission control. Where Analyzer is a one-shot object that starts the
+// holistic iteration of Section 3.5 cold on every call, an Engine lives
+// across a stream of requests and keeps three pieces of state warm:
+//
+//   - the (flow, rate) demand cache, so packetisation (eq. 1) and the
+//     request-bound tables are computed once per flow, not once per call;
+//   - the last converged jitter assignment, so a subsequent analysis warm
+//     starts at the previous fixpoint instead of at the cold-start point
+//     (the holistic operator is monotone, so warm iterates still converge
+//     to the exact least fixpoint after additions);
+//   - the network's resource→flows interference index, so a change to one
+//     flow re-analyses only the flows whose pipelines transitively share a
+//     resource with it (AnalyzeDelta), falling back to a full pass when
+//     the affected set is the whole network.
+//
+// Mutate the flow set only through AddFlow/RemoveFlow so the engine can
+// track what changed; after any out-of-band change to the network or its
+// flows, call Invalidate. An Engine is not safe for concurrent use.
+type Engine struct {
+	an *Analyzer
+
+	js    *jitterState // last converged jitter assignment when valid
+	flows []FlowResult // last per-flow results, aligned with network indices
+	valid bool         // js and flows describe a fixpoint of the current flow set
+	dirty map[int]bool // flows changed since the last converged analysis
+
+	lastIterations int
+}
+
+// NewEngine validates the network once and returns an engine over it.
+// Unlike the per-request core.NewAnalyzer path, later AddFlow calls
+// validate only the incoming flow against the already-validated network.
+func NewEngine(nw *network.Network, cfg Config) (*Engine, error) {
+	an, err := NewAnalyzer(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{an: an, dirty: make(map[int]bool)}, nil
+}
+
+// Network returns the underlying network.
+func (e *Engine) Network() *network.Network { return e.an.nw }
+
+// Invalidate discards all warm state; the next analysis runs cold. Call
+// it after mutating the network or its flows outside AddFlow/RemoveFlow
+// (e.g. reassigning priorities).
+func (e *Engine) Invalidate() {
+	e.js = nil
+	e.flows = nil
+	e.valid = false
+	e.dirty = make(map[int]bool)
+}
+
+// AddFlow validates the flow against the topology, registers it and marks
+// it for (re-)analysis. Only the incoming flow is validated; the rest of
+// the network was validated at construction.
+func (e *Engine) AddFlow(fs *network.FlowSpec) (int, error) {
+	i, err := e.an.nw.AddFlow(fs)
+	if err != nil {
+		return 0, err
+	}
+	if e.valid {
+		e.js.addFlow(i, fs)
+		e.flows = append(e.flows, FlowResult{Index: i, Name: fs.Flow.Name})
+	}
+	e.dirty[i] = true
+	return i, nil
+}
+
+// RemoveFlow removes the i-th flow (a departure). Flows above i shift
+// down by one index, mirroring Network.RemoveFlow. The flows that shared
+// resources with the departed one — transitively — are reset to the
+// cold-start jitter assignment and re-analysed on the next Analyze; a
+// descent from the stale fixpoint could otherwise stop at a non-least
+// fixpoint and over-reject later admissions.
+func (e *Engine) RemoveFlow(i int) error {
+	nw := e.an.nw
+	if i < 0 || i >= nw.NumFlows() {
+		return errIndex(i, nw.NumFlows())
+	}
+	if !e.valid {
+		nw.RemoveFlow(i)
+		e.dirty = make(map[int]bool) // indices shifted; cold pass re-covers all
+		return nil
+	}
+	affected := e.affectedSet(map[int]bool{i: true})
+	nw.RemoveFlow(i)
+	e.js.removeFlowReindex(i)
+	e.flows = append(e.flows[:i], e.flows[i+1:]...)
+	for j := i; j < len(e.flows); j++ {
+		e.flows[j].Index = j
+	}
+	shift := func(j int) int {
+		if j > i {
+			return j - 1
+		}
+		return j
+	}
+	dirty := make(map[int]bool, len(e.dirty)+len(affected))
+	for j := range e.dirty {
+		if j != i {
+			dirty[shift(j)] = true
+		}
+	}
+	for _, j := range affected {
+		if j == i {
+			continue
+		}
+		j = shift(j)
+		e.js.coldReset(j, nw.Flow(j))
+		dirty[j] = true
+	}
+	e.dirty = dirty
+	return nil
+}
+
+// Analyze brings the engine's bounds up to date and returns them. With no
+// pending changes it returns the cached result; with pending changes it
+// runs AnalyzeDelta over them; without warm state it runs a full cold
+// pass. The returned Result is detached from the engine: later engine
+// calls do not mutate it.
+func (e *Engine) Analyze() (*Result, error) {
+	if !e.valid {
+		return e.analyzeFull()
+	}
+	if len(e.dirty) == 0 {
+		return e.result(true), nil
+	}
+	changed := make([]int, 0, len(e.dirty))
+	for i := range e.dirty {
+		changed = append(changed, i)
+	}
+	return e.AnalyzeDelta(changed...)
+}
+
+// AnalyzeDelta re-analyses only the flows whose pipelines transitively
+// share a resource with the given changed flows, keeping every other
+// flow's converged bounds. It is decision- and bound-equivalent to a full
+// cold analysis of the current network: unaffected flows' equations do
+// not involve affected flows, and the affected subsystem is iterated
+// monotonically to its least fixpoint. When the affected set is the whole
+// network (or no warm state exists) it falls back to a full pass.
+func (e *Engine) AnalyzeDelta(changed ...int) (*Result, error) {
+	nw := e.an.nw
+	n := nw.NumFlows()
+	seed := make(map[int]bool, len(changed)+len(e.dirty))
+	for _, i := range changed {
+		if i < 0 || i >= n {
+			return nil, errIndex(i, n)
+		}
+		seed[i] = true
+	}
+	// Fold in every other pending change: a converged delta pass marks
+	// the whole engine state valid, which is only sound if no dirty flow
+	// is left un-analysed.
+	for i := range e.dirty {
+		seed[i] = true
+	}
+	if n == 0 {
+		e.js = newJitterState(nw)
+		e.flows = nil
+		e.valid = true
+		e.dirty = make(map[int]bool)
+		e.lastIterations = 0
+		return e.result(true), nil
+	}
+	if !e.valid {
+		return e.analyzeFull()
+	}
+	// A changed flow alters the inputs of every flow sharing a directed
+	// link with it (its demand now appears in their interference sums),
+	// so those neighbours seed the worklist alongside the changed flows
+	// themselves; the iteration then propagates only where jitters
+	// actually move, never leaving the transitive interference closure —
+	// and degenerating to a full (warm-started) pass when that closure is
+	// the whole network.
+	work := make([]int, 0, len(seed))
+	for i := range seed {
+		work = append(work, i)
+	}
+	for _, i := range work {
+		for _, j := range nw.Interferers(i) {
+			seed[j] = true
+		}
+	}
+	work = work[:0]
+	for i := range seed {
+		work = append(work, i)
+	}
+	sort.Ints(work)
+	return e.analyzeOver(work)
+}
+
+// analyzeFull runs the holistic analysis cold over every flow, rebuilding
+// all warm state.
+func (e *Engine) analyzeFull() (*Result, error) {
+	nw := e.an.nw
+	e.js = newJitterState(nw)
+	e.flows = make([]FlowResult, nw.NumFlows())
+	for i := range e.flows {
+		e.flows[i] = FlowResult{Index: i, Name: nw.Flow(i).Flow.Name}
+	}
+	all := make([]int, nw.NumFlows())
+	for i := range all {
+		all[i] = i
+	}
+	return e.analyzeOver(all)
+}
+
+// analyzeOver runs a chaotic (worklist) iteration of the holistic
+// operator: each round re-analyses the flows on the worklist, and the
+// next round's worklist is the flows whose jitters changed plus every
+// flow sharing a directed link with one of them — the only flows whose
+// inputs moved. A flow whose interferers' jitters are all unchanged
+// recomputes to its previous result, so skipping it is exact: the
+// iteration converges to the same least fixpoint as a full Gauss-Seidel
+// sweep, while touching only the actual propagation front.
+func (e *Engine) analyzeOver(work []int) (*Result, error) {
+	nw := e.an.nw
+	for iter := 1; iter <= e.an.cfg.MaxHolisticIter; iter++ {
+		e.js.resetChanged()
+		for _, i := range work {
+			fr := e.an.flowPass(i, e.js)
+			e.flows[i] = fr
+			if fr.Err != nil {
+				// An overloaded or diverging stage dooms the whole
+				// configuration; warm state is no longer a fixpoint.
+				e.valid = false
+				e.lastIterations = iter
+				return e.result(false), nil
+			}
+		}
+		if len(e.js.changedFlows) == 0 {
+			e.valid = true
+			e.dirty = make(map[int]bool)
+			e.lastIterations = iter
+			return e.result(true), nil
+		}
+		next := make(map[int]bool, 2*len(e.js.changedFlows))
+		for f := range e.js.changedFlows {
+			next[f] = true
+			for _, j := range nw.Interferers(f) {
+				next[j] = true
+			}
+		}
+		work = work[:0]
+		for i := range next {
+			work = append(work, i)
+		}
+		sort.Ints(work)
+	}
+	e.valid = false
+	e.lastIterations = e.an.cfg.MaxHolisticIter
+	return e.result(false), nil
+}
+
+// result assembles a detached Result from the cached per-flow results.
+func (e *Engine) result(converged bool) *Result {
+	out := &Result{
+		Flows:      make([]FlowResult, len(e.flows)),
+		Iterations: e.lastIterations,
+		Converged:  converged,
+	}
+	copy(out.Flows, e.flows)
+	return out
+}
+
+// affectedSet returns the transitive closure of the seed flows under the
+// "shares a directed link" relation, sorted ascending. Interference in
+// every pipeline stage — first hop, in(N) ingress, prioritised egress —
+// travels only between flows on a common directed link, so this closure
+// is exactly the set of flows whose bounds can change.
+func (e *Engine) affectedSet(seed map[int]bool) []int {
+	nw := e.an.nw
+	n := nw.NumFlows()
+	visited := make([]bool, n)
+	queue := make([]int, 0, len(seed))
+	for i := range seed {
+		if !visited[i] {
+			visited[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		fs := nw.Flow(i)
+		for h := 0; h < len(fs.Route)-1; h++ {
+			for _, j := range nw.FlowsOn(fs.Route[h], fs.Route[h+1]) {
+				if !visited[j] {
+					visited[j] = true
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	out := make([]int, 0, n)
+	for i, v := range visited {
+		if v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Snapshot captures the engine's warm state and flow count. Taking a
+// snapshot costs a deep copy of the jitter assignment — no fixpoint work —
+// which is why the admission controller snapshots before every tentative
+// admission instead of re-analysing after a rejection.
+type Snapshot struct {
+	js             *jitterState
+	flows          []FlowResult
+	dirty          map[int]bool
+	valid          bool
+	lastIterations int
+	numFlows       int
+}
+
+// Snapshot captures the current engine state for a later Restore.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		valid:          e.valid,
+		lastIterations: e.lastIterations,
+		numFlows:       e.an.nw.NumFlows(),
+		dirty:          make(map[int]bool, len(e.dirty)),
+	}
+	for i := range e.dirty {
+		s.dirty[i] = true
+	}
+	if e.js != nil {
+		s.js = e.js.clone()
+	}
+	s.flows = make([]FlowResult, len(e.flows))
+	copy(s.flows, e.flows)
+	return s
+}
+
+// Restore rolls the engine and its network back to a snapshot taken
+// earlier in the same add-only window: flows added since the snapshot are
+// popped and the warm state is restored wholesale. Restoring across a
+// RemoveFlow is not supported (indices have shifted) and returns an
+// error. The engine takes ownership of the snapshot's state; restore a
+// given snapshot at most once.
+func (e *Engine) Restore(s *Snapshot) error {
+	nw := e.an.nw
+	if nw.NumFlows() < s.numFlows {
+		return fmt.Errorf("core: cannot restore snapshot across flow removals (%d flows now, %d at snapshot)", nw.NumFlows(), s.numFlows)
+	}
+	for nw.NumFlows() > s.numFlows {
+		nw.RemoveLastFlow()
+	}
+	e.js = s.js
+	e.flows = s.flows
+	e.valid = s.valid
+	e.lastIterations = s.lastIterations
+	e.dirty = s.dirty
+	return nil
+}

@@ -70,11 +70,18 @@ func (fs *FlowSpec) Uses(from, to NodeID) bool {
 type Network struct {
 	Topo  *Topology
 	flows []*FlowSpec
+
+	// onLink is the reverse interference index: for every directed link
+	// (from, to) the ascending indices of the flows whose route uses it.
+	// AddFlow and RemoveFlow maintain it, so FlowsOn and Interferers are
+	// lookups rather than scans — the analysis inner loops and the
+	// incremental engine's affected-set computation depend on that.
+	onLink map[[2]NodeID][]int
 }
 
 // New returns a Network over the given topology.
 func New(topo *Topology) *Network {
-	return &Network{Topo: topo}
+	return &Network{Topo: topo, onLink: make(map[[2]NodeID][]int)}
 }
 
 // AddFlow validates the flow spec against the topology and registers it.
@@ -93,15 +100,57 @@ func (nw *Network) AddFlow(fs *FlowSpec) (int, error) {
 		return 0, fmt.Errorf("network: flow %q: %w", fs.Flow.Name, err)
 	}
 	nw.flows = append(nw.flows, fs)
-	return len(nw.flows) - 1, nil
+	i := len(nw.flows) - 1
+	for h := 0; h < len(fs.Route)-1; h++ {
+		key := [2]NodeID{fs.Route[h], fs.Route[h+1]}
+		nw.onLink[key] = append(nw.onLink[key], i)
+	}
+	return i, nil
+}
+
+// RemoveFlow removes the i-th flow. Flows after it shift down by one
+// index, preserving admission order; the link index is updated in place.
+// Removing an out-of-range index is a no-op so that rollback paths can
+// call it unconditionally. Removing the last flow — the admission
+// rollback case — costs O(route length); removing a middle flow
+// additionally walks the index once to shift the higher indices down.
+func (nw *Network) RemoveFlow(i int) {
+	if i < 0 || i >= len(nw.flows) {
+		return
+	}
+	fs := nw.flows[i]
+	nw.flows = append(nw.flows[:i], nw.flows[i+1:]...)
+	for h := 0; h < len(fs.Route)-1; h++ {
+		key := [2]NodeID{fs.Route[h], fs.Route[h+1]}
+		s := nw.onLink[key]
+		for k, j := range s {
+			if j == i {
+				s = append(s[:k], s[k+1:]...)
+				break
+			}
+		}
+		if len(s) == 0 {
+			delete(nw.onLink, key)
+		} else {
+			nw.onLink[key] = s
+		}
+	}
+	if i == len(nw.flows) {
+		return // tail removal: no indices shift
+	}
+	for _, s := range nw.onLink {
+		for k, j := range s {
+			if j > i {
+				s[k] = j - 1
+			}
+		}
+	}
 }
 
 // RemoveLastFlow removes the most recently added flow. The admission
 // controller uses it to roll back a rejected tentative admission.
 func (nw *Network) RemoveLastFlow() {
-	if len(nw.flows) > 0 {
-		nw.flows = nw.flows[:len(nw.flows)-1]
-	}
+	nw.RemoveFlow(len(nw.flows) - 1)
 }
 
 // Flows returns the registered flow specs in admission order. The slice is
@@ -115,15 +164,10 @@ func (nw *Network) NumFlows() int { return len(nw.flows) }
 func (nw *Network) Flow(i int) *FlowSpec { return nw.flows[i] }
 
 // FlowsOn returns flows(N1,N2): the indices of flows whose route uses the
-// directed link from->to, sorted ascending.
+// directed link from->to, sorted ascending. The returned slice is backed
+// by the network's link index; callers must not mutate it.
 func (nw *Network) FlowsOn(from, to NodeID) []int {
-	var out []int
-	for i, fs := range nw.flows {
-		if fs.Uses(from, to) {
-			out = append(out, i)
-		}
-	}
-	return out
+	return nw.onLink[[2]NodeID{from, to}]
 }
 
 // HEP returns hep(τi,N1,N2) per eq. (2): the indices of flows j != i on
@@ -131,11 +175,8 @@ func (nw *Network) FlowsOn(from, to NodeID) []int {
 func (nw *Network) HEP(i int, from, to NodeID) []int {
 	pi := nw.flows[i].Priority
 	var out []int
-	for j, fs := range nw.flows {
-		if j == i {
-			continue
-		}
-		if fs.Uses(from, to) && fs.Priority >= pi {
+	for _, j := range nw.FlowsOn(from, to) {
+		if j != i && nw.flows[j].Priority >= pi {
 			out = append(out, j)
 		}
 	}
@@ -147,14 +188,38 @@ func (nw *Network) HEP(i int, from, to NodeID) []int {
 func (nw *Network) LP(i int, from, to NodeID) []int {
 	pi := nw.flows[i].Priority
 	var out []int
-	for j, fs := range nw.flows {
-		if j == i {
-			continue
-		}
-		if fs.Uses(from, to) && fs.Priority < pi {
+	for _, j := range nw.FlowsOn(from, to) {
+		if j != i && nw.flows[j].Priority < pi {
 			out = append(out, j)
 		}
 	}
+	return out
+}
+
+// Interferers returns the indices of the flows j != i that share at least
+// one directed link with flow i, sorted ascending. Two flows can influence
+// each other's response-time bounds exactly when they (transitively)
+// interfere through such shared resources: the first hop and the egress
+// stages interfere per directed link, and the ingress stage in(N) of a
+// switch is shared by precisely the flows entering N over the same
+// directed link. The incremental engine's affected-set closure walks this
+// relation.
+func (nw *Network) Interferers(i int) []int {
+	if i < 0 || i >= len(nw.flows) {
+		return nil
+	}
+	fs := nw.flows[i]
+	seen := make(map[int]bool)
+	var out []int
+	for h := 0; h < len(fs.Route)-1; h++ {
+		for _, j := range nw.FlowsOn(fs.Route[h], fs.Route[h+1]) {
+			if j != i && !seen[j] {
+				seen[j] = true
+				out = append(out, j)
+			}
+		}
+	}
+	sort.Ints(out)
 	return out
 }
 

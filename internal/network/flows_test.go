@@ -131,6 +131,71 @@ func TestHEPEqualPriorityCountsBothWays(t *testing.T) {
 	}
 }
 
+func TestRemoveFlowShiftsIndicesAndIndex(t *testing.T) {
+	nw := testNetwork(t)
+	// Remove the middle flow: v2 shifts from index 2 to 1.
+	nw.RemoveFlow(1)
+	if nw.NumFlows() != 2 {
+		t.Fatalf("NumFlows = %d, want 2", nw.NumFlows())
+	}
+	if nw.Flow(0).Flow.Name != "v0" || nw.Flow(1).Flow.Name != "v2" {
+		t.Fatalf("order after removal: %q, %q", nw.Flow(0).Flow.Name, nw.Flow(1).Flow.Name)
+	}
+	if got := nw.FlowsOn("4", "6"); !equalInts(got, []int{0}) {
+		t.Fatalf("FlowsOn(4,6) = %v, want [0]", got)
+	}
+	if got := nw.FlowsOn("6", "7"); !equalInts(got, []int{1}) {
+		t.Fatalf("FlowsOn(6,7) = %v, want [1]", got)
+	}
+	// Out-of-range removals are no-ops.
+	nw.RemoveFlow(-1)
+	nw.RemoveFlow(7)
+	if nw.NumFlows() != 2 {
+		t.Fatalf("no-op removal changed NumFlows to %d", nw.NumFlows())
+	}
+}
+
+func TestInterferers(t *testing.T) {
+	nw := testNetwork(t)
+	// v0 (0->4->6->3) and v1 (1->4->6->3) share links 4->6 and 6->3;
+	// v2 (2->5->6->7) shares nothing with either.
+	if got := nw.Interferers(0); !equalInts(got, []int{1}) {
+		t.Fatalf("Interferers(0) = %v, want [1]", got)
+	}
+	if got := nw.Interferers(1); !equalInts(got, []int{0}) {
+		t.Fatalf("Interferers(1) = %v, want [0]", got)
+	}
+	if got := nw.Interferers(2); got != nil {
+		t.Fatalf("Interferers(2) = %v, want empty", got)
+	}
+	if got := nw.Interferers(9); got != nil {
+		t.Fatalf("Interferers(9) = %v, want empty", got)
+	}
+}
+
+func TestFlowsOnMatchesScan(t *testing.T) {
+	// The index-backed FlowsOn must agree with a direct route scan for
+	// every link after a mix of additions and removals.
+	nw := testNetwork(t)
+	nw.RemoveFlow(0)
+	if _, err := nw.AddFlow(&FlowSpec{
+		Flow: videoFlow("v3"), Route: []NodeID{"0", "4", "6", "3"}, Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range nw.Topo.Links() {
+		var want []int
+		for i, fs := range nw.Flows() {
+			if fs.Uses(l.From, l.To) {
+				want = append(want, i)
+			}
+		}
+		if got := nw.FlowsOn(l.From, l.To); !equalInts(got, want) {
+			t.Errorf("FlowsOn(%s,%s) = %v, want %v", l.From, l.To, got, want)
+		}
+	}
+}
+
 func TestRemoveLastFlow(t *testing.T) {
 	nw := testNetwork(t)
 	n := nw.NumFlows()
@@ -172,6 +237,35 @@ func TestAssignPrioritiesDM(t *testing.T) {
 	}
 	if pb != pd {
 		t.Fatalf("equal deadlines got different priorities: b=%d d=%d", pb, pd)
+	}
+}
+
+func TestCampus(t *testing.T) {
+	topo, hosts, err := Campus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 6 {
+		t.Fatalf("hosts = %d, want 6", len(hosts))
+	}
+	// Hosts are switch-major: hosts[2],[3] hang off sw1.
+	route, err := topo.Route(hosts[2], hosts[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 3 || route[1] != "sw1" {
+		t.Fatalf("local route = %v", route)
+	}
+	// Cross-campus route traverses the backbone chain.
+	route, err = topo.Route(hosts[0], hosts[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 5 {
+		t.Fatalf("cross route = %v", route)
+	}
+	if _, _, err := Campus(0, 2); err == nil {
+		t.Fatal("Campus(0,2) succeeded")
 	}
 }
 

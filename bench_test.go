@@ -270,7 +270,53 @@ func BenchmarkAdmissionIncremental64(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, fs := range specs {
+	benchAdmitCycle(b, ctl, specs, admissionProbe)
+}
+
+// BenchmarkAdmissionCold64 is the identical workload through the
+// from-scratch baseline: every request rebuilds a cold Analyzer and runs
+// the full holistic fixpoint over all 65 flows.
+func BenchmarkAdmissionCold64(b *testing.B) {
+	topo, specs := admissionBenchSetup(b, 8, 4, 64)
+	ctl, err := admission.NewColdController(network.New(topo), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAdmitCycle(b, ctl, specs, admissionProbe)
+}
+
+// residentSpecs builds n local VoIP flows over an arbitrary generated
+// topology whose hosts come grouped under a shared switch: resident i is
+// a call between two hosts of group i mod (len(hosts)/group).
+func residentSpecs(b *testing.B, topo *network.Topology, hosts []network.NodeID, group, n int) []*network.FlowSpec {
+	b.Helper()
+	groups := len(hosts) / group
+	specs := make([]*network.FlowSpec, 0, n)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		a := (i / groups) % group
+		c := (a + 1) % group
+		route, err := topo.Route(hosts[g*group+a], hosts[g*group+c])
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, &network.FlowSpec{
+			Flow:     trace.VoIP(fmt.Sprintf("res%d", i), trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+			Route:    route,
+			Priority: 2,
+		})
+	}
+	return specs
+}
+
+// benchAdmitCycle admits the residents through the controller and then
+// measures one admission + departure cycle per iteration.
+func benchAdmitCycle(b *testing.B, ctl interface {
+	Request(fs *network.FlowSpec) (admission.Decision, error)
+	Release(name string) (bool, error)
+}, residents []*network.FlowSpec, probe func(i int) *network.FlowSpec) {
+	b.Helper()
+	for _, fs := range residents {
 		d, err := ctl.Request(fs)
 		if err != nil {
 			b.Fatal(err)
@@ -282,7 +328,7 @@ func BenchmarkAdmissionIncremental64(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d, err := ctl.Request(admissionProbe(i))
+		d, err := ctl.Request(probe(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -295,38 +341,58 @@ func BenchmarkAdmissionIncremental64(b *testing.B) {
 	}
 }
 
-// BenchmarkAdmissionCold64 is the identical workload through the
-// from-scratch baseline: every request rebuilds a cold Analyzer and runs
-// the full holistic fixpoint over all 65 flows.
-func BenchmarkAdmissionCold64(b *testing.B) {
-	topo, specs := admissionBenchSetup(b, 8, 4, 64)
+// BenchmarkAdmissionIncremental256 scales the admission cycle to a
+// 256-flow steady state on a 16-switch industrial ring. With the arena
+// engine a probe costs the O(1) snapshot plus the delta analysis of its
+// local neighbourhood; the total resident count enters only through the
+// departure's index shift, not through any per-request copy.
+func BenchmarkAdmissionIncremental256(b *testing.B) {
+	topo, hosts, err := network.Ring(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := admission.NewController(network.New(topo), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAdmitCycle(b, ctl, residentSpecs(b, topo, hosts, 4, 256), admissionProbe)
+}
+
+// BenchmarkAdmissionCold256 is the identical 256-flow workload through the
+// from-scratch baseline: every request re-runs the full holistic fixpoint
+// over all 257 flows.
+func BenchmarkAdmissionCold256(b *testing.B) {
+	topo, hosts, err := network.Ring(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ctl, err := admission.NewColdController(network.New(topo), core.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, fs := range specs {
-		d, err := ctl.Request(fs)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !d.Admitted {
-			b.Fatalf("resident %s rejected during setup", fs.Flow.Name)
+	benchAdmitCycle(b, ctl, residentSpecs(b, topo, hosts, 4, 256), admissionProbe)
+}
+
+// BenchmarkAdmissionIncremental1024 pushes the steady state to 1024 flows
+// on an 8-ary fat tree (128 hosts, 80 switches) — the scale where the
+// pre-arena engine's per-request deep-copy snapshot dominated.
+func BenchmarkAdmissionIncremental1024(b *testing.B) {
+	topo, hosts, err := network.FatTree(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := admission.NewController(network.New(topo), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := func(i int) *network.FlowSpec {
+		return &network.FlowSpec{
+			Flow:     trace.VoIP(fmt.Sprintf("probe%d", i), trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+			Route:    []network.NodeID{"h0_0_0", "edge0_0", "h0_0_2"},
+			Priority: 2,
 		}
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d, err := ctl.Request(admissionProbe(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !d.Admitted {
-			b.Fatal("probe rejected")
-		}
-		if _, err := ctl.Release(d.FlowName); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchAdmitCycle(b, ctl, residentSpecs(b, topo, hosts, 4, 1024), probe)
 }
 
 // figure1Bounds computes the holistic bounds of the shared E3/E5 scenario.

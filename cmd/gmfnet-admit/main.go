@@ -6,7 +6,7 @@
 // Usage:
 //
 //	gmfnet-admit [-sporadic] [-example] [scenario.json]
-//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold]
+//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-workers W]
 //
 // With -sporadic every request is first collapsed to the sporadic model,
 // reproducing the capacity loss the paper's GMF model avoids.
@@ -17,7 +17,9 @@
 // incremental engine-backed controller, mixing in departures with
 // probability -depart after each request. It reports the decision mix and
 // the end-to-end admission throughput; -cold runs the same stream through
-// the from-scratch baseline controller for comparison.
+// the from-scratch baseline controller for comparison, and -workers lets
+// the incremental engine run large delta worklists as parallel Jacobi
+// rounds.
 package main
 
 import (
@@ -53,12 +55,13 @@ func run(args []string) error {
 	switches := fs.Int("switches", 8, "stream mode: number of edge switches")
 	hosts := fs.Int("hosts", 4, "stream mode: hosts per switch")
 	cold := fs.Bool("cold", false, "stream mode: use the from-scratch baseline controller")
+	workers := fs.Int("workers", 0, "stream mode: parallel delta worklist workers (0/1 sequential, -1 GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *stream > 0 {
-		return runStream(*stream, *seed, *depart, *switches, *hosts, *cold)
+		return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *workers)
 	}
 
 	var scenario *config.Scenario
@@ -120,8 +123,10 @@ type requester interface {
 }
 
 // runStream drives a randomized online request/departure stream through
-// an admission controller and reports throughput.
-func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold bool) error {
+// an admission controller and reports throughput. workers > 1 (or -1 for
+// GOMAXPROCS) lets the incremental engine run large delta worklists as
+// parallel Jacobi rounds.
+func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold bool, workers int) error {
 	if switches < 1 || hostsPer < 2 {
 		return fmt.Errorf("stream mode needs at least 1 switch and 2 hosts per switch")
 	}
@@ -133,7 +138,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold b
 	if cold {
 		ctl, err = admission.NewColdController(network.New(topo), core.Config{})
 	} else {
-		ctl, err = admission.NewController(network.New(topo), core.Config{})
+		ctl, err = admission.NewController(network.New(topo), core.Config{Workers: workers})
 	}
 	if err != nil {
 		return err

@@ -202,17 +202,21 @@ func (s *System) CompareModels(cfg AnalysisConfig) (*ModelComparison, error) {
 // system's network; flows already present are treated as admitted. The
 // controller runs on a persistent Engine: the network is validated once,
 // each request re-analyses only the flows sharing resources with the
-// newcomer, and rejections roll back via snapshot instead of recompute.
+// newcomer, and rejections roll back through O(1) undo-log snapshot
+// tokens instead of recompute or deep copies. Set AnalysisConfig.Workers
+// to run large delta worklists as parallel Jacobi rounds.
 func (s *System) NewAdmissionController(cfg AnalysisConfig) (*admission.Controller, error) {
 	return admission.NewController(s.nw, cfg)
 }
 
 // NewEngine returns a persistent, warm-startable analysis engine over the
 // system's network. The engine keeps demand caches, the last converged
-// jitter fixpoint and the interference index across calls, so a stream of
-// AddFlow/RemoveFlow + Analyze calls costs a fraction of repeated cold
-// Analyze calls. Mutate the flow set only through the engine (or call
-// Engine.Invalidate after out-of-band changes).
+// jitter fixpoint (a flat arena indexed by dense resource ids) and the
+// interference index across calls, so a stream of AddFlow/RemoveFlow +
+// Analyze calls costs a fraction of repeated cold Analyze calls;
+// snapshots are O(1) undo-log tokens. Set AnalysisConfig.Workers to
+// parallelise large delta worklists. Mutate the flow set only through
+// the engine (or call Engine.Invalidate after out-of-band changes).
 func (s *System) NewEngine(cfg AnalysisConfig) (*Engine, error) {
 	return core.NewEngine(s.nw, cfg)
 }

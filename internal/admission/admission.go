@@ -5,12 +5,13 @@
 // guarantees included).
 //
 // Controller runs on the incremental core.Engine: it validates the
-// network once, snapshots the engine's warm state before every tentative
-// admission, re-analyses only the flows that transitively share a
-// resource with the newcomer, and restores the snapshot on rejection
-// instead of recomputing. ColdController is the original from-scratch
-// implementation, retained as the reference baseline for differential
-// tests and benchmarks.
+// network once, takes an O(1) undo-log snapshot token before every
+// tentative admission, re-analyses only the flows that transitively share
+// a resource with the newcomer, and on rejection restores the token —
+// undoing just the jitter writes the tentative analysis made, never
+// copying or rebuilding the whole assignment. ColdController is the
+// original from-scratch implementation, retained as the reference
+// baseline for differential tests and benchmarks.
 package admission
 
 import (
@@ -66,12 +67,16 @@ func (c *Controller) Engine() *core.Engine { return c.eng }
 // Request tentatively adds the flow, re-analyses the affected part of the
 // network from the engine's warm state, and keeps the flow only when
 // every flow (old and new) stays schedulable; on rejection the engine is
-// rolled back to its pre-request snapshot. The returned error reports
-// malformed requests; a sound rejection returns a Decision with
-// Admitted == false and a nil error.
+// rolled back to its pre-request snapshot. The snapshot is a cheap
+// token: it arms the engine's undo journal and copies only the per-flow
+// result headers — no jitter state — so rollback cost tracks what the
+// tentative analysis touched, not the resident flow count. The returned
+// error reports malformed requests; a sound rejection returns a Decision
+// with Admitted == false and a nil error.
 func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
 	snap := c.eng.Snapshot()
 	if _, err := c.eng.AddFlow(fs); err != nil {
+		c.eng.Discard(snap) // nothing was admitted; disarm the journal
 		return Decision{}, err
 	}
 	res, err := c.eng.Analyze()
@@ -90,6 +95,9 @@ func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
 		if rerr := c.eng.Restore(snap); rerr != nil {
 			return Decision{}, fmt.Errorf("admission: rollback failed: %v", rerr)
 		}
+	} else {
+		// Committed: release the snapshot so the journal stops recording.
+		c.eng.Discard(snap)
 	}
 	c.decisions = append(c.decisions, d)
 	return d, nil
@@ -97,7 +105,9 @@ func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
 
 // RequestAll processes a batch of requests in order, stopping at the
 // first malformed request. Decisions for the requests processed so far
-// are returned alongside any error.
+// are returned alongside any error. Each request rides its own snapshot
+// token, so a rejection mid-batch rolls back exactly that request and
+// the batch continues from the last committed state.
 func (c *Controller) RequestAll(specs []*network.FlowSpec) ([]Decision, error) {
 	out := make([]Decision, 0, len(specs))
 	for _, fs := range specs {

@@ -1,0 +1,95 @@
+package config
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gmfnet/internal/core"
+)
+
+// TestScenarioRoundTrip: Write followed by Read must reproduce every
+// shipped scenario document exactly, and the rebuilt network must analyse
+// to the same bounds — the loader is part of the persistence contract.
+func TestScenarioRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped scenarios found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			orig, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := orig.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(orig, back) {
+				t.Fatalf("round trip changed the document:\norig: %+v\nback: %+v", orig, back)
+			}
+			bounds := func(s *Scenario) *core.Result {
+				nw, err := s.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				an, err := core.NewAnalyzer(nw, core.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := an.Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := bounds(orig), bounds(back)
+			if len(a.Flows) != len(b.Flows) {
+				t.Fatalf("flow counts differ: %d vs %d", len(a.Flows), len(b.Flows))
+			}
+			for i := range a.Flows {
+				for k := range a.Flows[i].Frames {
+					if a.Flows[i].Frames[k].Response != b.Flows[i].Frames[k].Response {
+						t.Fatalf("flow %d frame %d bound changed across round trip", i, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIndustrialRingShipped pins the new ring scenario's shape: the flows
+// must actually traverse the ring (multi-switch routes), not collapse to
+// single-hop paths.
+func TestIndustrialRingShipped(t *testing.T) {
+	sc, err := Load("../../scenarios/industrial-ring.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumFlows() != 9 {
+		t.Fatalf("flows = %d, want 9", nw.NumFlows())
+	}
+	multi := 0
+	for i := 0; i < nw.NumFlows(); i++ {
+		if len(nw.Flow(i).Route) >= 4 {
+			multi++
+		}
+	}
+	if multi < 8 {
+		t.Fatalf("only %d flows cross more than one switch", multi)
+	}
+}

@@ -10,22 +10,37 @@ import (
 )
 
 // Analyzer computes response-time bounds for all flows of a network. It is
-// not safe for concurrent use; create one per goroutine.
+// not safe for concurrent use; create one per goroutine. Its caches are
+// keyed by flow index, so an Analyzer must not outlive a change to the
+// network's flow set made behind its back (Network.RemoveFlow shifts
+// indices): build a fresh Analyzer per flow set, or use Engine, which
+// keeps the caches aligned across its own AddFlow/RemoveFlow.
 type Analyzer struct {
 	nw  *network.Network
 	cfg Config
 
-	demands map[demandKey]*gmf.Demand
+	// demands caches each flow's per-link-rate demand, indexed by flow.
+	// A flow meets at most a handful of distinct link rates, so the inner
+	// entry is a tiny linear-scanned slice — no hashing on the hot path.
+	// The index alignment is maintained by the engine across removals;
+	// one-shot analyzers are built fresh per flow set.
+	demands [][]rateDemand
+
+	// demScratch/extScratch are reusable buffers for the per-stage hoists
+	// of interferer demands and entry jitters (see stages.go).
+	demScratch []*gmf.Demand
+	extScratch []units.Time
 }
 
-type demandKey struct {
-	flow *gmf.Flow
+type rateDemand struct {
 	rate units.BitRate
-	rtp  bool
+	d    *gmf.Demand
 }
 
 // NewAnalyzer returns an analyzer over the given network. The network must
-// already validate; NewAnalyzer re-checks and returns any error.
+// already validate; NewAnalyzer re-checks and returns any error. The
+// analyzer is bound to the network's current flow indices; rebuild it
+// after adding or removing flows directly on the network.
 func NewAnalyzer(nw *network.Network, cfg Config) (*Analyzer, error) {
 	if nw == nil {
 		return nil, fmt.Errorf("core: nil network")
@@ -36,69 +51,122 @@ func NewAnalyzer(nw *network.Network, cfg Config) (*Analyzer, error) {
 	return &Analyzer{
 		nw:      nw,
 		cfg:     cfg.withDefaults(),
-		demands: make(map[demandKey]*gmf.Demand),
+		demands: make([][]rateDemand, nw.NumFlows()),
 	}, nil
 }
 
 // demand returns the (cached) per-link demand of flow j at the given rate.
 func (a *Analyzer) demand(j int, rate units.BitRate) *gmf.Demand {
-	fs := a.nw.Flow(j)
-	key := demandKey{fs.Flow, rate, fs.RTP}
-	if d, ok := a.demands[key]; ok {
-		return d
+	for len(a.demands) <= j {
+		a.demands = append(a.demands, nil)
 	}
+	for _, rd := range a.demands[j] {
+		if rd.rate == rate {
+			return rd.d
+		}
+	}
+	fs := a.nw.Flow(j)
 	d, err := ether.DemandFor(fs.Flow, rate, fs.RTP)
 	if err != nil {
 		// The network validated every flow, so packetisation cannot fail;
 		// reaching this is a programming error.
 		panic(fmt.Sprintf("core: demand for validated flow %q: %v", fs.Flow.Name, err))
 	}
-	a.demands[key] = d
+	a.demands[j] = append(a.demands[j], rateDemand{rate, d})
 	return d
+}
+
+// removeFlowDemand drops flow i's demand cache entry and shifts higher
+// flow indices down by one, mirroring Network.RemoveFlow.
+func (a *Analyzer) removeFlowDemand(i int) {
+	if i >= 0 && i < len(a.demands) {
+		a.demands = append(a.demands[:i], a.demands[i+1:]...)
+	}
+}
+
+// resetDemands discards the whole cache; Engine.Invalidate uses it after
+// out-of-band flow-set changes that may have shifted indices.
+func (a *Analyzer) resetDemands() {
+	a.demands = make([][]rateDemand, a.nw.NumFlows())
 }
 
 // jitterState stores GJ_j^{k,resource} for every flow, resource and frame:
 // the generalized jitter with which frame k of flow j enters each stage of
 // its pipeline. It powers the extra_j(N,i) terms of the analysis and the
 // holistic iteration of Section 3.5.
+//
+// The state is a single flat arena of picosecond values. Flow j's slots
+// form one contiguous block: stage s (position in the flow's pipeline,
+// route order) frame k lives at blocks[j].base + s*n_j + k. Stages address
+// their own flow by position and interfering flows by the network's dense
+// ResourceID, resolved with a short linear scan of the interferer's
+// pipeline — no map hashing anywhere on the analysis hot path.
+//
+// Alongside the arena it maintains:
+//
+//   - a per-(flow, stage) cache of max-over-frames entry jitter (the
+//     extra_j term), kept incrementally valid under writes;
+//   - the changed-flow worklist driving the engine's delta iteration;
+//   - an optional undo journal of (offset, old value) pairs, which makes
+//     engine snapshots O(1) and restores O(writes since the snapshot)
+//     instead of a deep copy of the whole assignment.
 type jitterState struct {
-	perFrame map[jitterKey][]units.Time // one entry per frame of the flow
-	changed  bool
-	// changedFlows records which flows' jitters changed since the last
-	// resetChanged; the incremental engine's worklist iteration uses it to
-	// re-analyse only the flows whose inputs actually moved.
-	changedFlows map[int]bool
+	blocks []flowBlock
+	arena  []units.Time
+
+	// extraMax[e] caches max over frames of one (flow, stage) block;
+	// extraValid[e] says whether the cache reflects the arena.
+	extraMax   []units.Time
+	extraValid []bool
+
+	changed bool
+	// changedMark/changedList record which flows' jitters changed since
+	// the last resetChanged; the incremental engine's worklist iteration
+	// uses them to re-analyse only the flows whose inputs actually moved.
+	changedMark []bool
+	changedList []int
+
+	// journal records (slot, old value) for every write since the last
+	// beginJournal, newest last; undoTo replays it backwards.
+	journal   []undoEntry
+	journalOn bool
 }
 
-type jitterKey struct {
-	flow int
-	res  Resource
+// flowBlock locates one flow's slots inside the arena.
+type flowBlock struct {
+	base  int32 // arena offset of stage 0, frame 0
+	ebase int32 // extraMax/extraValid offset of stage 0
+	n     int32 // frames per stage
+	rids  []network.ResourceID
+}
+
+type undoEntry struct {
+	off  int32
+	eidx int32
+	old  units.Time
+}
+
+// jitterMark freezes the arena extents at snapshot time so undoTo can pop
+// flows added afterwards.
+type jitterMark struct {
+	arenaLen, eLen, numFlows int
 }
 
 // newJitterState initialises the holistic starting point: every flow's
 // jitter at its first resource is its source jitter GJ_j^k; the jitter at
 // every downstream resource starts at zero.
 func newJitterState(nw *network.Network) *jitterState {
-	js := &jitterState{
-		perFrame:     make(map[jitterKey][]units.Time),
-		changedFlows: make(map[int]bool),
-	}
+	js := &jitterState{}
 	for j, fs := range nw.Flows() {
-		n := fs.Flow.N()
-		for _, res := range flowResources(fs) {
-			js.perFrame[jitterKey{j, res}] = make([]units.Time, n)
-		}
-		first := Resource{Kind: KindLink, Node: fs.Route[0], To: fs.Route[1]}
-		slot := js.perFrame[jitterKey{j, first}]
-		for k := 0; k < n; k++ {
-			slot[k] = fs.Flow.Frames[k].Jitter
-		}
+		js.addFlow(j, fs, nw.FlowResources(j))
 	}
 	return js
 }
 
 // flowResources lists the pipeline resources of a flow in route order:
-// first link, then (ingress, egress link) per intermediate switch.
+// first link, then (ingress, egress link) per intermediate switch. The
+// order matches Network.FlowResources, which interns the same pipeline as
+// dense ids.
 func flowResources(fs *network.FlowSpec) []Resource {
 	route := fs.Route
 	out := []Resource{{Kind: KindLink, Node: route[0], To: route[1]}}
@@ -111,116 +179,288 @@ func flowResources(fs *network.FlowSpec) []Resource {
 	return out
 }
 
-// set records the entry jitter of frame k of flow j at a resource and
-// tracks whether anything changed since the last resetChanged.
-func (js *jitterState) set(j int, res Resource, k int, v units.Time) {
-	slot, ok := js.perFrame[jitterKey{j, res}]
-	if !ok {
-		panic(fmt.Sprintf("core: jitter set for unknown resource %v of flow %d", res, j))
+// addFlow appends cold-start slots for flow j: the source jitter at the
+// first resource, zero everywhere downstream — exactly the entries
+// newJitterState creates. rids is the flow's interned pipeline.
+func (js *jitterState) addFlow(j int, fs *network.FlowSpec, rids []network.ResourceID) {
+	if j != len(js.blocks) {
+		panic(fmt.Sprintf("core: jitter addFlow out of order: flow %d with %d blocks", j, len(js.blocks)))
 	}
-	if slot[k] != v {
-		slot[k] = v
-		js.changed = true
-		if js.changedFlows != nil {
-			js.changedFlows[j] = true
-		}
+	n := fs.Flow.N()
+	b := flowBlock{
+		base:  int32(len(js.arena)),
+		ebase: int32(len(js.extraMax)),
+		n:     int32(n),
+		rids:  rids,
 	}
-}
-
-// get returns the entry jitter of frame k of flow j at a resource.
-func (js *jitterState) get(j int, res Resource, k int) units.Time {
-	slot, ok := js.perFrame[jitterKey{j, res}]
-	if !ok {
-		return 0
-	}
-	return slot[k]
-}
-
-// extra returns extra_j at a resource: the largest entry jitter over the
-// flow's frames, the quantity added to interference windows.
-func (js *jitterState) extra(j int, res Resource) units.Time {
-	slot, ok := js.perFrame[jitterKey{j, res}]
-	if !ok {
-		return 0
-	}
+	js.blocks = append(js.blocks, b)
+	js.arena = append(js.arena, make([]units.Time, len(rids)*n)...)
+	js.extraMax = append(js.extraMax, make([]units.Time, len(rids))...)
+	js.extraValid = append(js.extraValid, make([]bool, len(rids))...)
+	js.changedMark = append(js.changedMark, false)
 	var m units.Time
-	for _, v := range slot {
+	for k := 0; k < n; k++ {
+		v := fs.Flow.Frames[k].Jitter
+		js.arena[int(b.base)+k] = v
 		if v > m {
 			m = v
 		}
 	}
-	return m
+	// All caches start valid: stage 0 holds the max source jitter, the
+	// zeroed downstream stages hold zero.
+	for s := range rids {
+		js.extraValid[int(b.ebase)+s] = true
+	}
+	if len(rids) > 0 {
+		js.extraMax[b.ebase] = m
+	}
+}
+
+// numFlows returns the number of flows with slots in the arena.
+func (js *jitterState) numFlows() int { return len(js.blocks) }
+
+// set records the entry jitter of frame k at stage pos of flow j's
+// pipeline, journaling the old value when a snapshot is outstanding and
+// tracking whether anything changed since the last resetChanged.
+func (js *jitterState) set(j, pos, k int, v units.Time) {
+	b := &js.blocks[j]
+	if pos < 0 || pos >= len(b.rids) || k < 0 || int32(k) >= b.n {
+		panic(fmt.Sprintf("core: jitter set out of range: flow %d stage %d frame %d", j, pos, k))
+	}
+	off := b.base + int32(pos)*b.n + int32(k)
+	old := js.arena[off]
+	if old == v {
+		return
+	}
+	eidx := b.ebase + int32(pos)
+	if js.journalOn {
+		js.journal = append(js.journal, undoEntry{off: off, eidx: eidx, old: old})
+	}
+	js.arena[off] = v
+	js.changed = true
+	if !js.changedMark[j] {
+		js.changedMark[j] = true
+		js.changedList = append(js.changedList, j)
+	}
+	if js.extraValid[eidx] {
+		switch {
+		case v >= js.extraMax[eidx]:
+			js.extraMax[eidx] = v
+		case old == js.extraMax[eidx]:
+			js.extraValid[eidx] = false
+		}
+	}
+}
+
+// get returns the entry jitter of frame k at stage pos of flow j.
+func (js *jitterState) get(j, pos, k int) units.Time {
+	b := &js.blocks[j]
+	return js.arena[b.base+int32(pos)*b.n+int32(k)]
+}
+
+// extraAt returns extra_j at stage pos of flow j's own pipeline: the
+// largest entry jitter over the flow's frames, the quantity added to
+// interference windows. It refreshes the cache when a write invalidated it.
+func (js *jitterState) extraAt(j, pos int) units.Time {
+	b := &js.blocks[j]
+	eidx := b.ebase + int32(pos)
+	if !js.extraValid[eidx] {
+		var m units.Time
+		base := b.base + int32(pos)*b.n
+		for _, v := range js.arena[base : base+b.n] {
+			if v > m {
+				m = v
+			}
+		}
+		js.extraMax[eidx] = m
+		js.extraValid[eidx] = true
+	}
+	return js.extraMax[eidx]
+}
+
+// extraOf returns extra_j of flow j at the resource with the given dense
+// id, or zero when the flow's pipeline does not cross it. Interference
+// sums use it for foreign flows; the pipeline scan is a handful of int32
+// compares.
+func (js *jitterState) extraOf(j int, rid network.ResourceID) units.Time {
+	if j < 0 || j >= len(js.blocks) {
+		return 0
+	}
+	for pos, r := range js.blocks[j].rids {
+		if r == rid {
+			return js.extraAt(j, pos)
+		}
+	}
+	return 0
+}
+
+// validateExtras refreshes every invalidated extra cache. Parallel rounds
+// call it before fan-out so that concurrent extraOf reads of foreign
+// flows are strictly read-only.
+func (js *jitterState) validateExtras() {
+	for j := range js.blocks {
+		b := &js.blocks[j]
+		for pos := range b.rids {
+			if !js.extraValid[b.ebase+int32(pos)] {
+				js.extraAt(j, pos)
+			}
+		}
+	}
 }
 
 func (js *jitterState) resetChanged() {
 	js.changed = false
-	for j := range js.changedFlows {
-		delete(js.changedFlows, j)
+	for _, j := range js.changedList {
+		js.changedMark[j] = false
 	}
-}
-
-// addFlow registers cold-start slots for a newly added flow j: the source
-// jitter at the first resource, zero everywhere downstream — exactly the
-// entries newJitterState would have created.
-func (js *jitterState) addFlow(j int, fs *network.FlowSpec) {
-	n := fs.Flow.N()
-	for _, res := range flowResources(fs) {
-		js.perFrame[jitterKey{j, res}] = make([]units.Time, n)
-	}
-	first := Resource{Kind: KindLink, Node: fs.Route[0], To: fs.Route[1]}
-	slot := js.perFrame[jitterKey{j, first}]
-	for k := 0; k < n; k++ {
-		slot[k] = fs.Flow.Frames[k].Jitter
-	}
+	js.changedList = js.changedList[:0]
 }
 
 // coldReset restores flow j's slots to the cold-start assignment. The
 // incremental engine applies it to every flow affected by a departure, so
 // that the subsequent delta iteration ascends to the least fixpoint from
-// below instead of descending from the stale (now too large) one.
+// below instead of descending from the stale (now too large) one. It
+// bypasses the journal; callers must have invalidated outstanding
+// snapshots (removeFlowReindex does).
 func (js *jitterState) coldReset(j int, fs *network.FlowSpec) {
-	for _, res := range flowResources(fs) {
-		slot := js.perFrame[jitterKey{j, res}]
-		for k := range slot {
-			slot[k] = 0
+	b := &js.blocks[j]
+	n := int(b.n)
+	for s := range b.rids {
+		base := int(b.base) + s*n
+		for k := 0; k < n; k++ {
+			js.arena[base+k] = 0
+		}
+		js.extraMax[int(b.ebase)+s] = 0
+		js.extraValid[int(b.ebase)+s] = true
+	}
+	var m units.Time
+	for k := 0; k < n; k++ {
+		v := fs.Flow.Frames[k].Jitter
+		js.arena[int(b.base)+k] = v
+		if v > m {
+			m = v
 		}
 	}
-	first := Resource{Kind: KindLink, Node: fs.Route[0], To: fs.Route[1]}
-	slot := js.perFrame[jitterKey{j, first}]
-	for k := range slot {
-		slot[k] = fs.Flow.Frames[k].Jitter
-	}
+	js.extraMax[b.ebase] = m
 }
 
-// removeFlowReindex drops flow i's slots and shifts the keys of every flow
-// above i down by one, mirroring Network.RemoveFlow's index compaction.
+// removeFlowReindex drops flow i's slots, compacts the arena and shifts
+// every tracking structure — including the changed-flow worklist, which
+// the pre-arena implementation left unshifted, leaking stale indices into
+// the next delta worklist — down by one, mirroring Network.RemoveFlow's
+// index compaction. Offsets recorded in the undo journal no longer address
+// the same slots after the compaction, so the journal is invalidated;
+// Engine.RemoveFlow refuses restores across it via its removal epoch.
 func (js *jitterState) removeFlowReindex(i int) {
-	next := make(map[jitterKey][]units.Time, len(js.perFrame))
-	for key, slot := range js.perFrame {
+	b := js.blocks[i]
+	stages := int32(len(b.rids))
+	slots := stages * b.n
+	copy(js.arena[b.base:], js.arena[b.base+slots:])
+	js.arena = js.arena[:int32(len(js.arena))-slots]
+	copy(js.extraMax[b.ebase:], js.extraMax[b.ebase+stages:])
+	js.extraMax = js.extraMax[:int32(len(js.extraMax))-stages]
+	copy(js.extraValid[b.ebase:], js.extraValid[b.ebase+stages:])
+	js.extraValid = js.extraValid[:int32(len(js.extraValid))-stages]
+	js.blocks = append(js.blocks[:i], js.blocks[i+1:]...)
+	for j := i; j < len(js.blocks); j++ {
+		js.blocks[j].base -= slots
+		js.blocks[j].ebase -= stages
+	}
+	list := js.changedList[:0]
+	for _, j := range js.changedList {
 		switch {
-		case key.flow == i:
-			// dropped
-		case key.flow > i:
-			key.flow--
-			next[key] = slot
+		case j == i:
+		case j > i:
+			list = append(list, j-1)
 		default:
-			next[key] = slot
+			list = append(list, j)
 		}
 	}
-	js.perFrame = next
+	js.changedList = list
+	js.changedMark = js.changedMark[:len(js.blocks)]
+	for j := range js.changedMark {
+		js.changedMark[j] = false
+	}
+	for _, j := range js.changedList {
+		js.changedMark[j] = true
+	}
+	js.journal = js.journal[:0]
+	js.journalOn = false
 }
 
-// clone deep-copies the state; engine snapshots use it for rollback.
+// beginJournal starts a fresh undo epoch: the journal is truncated (any
+// older snapshot becomes unrestorable) and subsequent writes record their
+// old values. It returns the mark undoTo needs to also pop flows added
+// after the snapshot.
+func (js *jitterState) beginJournal() jitterMark {
+	js.journal = js.journal[:0]
+	js.journalOn = true
+	return jitterMark{
+		arenaLen: len(js.arena),
+		eLen:     len(js.extraMax),
+		numFlows: len(js.blocks),
+	}
+}
+
+// endJournal disarms journaling and drops the recorded history; the
+// engine calls it when the outstanding snapshot is discarded, so a long
+// snapshot-free write stream does not keep accumulating undo entries.
+func (js *jitterState) endJournal() {
+	js.journal = js.journal[:0]
+	js.journalOn = false
+}
+
+// undoTo rolls the state back to the mark: journaled writes are replayed
+// backwards and flows added after the mark are popped. Cost is
+// proportional to the writes since beginJournal, not to the total state.
+func (js *jitterState) undoTo(m jitterMark) {
+	for i := len(js.journal) - 1; i >= 0; i-- {
+		e := js.journal[i]
+		js.arena[e.off] = e.old
+		js.extraValid[e.eidx] = false
+	}
+	js.journal = js.journal[:0]
+	js.journalOn = false
+	js.resetChanged()
+	js.arena = js.arena[:m.arenaLen]
+	js.extraMax = js.extraMax[:m.eLen]
+	js.extraValid = js.extraValid[:m.eLen]
+	js.blocks = js.blocks[:m.numFlows]
+	js.changedMark = js.changedMark[:m.numFlows]
+}
+
+// clone deep-copies the state (journal excluded). The undo-log restore
+// path replaced it in the engine; it remains the oracle for differential
+// tests asserting that undo rollback is bit-identical to a deep copy.
 func (js *jitterState) clone() *jitterState {
 	out := &jitterState{
-		perFrame:     make(map[jitterKey][]units.Time, len(js.perFrame)),
-		changed:      js.changed,
-		changedFlows: make(map[int]bool),
+		blocks:      make([]flowBlock, len(js.blocks)),
+		arena:       append([]units.Time(nil), js.arena...),
+		extraMax:    append([]units.Time(nil), js.extraMax...),
+		extraValid:  append([]bool(nil), js.extraValid...),
+		changed:     js.changed,
+		changedMark: append([]bool(nil), js.changedMark...),
+		changedList: append([]int(nil), js.changedList...),
 	}
-	for key, slot := range js.perFrame {
-		cp := make([]units.Time, len(slot))
-		copy(cp, slot)
-		out.perFrame[key] = cp
-	}
+	copy(out.blocks, js.blocks)
 	return out
+}
+
+// equalAssignment reports whether two states hold bit-identical jitter
+// assignments (arena contents and layout).
+func (js *jitterState) equalAssignment(other *jitterState) bool {
+	if len(js.arena) != len(other.arena) || len(js.blocks) != len(other.blocks) {
+		return false
+	}
+	for i := range js.arena {
+		if js.arena[i] != other.arena[i] {
+			return false
+		}
+	}
+	for i := range js.blocks {
+		if js.blocks[i].base != other.blocks[i].base || js.blocks[i].n != other.blocks[i].n {
+			return false
+		}
+	}
+	return true
 }

@@ -67,6 +67,12 @@ type Config struct {
 	// MaxHolisticIter caps the outer holistic jitter iteration of
 	// Section 3.5. Zero selects 256.
 	MaxHolisticIter int
+	// Workers sets the engine's parallel delta worklist: when > 1, delta
+	// iterations whose worklist is large enough run as Jacobi-style
+	// rounds across that many goroutines instead of the sequential
+	// Gauss-Seidel sweep; both reach the same least fixpoint. Zero or
+	// one keeps the iteration sequential; negative selects GOMAXPROCS.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

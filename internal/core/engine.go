@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"gmfnet/internal/network"
@@ -12,9 +13,10 @@ import (
 // holistic iteration of Section 3.5 cold on every call, an Engine lives
 // across a stream of requests and keeps three pieces of state warm:
 //
-//   - the (flow, rate) demand cache, so packetisation (eq. 1) and the
+//   - the per-flow demand cache, so packetisation (eq. 1) and the
 //     request-bound tables are computed once per flow, not once per call;
-//   - the last converged jitter assignment, so a subsequent analysis warm
+//   - the last converged jitter assignment — a flat arena indexed by
+//     (flow, pipeline stage, frame) — so a subsequent analysis warm
 //     starts at the previous fixpoint instead of at the cold-start point
 //     (the holistic operator is monotone, so warm iterates still converge
 //     to the exact least fixpoint after additions);
@@ -22,6 +24,16 @@ import (
 //     flow re-analyses only the flows whose pipelines transitively share a
 //     resource with it (AnalyzeDelta), falling back to a full pass when
 //     the affected set is the whole network.
+//
+// Snapshots are O(1) tokens backed by an undo journal: between Snapshot
+// and Restore the arena records (slot, old value) for every write, and
+// Restore replays the journal backwards — cost proportional to the writes
+// since the snapshot, never to the total state.
+//
+// With Config.Workers > 1, large delta worklists run as Jacobi-style
+// parallel rounds (every worked flow analysed concurrently against the
+// previous round's jitters); small worklists keep the sequential
+// Gauss-Seidel sweep. Both reach the same least fixpoint.
 //
 // Mutate the flow set only through AddFlow/RemoveFlow so the engine can
 // track what changed; after any out-of-band change to the network or its
@@ -35,7 +47,20 @@ type Engine struct {
 	dirty map[int]bool // flows changed since the last converged analysis
 
 	lastIterations int
+
+	// removeEpoch increments on every RemoveFlow (and Invalidate): the
+	// arena compaction shifts slot offsets, so snapshots taken before a
+	// removal can no longer be restored and are refused.
+	removeEpoch uint64
+	// snapSeq increments on every Snapshot and Restore: each snapshot
+	// truncates the undo journal, so only the most recent snapshot is
+	// restorable, at most once.
+	snapSeq uint64
 }
+
+// minParallelWorklist is the smallest worklist worth a Jacobi round: below
+// it the goroutine fan-out costs more than the sweep.
+const minParallelWorklist = 8
 
 // NewEngine validates the network once and returns an engine over it.
 // Unlike the per-request core.NewAnalyzer path, later AddFlow calls
@@ -53,12 +78,15 @@ func (e *Engine) Network() *network.Network { return e.an.nw }
 
 // Invalidate discards all warm state; the next analysis runs cold. Call
 // it after mutating the network or its flows outside AddFlow/RemoveFlow
-// (e.g. reassigning priorities).
+// (e.g. reassigning priorities). Outstanding snapshots become
+// unrestorable.
 func (e *Engine) Invalidate() {
 	e.js = nil
 	e.flows = nil
 	e.valid = false
 	e.dirty = make(map[int]bool)
+	e.an.resetDemands()
+	e.removeEpoch++
 }
 
 // AddFlow validates the flow against the topology, registers it and marks
@@ -70,7 +98,7 @@ func (e *Engine) AddFlow(fs *network.FlowSpec) (int, error) {
 		return 0, err
 	}
 	if e.valid {
-		e.js.addFlow(i, fs)
+		e.js.addFlow(i, fs, e.an.nw.FlowResources(i))
 		e.flows = append(e.flows, FlowResult{Index: i, Name: fs.Flow.Name})
 	}
 	e.dirty[i] = true
@@ -82,19 +110,23 @@ func (e *Engine) AddFlow(fs *network.FlowSpec) (int, error) {
 // resources with the departed one — transitively — are reset to the
 // cold-start jitter assignment and re-analysed on the next Analyze; a
 // descent from the stale fixpoint could otherwise stop at a non-least
-// fixpoint and over-reject later admissions.
+// fixpoint and over-reject later admissions. Snapshots taken before the
+// removal can no longer be restored.
 func (e *Engine) RemoveFlow(i int) error {
 	nw := e.an.nw
 	if i < 0 || i >= nw.NumFlows() {
 		return errIndex(i, nw.NumFlows())
 	}
+	e.removeEpoch++
 	if !e.valid {
 		nw.RemoveFlow(i)
+		e.an.removeFlowDemand(i)
 		e.dirty = make(map[int]bool) // indices shifted; cold pass re-covers all
 		return nil
 	}
 	affected := e.affectedSet(map[int]bool{i: true})
 	nw.RemoveFlow(i)
+	e.an.removeFlowDemand(i)
 	e.js.removeFlowReindex(i)
 	e.flows = append(e.flows[:i], e.flows[i+1:]...)
 	for j := i; j < len(e.flows); j++ {
@@ -225,29 +257,60 @@ func (e *Engine) analyzeFull() (*Result, error) {
 // recomputes to its previous result, so skipping it is exact: the
 // iteration converges to the same least fixpoint as a full Gauss-Seidel
 // sweep, while touching only the actual propagation front.
+//
+// With Config.Workers > 1, rounds whose worklist reaches
+// minParallelWorklist run Jacobi-style: every worked flow is analysed
+// concurrently against the previous round's jitters and the private
+// overlays are merged afterwards. Jacobi and Gauss-Seidel iterate the
+// same monotone operator from the same point, so the least fixpoint — and
+// therefore every bound and verdict — is identical; only the number of
+// rounds may differ.
 func (e *Engine) analyzeOver(work []int) (*Result, error) {
 	nw := e.an.nw
+	workers := e.an.cfg.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	prewarmed := false
 	for iter := 1; iter <= e.an.cfg.MaxHolisticIter; iter++ {
 		e.js.resetChanged()
-		for _, i := range work {
-			fr := e.an.flowPass(i, e.js)
-			e.flows[i] = fr
-			if fr.Err != nil {
-				// An overloaded or diverging stage dooms the whole
-				// configuration; warm state is no longer a fixpoint.
-				e.valid = false
-				e.lastIterations = iter
-				return e.result(false), nil
+		if workers > 1 && len(work) >= minParallelWorklist {
+			if !prewarmed {
+				e.an.prewarmDemands()
+				prewarmed = true
+			}
+			overlays := e.an.parallelRound(e.js, work, workers, e.flows)
+			for _, i := range work {
+				if e.flows[i].Err != nil {
+					e.valid = false
+					e.lastIterations = iter
+					return e.result(false), nil
+				}
+			}
+			for _, ov := range overlays {
+				ov.mergeInto(e.js)
+			}
+		} else {
+			for _, i := range work {
+				fr := e.an.flowPass(i, e.js)
+				e.flows[i] = fr
+				if fr.Err != nil {
+					// An overloaded or diverging stage dooms the whole
+					// configuration; warm state is no longer a fixpoint.
+					e.valid = false
+					e.lastIterations = iter
+					return e.result(false), nil
+				}
 			}
 		}
-		if len(e.js.changedFlows) == 0 {
+		if len(e.js.changedList) == 0 {
 			e.valid = true
 			e.dirty = make(map[int]bool)
 			e.lastIterations = iter
 			return e.result(true), nil
 		}
-		next := make(map[int]bool, 2*len(e.js.changedFlows))
-		for f := range e.js.changedFlows {
+		next := make(map[int]bool, 2*len(e.js.changedList))
+		for _, f := range e.js.changedList {
 			next[f] = true
 			for _, j := range nw.Interferers(f) {
 				next[j] = true
@@ -313,45 +376,82 @@ func (e *Engine) affectedSet(seed map[int]bool) []int {
 	return out
 }
 
-// Snapshot captures the engine's warm state and flow count. Taking a
-// snapshot costs a deep copy of the jitter assignment — no fixpoint work —
-// which is why the admission controller snapshots before every tentative
-// admission instead of re-analysing after a rejection.
+// Snapshot captures the engine's state for a later Restore as a cheap
+// token: no jitter values are copied. Taking it arms the undo journal —
+// every subsequent write records its old value — and copies only the
+// per-flow result headers. The admission controller snapshots before
+// every tentative admission and rolls back on rejection instead of
+// re-analysing.
 type Snapshot struct {
-	js             *jitterState
+	jsRef *jitterState
+	mark  jitterMark
+	seq   uint64
+	epoch uint64
+
 	flows          []FlowResult
-	dirty          map[int]bool
+	dirty          []int
 	valid          bool
 	lastIterations int
 	numFlows       int
 }
 
-// Snapshot captures the current engine state for a later Restore.
+// Snapshot captures the current engine state for a later Restore. Each
+// call starts a fresh undo epoch: only the most recent snapshot can be
+// restored, at most once (snapshot-once semantics). Restoring across a
+// RemoveFlow or Invalidate is refused. Call Discard when the snapshot is
+// known dead (the tentative change committed) to stop journaling.
 func (e *Engine) Snapshot() *Snapshot {
+	e.snapSeq++
 	s := &Snapshot{
+		seq:            e.snapSeq,
+		epoch:          e.removeEpoch,
 		valid:          e.valid,
 		lastIterations: e.lastIterations,
 		numFlows:       e.an.nw.NumFlows(),
-		dirty:          make(map[int]bool, len(e.dirty)),
+		dirty:          make([]int, 0, len(e.dirty)),
 	}
 	for i := range e.dirty {
-		s.dirty[i] = true
+		s.dirty = append(s.dirty, i)
 	}
 	if e.js != nil {
-		s.js = e.js.clone()
+		s.jsRef = e.js
+		s.mark = e.js.beginJournal()
 	}
 	s.flows = make([]FlowResult, len(e.flows))
 	copy(s.flows, e.flows)
 	return s
 }
 
+// Discard releases a snapshot without restoring it: the undo journal is
+// disarmed and its memory reclaimed. Discarding a superseded or already
+// consumed snapshot is a no-op. Commit paths should call it — otherwise
+// the journal stays armed and grows with every write until the next
+// Snapshot, RemoveFlow or Invalidate.
+func (e *Engine) Discard(s *Snapshot) {
+	if s == nil || s.seq != e.snapSeq {
+		return
+	}
+	e.snapSeq++
+	if s.jsRef != nil {
+		s.jsRef.endJournal()
+	}
+}
+
 // Restore rolls the engine and its network back to a snapshot taken
 // earlier in the same add-only window: flows added since the snapshot are
-// popped and the warm state is restored wholesale. Restoring across a
-// RemoveFlow is not supported (indices have shifted) and returns an
-// error. The engine takes ownership of the snapshot's state; restore a
-// given snapshot at most once.
+// popped and journaled jitter writes are undone in reverse — O(writes
+// since the snapshot), not O(total state). Restoring across a RemoveFlow
+// (indices have shifted and the arena was compacted) or a stale snapshot
+// (a newer one was taken, or this one was already restored) returns an
+// error.
 func (e *Engine) Restore(s *Snapshot) error {
+	if s.epoch != e.removeEpoch {
+		return fmt.Errorf("core: cannot restore snapshot across flow removals")
+	}
+	if s.seq != e.snapSeq {
+		return fmt.Errorf("core: stale snapshot: only the most recent snapshot can be restored, once")
+	}
+	e.snapSeq++ // consume: a second restore of s is refused
 	nw := e.an.nw
 	if nw.NumFlows() < s.numFlows {
 		return fmt.Errorf("core: cannot restore snapshot across flow removals (%d flows now, %d at snapshot)", nw.NumFlows(), s.numFlows)
@@ -359,10 +459,19 @@ func (e *Engine) Restore(s *Snapshot) error {
 	for nw.NumFlows() > s.numFlows {
 		nw.RemoveLastFlow()
 	}
-	e.js = s.js
+	if len(e.an.demands) > s.numFlows {
+		e.an.demands = e.an.demands[:s.numFlows]
+	}
+	if s.jsRef != nil {
+		s.jsRef.undoTo(s.mark)
+	}
+	e.js = s.jsRef
 	e.flows = s.flows
 	e.valid = s.valid
 	e.lastIterations = s.lastIterations
-	e.dirty = s.dirty
+	e.dirty = make(map[int]bool, len(s.dirty))
+	for _, i := range s.dirty {
+		e.dirty[i] = true
+	}
 	return nil
 }

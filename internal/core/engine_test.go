@@ -240,9 +240,10 @@ func TestEngineRemoveFlowErrors(t *testing.T) {
 }
 
 // TestEngineReplayEquivalence is the randomized property test: a replayed
-// request/departure sequence through the incremental engine must reach
-// exactly the verdicts and bounds of a cold Gauss-Seidel analysis and of
-// the Jacobi-style AnalyzeParallel, after every single operation.
+// request/departure sequence through the incremental engine — sequential
+// and with the parallel delta worklist — must reach exactly the verdicts
+// and bounds of a cold Gauss-Seidel analysis and of the Jacobi-style
+// AnalyzeParallel, after every single operation.
 func TestEngineReplayEquivalence(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		seed := seed
@@ -254,11 +255,18 @@ func TestEngineReplayEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			engPar, err := NewEngine(network.New(topo), Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
 			var live []*network.FlowSpec
 			for op := 0; op < 14; op++ {
 				if len(live) > 0 && r.Float64() < 0.3 {
 					i := r.Intn(len(live))
 					if err := eng.RemoveFlow(i); err != nil {
+						t.Fatal(err)
+					}
+					if err := engPar.RemoveFlow(i); err != nil {
 						t.Fatal(err)
 					}
 					live = append(live[:i], live[i+1:]...)
@@ -267,9 +275,16 @@ func TestEngineReplayEquivalence(t *testing.T) {
 					if _, err := eng.AddFlow(fs); err != nil {
 						t.Fatal(err)
 					}
+					if _, err := engPar.AddFlow(fs); err != nil {
+						t.Fatal(err)
+					}
 					live = append(live, fs)
 				}
 				engRes, err := eng.Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				parEngRes, err := engPar.Analyze()
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -288,6 +303,7 @@ func TestEngineReplayEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				compareResults(t, engRes, cold)
+				compareResults(t, parEngRes, cold)
 				par, err := seq.AnalyzeParallel(4)
 				if err != nil {
 					t.Fatal(err)

@@ -101,9 +101,9 @@ func TestHolisticIterationCap(t *testing.T) {
 	}
 }
 
-// TestJitterStatePanicsOnUnknownResource guards the internal invariant
-// that stages only record jitters at resources on the flow's route.
-func TestJitterStatePanicsOnUnknownResource(t *testing.T) {
+// TestJitterStatePanicsOnUnknownStage guards the internal invariant that
+// stages only record jitters at positions on the flow's own pipeline.
+func TestJitterStatePanicsOnUnknownStage(t *testing.T) {
 	nw := directLinkNet(t, &network.FlowSpec{
 		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
 		Route: []network.NodeID{"h1", "h2"},
@@ -111,10 +111,10 @@ func TestJitterStatePanicsOnUnknownResource(t *testing.T) {
 	js := newJitterState(nw)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("no panic on unknown resource")
+			t.Fatal("no panic on out-of-pipeline stage")
 		}
 	}()
-	js.set(0, Resource{Kind: KindLink, Node: "zz", To: "yy"}, 0, ms)
+	js.set(0, 7, 0, ms) // a direct link has exactly one stage
 }
 
 // TestFlowResourcesLayout pins the pipeline decomposition used by both the
@@ -141,17 +141,20 @@ func TestFlowResourcesLayout(t *testing.T) {
 	}
 }
 
-// TestJitterStateGetUnknown returns zero rather than panicking: reads of
-// foreign resources happen legitimately during probing.
-func TestJitterStateGetUnknown(t *testing.T) {
+// TestJitterStateExtraOfUnknown returns zero rather than panicking: the
+// interference sums legitimately probe flows whose pipelines do not cross
+// the queried resource.
+func TestJitterStateExtraOfUnknown(t *testing.T) {
 	nw := directLinkNet(t, &network.FlowSpec{
 		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
 		Route: []network.NodeID{"h1", "h2"},
 	})
 	js := newJitterState(nw)
-	unknown := Resource{Kind: KindLink, Node: "zz", To: "yy"}
-	if js.get(0, unknown, 0) != 0 || js.extra(0, unknown) != 0 {
+	if js.extraOf(0, network.ResourceID(9999)) != 0 {
 		t.Fatal("unknown resource reads must be zero")
+	}
+	if js.extraOf(5, network.ResourceID(0)) != 0 {
+		t.Fatal("unknown flow reads must be zero")
 	}
 }
 
@@ -163,12 +166,43 @@ func TestSourceJitterSeedsFirstResource(t *testing.T) {
 	}
 	nw := oneSwitchNet(t, fs)
 	js := newJitterState(nw)
-	first := Resource{Kind: KindLink, Node: "h1", To: "s"}
-	if got := js.get(0, first, 0); got != 3*ms {
+	if got := js.get(0, 0, 0); got != 3*ms {
 		t.Fatalf("first-resource jitter = %v, want 3ms", got)
 	}
-	in := Resource{Kind: KindIngress, Node: "s", To: "h1"}
-	if got := js.get(0, in, 0); got != 0 {
+	if got := js.get(0, 1, 0); got != 0 {
 		t.Fatalf("downstream jitter = %v, want 0", got)
+	}
+	// The interned pipeline mirrors the stage decomposition, so reads by
+	// dense resource id agree with reads by position.
+	rid0 := nw.FlowResources(0)[0]
+	if got := js.extraOf(0, rid0); got != 3*ms {
+		t.Fatalf("extraOf(first hop) = %v, want 3ms", got)
+	}
+}
+
+// TestFlowResourcesAlignWithNetworkIDs pins the contract between the
+// analysis pipeline order and the network's interned resource ids.
+func TestFlowResourcesAlignWithNetworkIDs(t *testing.T) {
+	fs := &network.FlowSpec{
+		Flow:  oneFrameFlow("a", fullFramePayload, 100*ms, 100*ms, 0),
+		Route: []network.NodeID{"h1", "s", "h2"},
+	}
+	nw := oneSwitchNet(t, fs)
+	rids := nw.FlowResources(0)
+	resources := flowResources(nw.Flow(0))
+	if len(rids) != len(resources) {
+		t.Fatalf("pipeline lengths differ: %d ids vs %d resources", len(rids), len(resources))
+	}
+	for pos, res := range resources {
+		var id network.ResourceID
+		var ok bool
+		if res.Kind == KindIngress {
+			id, ok = nw.IngressResourceID(res.Node, res.To)
+		} else {
+			id, ok = nw.LinkResourceID(res.Node, res.To)
+		}
+		if !ok || id != rids[pos] {
+			t.Fatalf("stage %d (%v): interned id %d (ok=%v), pipeline id %d", pos, res, id, ok, rids[pos])
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"gmfnet/internal/network"
 	"gmfnet/internal/units"
 )
 
@@ -30,29 +31,14 @@ func (a *Analyzer) AnalyzeParallel(workers int) (*Result, error) {
 	a.prewarmDemands()
 
 	js := newJitterState(a.nw)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
 	res := &Result{}
 	for iter := 1; iter <= a.cfg.MaxHolisticIter; iter++ {
 		flows := make([]FlowResult, n)
-		overlays := make([]*jitterOverlay, n)
-
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i := 0; i < n; i++ {
-			i := i
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				// Each worker reads the shared snapshot and writes only
-				// its own flow's jitters into a private overlay.
-				ov := newJitterOverlay(js, i)
-				w := &Analyzer{nw: a.nw, cfg: a.cfg, demands: a.demands}
-				flows[i] = w.flowPass(i, ov)
-				overlays[i] = ov
-			}()
-		}
-		wg.Wait()
+		overlays := a.parallelRound(js, all, workers, flows)
 
 		res.Flows = flows
 		res.Iterations = iter
@@ -75,6 +61,36 @@ func (a *Analyzer) AnalyzeParallel(workers int) (*Result, error) {
 	return res, nil
 }
 
+// parallelRound analyses the given flows concurrently against a frozen
+// view of js: each worker reads the shared state and writes only its own
+// flow's jitters into a private overlay. Results land in out (indexed by
+// flow); the overlays are returned aligned with work for the caller to
+// merge. The demand cache must be prewarmed and is shared read-only;
+// validateExtras runs first so foreign extraOf reads never mutate the
+// shared caches. Both AnalyzeParallel and the engine's parallel delta
+// worklist run their Jacobi rounds through here.
+func (a *Analyzer) parallelRound(js *jitterState, work []int, workers int, out []FlowResult) []*jitterOverlay {
+	js.validateExtras()
+	overlays := make([]*jitterOverlay, len(work))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for wi, i := range work {
+		wi, i := wi, i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ov := newJitterOverlay(js, i)
+			w := &Analyzer{nw: a.nw, cfg: a.cfg, demands: a.demands}
+			out[i] = w.flowPass(i, ov)
+			overlays[wi] = ov
+		}()
+	}
+	wg.Wait()
+	return overlays
+}
+
 // prewarmDemands builds every (flow, link rate) demand so the cache can be
 // shared read-only across workers.
 func (a *Analyzer) prewarmDemands() {
@@ -91,55 +107,56 @@ func (a *Analyzer) prewarmDemands() {
 	}
 }
 
-// jitterSource is what the stage analyses read jitters from.
+// jitterSource is what the stage analyses read jitters from: writes go by
+// stage position within the owner flow's pipeline, interference reads by
+// dense resource id.
 type jitterSource interface {
-	set(j int, res Resource, k int, v units.Time)
-	get(j int, res Resource, k int) units.Time
-	extra(j int, res Resource) units.Time
+	set(j, pos, k int, v units.Time)
+	extraOf(j int, rid network.ResourceID) units.Time
 }
 
-// jitterOverlay is a copy-on-write view: reads of the owner flow's
-// jitters see the private overlay, reads of other flows fall through to
-// the shared snapshot; writes are restricted to the owner.
+// jitterOverlay is a copy-on-write view over the arena: the owner flow's
+// block is copied up front and all writes land there; reads of other
+// flows fall through to the shared base state.
 type jitterOverlay struct {
 	base  *jitterState
 	owner int
-	own   map[jitterKey][]units.Time
+	n     int
+	rids  []network.ResourceID
+	vals  []units.Time
 }
 
 func newJitterOverlay(base *jitterState, owner int) *jitterOverlay {
-	return &jitterOverlay{base: base, owner: owner, own: make(map[jitterKey][]units.Time)}
+	b := &base.blocks[owner]
+	vals := make([]units.Time, len(b.rids)*int(b.n))
+	copy(vals, base.arena[b.base:int(b.base)+len(vals)])
+	return &jitterOverlay{base: base, owner: owner, n: int(b.n), rids: b.rids, vals: vals}
 }
 
-func (o *jitterOverlay) set(j int, res Resource, k int, v units.Time) {
+func (o *jitterOverlay) set(j, pos, k int, v units.Time) {
 	if j != o.owner {
 		panic("core: overlay write for foreign flow")
 	}
-	key := jitterKey{j, res}
-	slot, ok := o.own[key]
-	if !ok {
-		baseSlot := o.base.perFrame[key]
-		slot = make([]units.Time, len(baseSlot))
-		copy(slot, baseSlot)
-		o.own[key] = slot
-	}
-	slot[k] = v
+	o.vals[pos*o.n+k] = v
 }
 
-func (o *jitterOverlay) get(j int, res Resource, k int) units.Time {
+func (o *jitterOverlay) get(j, pos, k int) units.Time {
 	if j == o.owner {
-		if slot, ok := o.own[jitterKey{j, res}]; ok {
-			return slot[k]
-		}
+		return o.vals[pos*o.n+k]
 	}
-	return o.base.get(j, res, k)
+	return o.base.get(j, pos, k)
 }
 
-func (o *jitterOverlay) extra(j int, res Resource) units.Time {
-	if j == o.owner {
-		if slot, ok := o.own[jitterKey{j, res}]; ok {
+func (o *jitterOverlay) extraOf(j int, rid network.ResourceID) units.Time {
+	if j != o.owner {
+		// Foreign reads hit the base's extra caches, validated before
+		// fan-out, so they are strictly read-only here.
+		return o.base.extraOf(j, rid)
+	}
+	for pos, r := range o.rids {
+		if r == rid {
 			var m units.Time
-			for _, v := range slot {
+			for _, v := range o.vals[pos*o.n : (pos+1)*o.n] {
 				if v > m {
 					m = v
 				}
@@ -147,15 +164,15 @@ func (o *jitterOverlay) extra(j int, res Resource) units.Time {
 			return m
 		}
 	}
-	return o.base.extra(j, res)
+	return 0
 }
 
-// mergeInto writes the overlay's values back into the shared state,
-// updating its changed flag.
+// mergeInto writes the overlay's values back into the shared state through
+// set, preserving change tracking and the undo journal.
 func (o *jitterOverlay) mergeInto(js *jitterState) {
-	for key, slot := range o.own {
-		for k, v := range slot {
-			js.set(key.flow, key.res, k, v)
+	for pos := range o.rids {
+		for k := 0; k < o.n; k++ {
+			js.set(o.owner, pos, k, o.vals[pos*o.n+k])
 		}
 	}
 }

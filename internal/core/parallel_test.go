@@ -129,38 +129,36 @@ func TestOverlayPanicsOnForeignWrite(t *testing.T) {
 			t.Fatal("foreign write did not panic")
 		}
 	}()
-	res := flowResources(nw.Flow(1))[0]
-	ov.set(1, res, 0, units.Millisecond)
+	ov.set(1, 0, 0, units.Millisecond)
 }
 
 func TestOverlayReadThrough(t *testing.T) {
 	nw := randomNet(t, 2, 2)
 	js := newJitterState(nw)
-	res0 := flowResources(nw.Flow(0))[0]
-	res1 := flowResources(nw.Flow(1))[0]
-	js.set(1, res1, 0, 5*ms)
+	rid1 := nw.FlowResources(1)[0]
+	js.set(1, 0, 0, 5*ms)
 
 	ov := newJitterOverlay(js, 0)
 	// Foreign reads come from the base.
-	if got := ov.get(1, res1, 0); got != 5*ms {
+	if got := ov.get(1, 0, 0); got != 5*ms {
 		t.Fatalf("read-through = %v", got)
 	}
-	if got := ov.extra(1, res1); got < 5*ms {
+	if got := ov.extraOf(1, rid1); got < 5*ms {
 		t.Fatalf("extra read-through = %v", got)
 	}
 	// Own writes shadow the base without mutating it.
-	base0 := js.get(0, res0, 0)
-	ov.set(0, res0, 0, base0+7*ms)
-	if got := ov.get(0, res0, 0); got != base0+7*ms {
+	base0 := js.get(0, 0, 0)
+	ov.set(0, 0, 0, base0+7*ms)
+	if got := ov.get(0, 0, 0); got != base0+7*ms {
 		t.Fatalf("own read = %v", got)
 	}
-	if js.get(0, res0, 0) != base0 {
+	if js.get(0, 0, 0) != base0 {
 		t.Fatal("overlay mutated base")
 	}
 	// Merge propagates.
 	js.resetChanged()
 	ov.mergeInto(js)
-	if js.get(0, res0, 0) != base0+7*ms {
+	if js.get(0, 0, 0) != base0+7*ms {
 		t.Fatal("merge lost value")
 	}
 	if !js.changed {

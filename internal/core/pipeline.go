@@ -28,9 +28,11 @@ func (a *Analyzer) flowPass(i int, js jitterSource) FlowResult {
 			jsum = units.SaturatingAdd(jsum, r)
 		}
 
-		// First hop (lines 7-11).
+		// First hop (lines 7-11). Stage positions follow the pipeline
+		// layout shared with network.FlowResources: 0 is the first hop,
+		// 2h-1 the ingress of route node h, 2h its egress.
 		first := Resource{Kind: KindLink, Node: route[0], To: route[1]}
-		js.set(i, first, k, jsum)
+		js.set(i, 0, k, jsum)
 		r, err := a.firstHop(i, k, js)
 		if err != nil {
 			out.Err = err
@@ -42,7 +44,7 @@ func (a *Analyzer) flowPass(i int, js jitterSource) FlowResult {
 		// (lines 13-19).
 		for h := 1; h < len(route)-1; h++ {
 			resIn := Resource{Kind: KindIngress, Node: route[h], To: route[h-1]}
-			js.set(i, resIn, k, jsum)
+			js.set(i, 2*h-1, k, jsum)
 			r, err = a.ingress(i, k, h, js)
 			if err != nil {
 				out.Err = err
@@ -51,7 +53,7 @@ func (a *Analyzer) flowPass(i int, js jitterSource) FlowResult {
 			record(resIn, r)
 
 			resOut := Resource{Kind: KindLink, Node: route[h], To: route[h+1]}
-			js.set(i, resOut, k, jsum)
+			js.set(i, 2*h, k, jsum)
 			r, err = a.egress(i, k, h, js)
 			if err != nil {
 				out.Err = err

@@ -2,8 +2,27 @@ package core
 
 import (
 	"gmfnet/internal/ether"
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/network"
 	"gmfnet/internal/units"
 )
+
+// hoistInterference fills the analyzer's scratch buffers with the
+// loop-invariant inputs of a stage's fixpoints: each listed flow's demand
+// at the link rate and its entry jitter at the stage's resource. Both are
+// constant while the busy-period and response-time windows iterate, so
+// hoisting them out of the fixpoint closures removes every demand-cache
+// lookup and pipeline scan from the innermost loops.
+func (a *Analyzer) hoistInterference(flows []int, rate units.BitRate, rid network.ResourceID, js jitterSource) ([]*gmf.Demand, []units.Time) {
+	dems := a.demScratch[:0]
+	exts := a.extScratch[:0]
+	for _, j := range flows {
+		dems = append(dems, a.demand(j, rate))
+		exts = append(exts, js.extraOf(j, rid))
+	}
+	a.demScratch, a.extScratch = dems, exts
+	return dems, exts
+}
 
 // firstHop implements Section 3.2 (eqs. 14-20): the response time of frame
 // k of flow i on the link out of the source node, where the source's
@@ -16,12 +35,14 @@ func (a *Analyzer) firstHop(i, k int, js jitterSource) (units.Time, error) {
 	from, to := fs.Route[0], fs.Route[1]
 	link := a.nw.Topo.Link(from, to)
 	res := Resource{Kind: KindLink, Node: from, To: to}
+	rid := a.nw.FlowResources(i)[0]
 	flows := a.nw.FlowsOn(from, to)
+	dems, exts := a.hoistInterference(flows, link.Rate, rid, js)
 
 	// Convergence condition (20): total utilisation strictly below 1.
 	var util float64
-	for _, j := range flows {
-		util += a.demand(j, link.Rate).Utilization()
+	for _, d := range dems {
+		util += d.Utilization()
 	}
 	if util >= 1 {
 		return 0, &OverloadError{Resource: res, Utilization: util}
@@ -34,8 +55,8 @@ func (a *Analyzer) firstHop(i, k int, js jitterSource) (units.Time, error) {
 	// fixpoint; we seed with the frame's own cost (DESIGN.md F2).
 	busy, err := a.fixpoint(res, fs.Flow.Name, k, ci, func(t units.Time) units.Time {
 		var next units.Time
-		for _, j := range flows {
-			next += a.demand(j, link.Rate).MX(t + js.extra(j, res))
+		for idx := range dems {
+			next += dems[idx].MX(t + exts[idx])
 		}
 		return next
 	})
@@ -53,11 +74,11 @@ func (a *Analyzer) firstHop(i, k int, js jitterSource) (units.Time, error) {
 		// window would be a degenerate fixpoint (DESIGN.md F2).
 		w, err := a.fixpoint(res, fs.Flow.Name, k, self+1, func(w units.Time) units.Time {
 			next := self
-			for _, j := range flows {
+			for idx, j := range flows {
 				if j == i {
 					continue
 				}
-				next += a.demand(j, link.Rate).MX(w + js.extra(j, res))
+				next += dems[idx].MX(w + exts[idx])
 			}
 			return next
 		})
@@ -79,17 +100,19 @@ func (a *Analyzer) ingress(i, k, h int, js jitterSource) (units.Time, error) {
 	fs := a.nw.Flow(i)
 	node, pred := fs.Route[h], fs.Route[h-1]
 	res := Resource{Kind: KindIngress, Node: node, To: pred}
+	rid := a.nw.FlowResources(i)[2*h-1]
 	link := a.nw.Topo.Link(pred, node)
 	circ, err := a.nw.Topo.CIRC(node)
 	if err != nil {
 		return 0, err
 	}
 	flows := a.nw.FlowsOn(pred, node)
+	dems, exts := a.hoistInterference(flows, link.Rate, rid, js)
 
 	// Long-run processing demand on the input task must stay below 1.
 	var util float64
-	for _, j := range flows {
-		util += a.demand(j, link.Rate).CountUtilization(circ)
+	for _, d := range dems {
+		util += d.CountUtilization(circ)
 	}
 	if util >= 1 {
 		return 0, &OverloadError{Resource: res, Utilization: util}
@@ -102,8 +125,8 @@ func (a *Analyzer) ingress(i, k, h int, js jitterSource) (units.Time, error) {
 	// (DESIGN.md F2).
 	busy, err := a.fixpoint(res, fs.Flow.Name, k, circ, func(t units.Time) units.Time {
 		var frames int64
-		for _, j := range flows {
-			frames += a.demand(j, link.Rate).NX(t + js.extra(j, res))
+		for idx := range dems {
+			frames += dems[idx].NX(t + exts[idx])
 		}
 		return units.Time(frames) * circ
 	})
@@ -126,11 +149,11 @@ func (a *Analyzer) ingress(i, k, h int, js jitterSource) (units.Time, error) {
 		// as in firstHop.
 		w, err := a.fixpoint(res, fs.Flow.Name, k, self+1, func(w units.Time) units.Time {
 			next := self
-			for _, j := range flows {
+			for idx, j := range flows {
 				if j == i {
 					continue
 				}
-				next += units.Time(a.demand(j, link.Rate).NX(w+js.extra(j, res))) * circ
+				next += units.Time(dems[idx].NX(w+exts[idx])) * circ
 			}
 			return next
 		})
@@ -155,36 +178,38 @@ func (a *Analyzer) egress(i, k, h int, js jitterSource) (units.Time, error) {
 	node, to := fs.Route[h], fs.Route[h+1]
 	link := a.nw.Topo.Link(node, to)
 	res := Resource{Kind: KindLink, Node: node, To: to}
+	rid := a.nw.FlowResources(i)[2*h]
 	circ, err := a.nw.Topo.CIRC(node)
 	if err != nil {
 		return 0, err
 	}
 	hep := a.nw.HEP(i, node, to)
 	mft := ether.MFT(link.Rate)
+	dems, exts := a.hoistInterference(hep, link.Rate, rid, js)
+	di := a.demand(i, link.Rate)
+	selfExt := js.extraOf(i, rid)
 
 	// Convergence condition (35) over hep ∪ {τi} (DESIGN.md F3), widened
 	// with the stride service demand that also enters the busy period.
-	util := a.demand(i, link.Rate).Utilization() + a.demand(i, link.Rate).CountUtilization(circ)
-	for _, j := range hep {
-		util += a.demand(j, link.Rate).Utilization() + a.demand(j, link.Rate).CountUtilization(circ)
+	util := di.Utilization() + di.CountUtilization(circ)
+	for _, d := range dems {
+		util += d.Utilization() + d.CountUtilization(circ)
 	}
 	if util >= 1 {
 		return 0, &OverloadError{Resource: res, Utilization: util}
 	}
 
-	di := a.demand(i, link.Rate)
 	ci := di.Cost(k)
 	nf := di.Count(k)
 
 	interference := func(t units.Time, includeSelf bool) units.Time {
 		var sum units.Time
-		for _, j := range hep {
-			dj := a.demand(j, link.Rate)
-			win := t + js.extra(j, res)
-			sum += dj.MX(win) + units.Time(dj.NX(win))*circ
+		for idx := range dems {
+			win := t + exts[idx]
+			sum += dems[idx].MX(win) + units.Time(dems[idx].NX(win))*circ
 		}
 		if includeSelf {
-			win := t + js.extra(i, res)
+			win := t + selfExt
 			sum += di.MX(win) + units.Time(di.NX(win))*circ
 		}
 		return sum

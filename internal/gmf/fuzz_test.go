@@ -1,0 +1,79 @@
+package gmf
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmfnet/internal/units"
+)
+
+// fuzzDemand derives a random but valid Demand from a fuzzer-chosen seed:
+// 1-6 frames with arbitrary separations, costs and fragment counts. Using
+// a seeded RNG keeps the input space dense under fuzzing while every
+// drawn instance stays structurally valid.
+func fuzzDemand(t *testing.T, seed int64) *Demand {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	n := 1 + r.Intn(6)
+	flow := &Flow{Name: "fuzz"}
+	cost := make([]units.Time, n)
+	count := make([]int64, n)
+	for k := 0; k < n; k++ {
+		flow.Frames = append(flow.Frames, Frame{
+			MinSep:      units.Time(1+r.Int63n(50)) * units.Millisecond,
+			Deadline:    100 * units.Millisecond,
+			PayloadBits: 1 + r.Int63n(100000),
+		})
+		cost[k] = units.Time(r.Int63n(5 * int64(units.Millisecond)))
+		count[k] = r.Int63n(8)
+	}
+	d, err := NewDemand(flow, cost, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// fuzzWindow maps the fuzzer's raw interval to the meaningful query range
+// (slightly beyond one full cycle; MX/NX handle longer intervals by
+// periodicity).
+func fuzzWindow(d *Demand, raw int64) units.Time {
+	span := int64(d.TSUM()) + int64(units.Millisecond)
+	t := raw % span
+	if t < 0 {
+		t = -t
+	}
+	return units.Time(t)
+}
+
+// FuzzMXS cross-checks the binary-searched staircase of eq. (10) against
+// direct enumeration of all frame windows.
+func FuzzMXS(f *testing.F) {
+	f.Add(int64(1), int64(units.Millisecond))
+	f.Add(int64(42), int64(0))
+	f.Add(int64(7), int64(-3*units.Millisecond))
+	f.Add(int64(1234), int64(units.Second))
+	f.Fuzz(func(t *testing.T, seed, raw int64) {
+		d := fuzzDemand(t, seed)
+		q := fuzzWindow(d, raw)
+		if got, want := d.MXS(q), d.MXSBrute(q); got != want {
+			t.Fatalf("MXS(%v) = %v, brute force = %v (seed %d)", q, got, want, seed)
+		}
+	})
+}
+
+// FuzzNXS cross-checks the fragment-count staircase of eq. (12) the same
+// way.
+func FuzzNXS(f *testing.F) {
+	f.Add(int64(1), int64(units.Millisecond))
+	f.Add(int64(99), int64(17*units.Millisecond))
+	f.Add(int64(3), int64(-1))
+	f.Add(int64(555), int64(units.Second))
+	f.Fuzz(func(t *testing.T, seed, raw int64) {
+		d := fuzzDemand(t, seed)
+		q := fuzzWindow(d, raw)
+		if got, want := d.NXS(q), d.NXSBrute(q); got != want {
+			t.Fatalf("NXS(%v) = %v, brute force = %v (seed %d)", q, got, want, seed)
+		}
+	})
+}

@@ -77,11 +77,22 @@ type Network struct {
 	// lookups rather than scans — the analysis inner loops and the
 	// incremental engine's affected-set computation depend on that.
 	onLink map[[2]NodeID][]int
+
+	// resIDs/resKeys intern every pipeline resource a flow has ever used
+	// into a dense ResourceID (see resources.go); flowRes holds each
+	// flow's pipeline ids in route order, aligned with flows.
+	resIDs  map[resourceKey]ResourceID
+	resKeys []resourceKey
+	flowRes [][]ResourceID
 }
 
 // New returns a Network over the given topology.
 func New(topo *Topology) *Network {
-	return &Network{Topo: topo, onLink: make(map[[2]NodeID][]int)}
+	return &Network{
+		Topo:   topo,
+		onLink: make(map[[2]NodeID][]int),
+		resIDs: make(map[resourceKey]ResourceID),
+	}
 }
 
 // AddFlow validates the flow spec against the topology and registers it.
@@ -105,6 +116,7 @@ func (nw *Network) AddFlow(fs *FlowSpec) (int, error) {
 		key := [2]NodeID{fs.Route[h], fs.Route[h+1]}
 		nw.onLink[key] = append(nw.onLink[key], i)
 	}
+	nw.flowRes = append(nw.flowRes, nw.internFlowResources(fs))
 	return i, nil
 }
 
@@ -120,6 +132,7 @@ func (nw *Network) RemoveFlow(i int) {
 	}
 	fs := nw.flows[i]
 	nw.flows = append(nw.flows[:i], nw.flows[i+1:]...)
+	nw.flowRes = append(nw.flowRes[:i], nw.flowRes[i+1:]...)
 	for h := 0; h < len(fs.Route)-1; h++ {
 		key := [2]NodeID{fs.Route[h], fs.Route[h+1]}
 		s := nw.onLink[key]

@@ -98,14 +98,20 @@ type Topology struct {
 	nodes map[NodeID]*Node
 	links map[[2]NodeID]*Link
 	adj   map[NodeID][]NodeID // outgoing neighbours, sorted
+
+	// ifCount memoizes Interfaces per node. AddLink updates it eagerly
+	// for both endpoints, so reads never write — the analysis queries
+	// CIRC (and through it Interfaces) from concurrent workers.
+	ifCount map[NodeID]int
 }
 
 // NewTopology returns an empty topology.
 func NewTopology() *Topology {
 	return &Topology{
-		nodes: make(map[NodeID]*Node),
-		links: make(map[[2]NodeID]*Link),
-		adj:   make(map[NodeID][]NodeID),
+		nodes:   make(map[NodeID]*Node),
+		links:   make(map[[2]NodeID]*Link),
+		adj:     make(map[NodeID][]NodeID),
+		ifCount: make(map[NodeID]int),
 	}
 }
 
@@ -161,6 +167,12 @@ func (t *Topology) AddLink(from, to NodeID, rate units.BitRate, prop units.Time)
 	key := [2]NodeID{from, to}
 	if _, dup := t.links[key]; dup {
 		return fmt.Errorf("network: duplicate link %q->%q", from, to)
+	}
+	// A new neighbour pair occupies one interface on each endpoint; the
+	// reverse direction of an existing link reuses the same interfaces.
+	if _, back := t.links[[2]NodeID{to, from}]; !back {
+		t.ifCount[from]++
+		t.ifCount[to]++
 	}
 	t.links[key] = &Link{From: from, To: to, Rate: rate, Prop: prop}
 	t.adj[from] = insertSorted(t.adj[from], to)
@@ -221,17 +233,11 @@ func (t *Topology) Neighbors(id NodeID) []NodeID { return t.adj[id] }
 // Interfaces returns NINTERFACES(N): the number of network interfaces on
 // the node. A full-duplex neighbour relation counts as one interface; a
 // neighbour connected in only one direction also occupies an interface.
+// The count is maintained incrementally under AddLink, so the analysis
+// hot path (every CIRC query) reads a single map entry instead of
+// scanning all links.
 func (t *Topology) Interfaces(id NodeID) int {
-	seen := make(map[NodeID]bool)
-	for _, nb := range t.adj[id] {
-		seen[nb] = true
-	}
-	for key := range t.links {
-		if key[1] == id {
-			seen[key[0]] = true
-		}
-	}
-	return len(seen)
+	return t.ifCount[id]
 }
 
 // CIRC returns eq. "CIRC(N)": the worst-case time between two consecutive

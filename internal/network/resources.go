@@ -1,0 +1,74 @@
+package network
+
+// ResourceID is a dense integer identifier for one pipeline resource: a
+// directed link (first-hop or egress queue plus wire) or an ingress stage
+// in(N) reached over one input interface. The network interns a resource
+// the first time a flow's pipeline crosses it and the id stays stable for
+// the lifetime of the network — flows come and go, resource ids do not.
+// The analysis engine indexes its flat jitter arenas and demand tables by
+// these ids instead of hashing (kind, node, node) structs in its innermost
+// loops.
+type ResourceID int32
+
+// resourceKey identifies a resource for interning: Ingress distinguishes
+// the in(N) stage (Node = switch, To = predecessor, i.e. the input
+// interface) from a directed link (Node = transmitter, To = receiver).
+type resourceKey struct {
+	Ingress  bool
+	Node, To NodeID
+}
+
+// internResource returns the id of the resource, interning it on first
+// use. The table only grows: the number of distinct resources is bounded
+// by the topology (at most two per directed link), not by the flow churn.
+func (nw *Network) internResource(key resourceKey) ResourceID {
+	if id, ok := nw.resIDs[key]; ok {
+		return id
+	}
+	id := ResourceID(len(nw.resKeys))
+	nw.resIDs[key] = id
+	nw.resKeys = append(nw.resKeys, key)
+	return id
+}
+
+// internFlowResources interns the pipeline of a flow in route order —
+// first-hop link, then (ingress, egress link) per intermediate switch —
+// and returns the ids. The order matches the stage decomposition of the
+// analysis (Figure 6): stage 0 is the first hop, stage 2h-1 the ingress of
+// the h-th route node, stage 2h its egress.
+func (nw *Network) internFlowResources(fs *FlowSpec) []ResourceID {
+	route := fs.Route
+	out := make([]ResourceID, 0, 1+2*(len(route)-2))
+	out = append(out, nw.internResource(resourceKey{false, route[0], route[1]}))
+	for h := 1; h < len(route)-1; h++ {
+		out = append(out,
+			nw.internResource(resourceKey{true, route[h], route[h-1]}),
+			nw.internResource(resourceKey{false, route[h], route[h+1]}),
+		)
+	}
+	return out
+}
+
+// NumResources returns the number of interned pipeline resources. Ids are
+// dense: every id in [0, NumResources) identifies a resource some flow has
+// used at least once.
+func (nw *Network) NumResources() int { return len(nw.resKeys) }
+
+// FlowResources returns the interned pipeline of the i-th flow in route
+// order (see internFlowResources for the stage layout). The slice is owned
+// by the network; callers must not mutate it.
+func (nw *Network) FlowResources(i int) []ResourceID { return nw.flowRes[i] }
+
+// LinkResourceID returns the id of the directed link from->to, if any flow
+// has used it.
+func (nw *Network) LinkResourceID(from, to NodeID) (ResourceID, bool) {
+	id, ok := nw.resIDs[resourceKey{false, from, to}]
+	return id, ok
+}
+
+// IngressResourceID returns the id of switch node's ingress stage fed from
+// pred, if any flow has used it.
+func (nw *Network) IngressResourceID(node, pred NodeID) (ResourceID, bool) {
+	id, ok := nw.resIDs[resourceKey{true, node, pred}]
+	return id, ok
+}

@@ -1,0 +1,122 @@
+package network
+
+import (
+	"fmt"
+
+	"gmfnet/internal/units"
+)
+
+// Ring builds an industrial-ring topology: `switches` software switches
+// (default Click parameters) connected in a ring over 1 Gbit/s links, each
+// serving `hostsPer` hosts on 100 Mbit/s edge links. Rings are the
+// standard shape of factory-floor and substation networks, where the
+// second backbone path exists for redundancy; here it also halves the
+// worst-case hop count the analysis has to traverse. Switch s is named
+// "sw<s>" and its hosts "h<s>_<h>"; the returned host list is in
+// switch-major order, matching Campus.
+//
+// With fewer than three switches the ring degenerates: two switches get a
+// single backbone link, one switch gets none.
+func Ring(switches, hostsPer int) (*Topology, []NodeID, error) {
+	if switches < 1 || hostsPer < 1 {
+		return nil, nil, fmt.Errorf("network: ring needs at least 1 switch and 1 host per switch")
+	}
+	topo := NewTopology()
+	for s := 0; s < switches; s++ {
+		if err := topo.AddSwitch(NodeID(fmt.Sprintf("sw%d", s)), DefaultSwitchParams()); err != nil {
+			return nil, nil, err
+		}
+	}
+	for s := 0; s < switches; s++ {
+		next := (s + 1) % switches
+		if next == s || (switches == 2 && s == 1) {
+			continue // no self-link; don't duplicate the 2-switch link
+		}
+		a := NodeID(fmt.Sprintf("sw%d", s))
+		b := NodeID(fmt.Sprintf("sw%d", next))
+		if err := topo.AddDuplexLink(a, b, units.Gbps, 5*units.Microsecond); err != nil {
+			return nil, nil, err
+		}
+	}
+	hosts := make([]NodeID, 0, switches*hostsPer)
+	for s := 0; s < switches; s++ {
+		sw := NodeID(fmt.Sprintf("sw%d", s))
+		for h := 0; h < hostsPer; h++ {
+			id := NodeID(fmt.Sprintf("h%d_%d", s, h))
+			if err := topo.AddHost(id); err != nil {
+				return nil, nil, err
+			}
+			if err := topo.AddDuplexLink(id, sw, 100*units.Mbps, units.Microsecond); err != nil {
+				return nil, nil, err
+			}
+			hosts = append(hosts, id)
+		}
+	}
+	return topo, hosts, nil
+}
+
+// FatTree builds a k-ary fat tree (k even, k >= 2): k pods of k/2 edge and
+// k/2 aggregation switches, (k/2)^2 core switches, and k/2 hosts per edge
+// switch — k^3/4 hosts total. Every switch uses the default Click
+// parameters; host links run at 100 Mbit/s, switch-to-switch links at
+// 1 Gbit/s. Core switch c is named "core<c>", aggregation switch a of pod
+// p "agg<p>_<a>", edge switch e of pod p "edge<p>_<e>" and its hosts
+// "h<p>_<e>_<i>". The returned host list is edge-major: hosts under one
+// edge switch are contiguous.
+func FatTree(k int) (*Topology, []NodeID, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, nil, fmt.Errorf("network: fat tree arity %d must be even and >= 2", k)
+	}
+	topo := NewTopology()
+	half := k / 2
+	for c := 0; c < half*half; c++ {
+		if err := topo.AddSwitch(NodeID(fmt.Sprintf("core%d", c)), DefaultSwitchParams()); err != nil {
+			return nil, nil, err
+		}
+	}
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			agg := NodeID(fmt.Sprintf("agg%d_%d", p, a))
+			if err := topo.AddSwitch(agg, DefaultSwitchParams()); err != nil {
+				return nil, nil, err
+			}
+			// Aggregation switch a uplinks to the a-th group of core
+			// switches, one per group member.
+			for c := 0; c < half; c++ {
+				core := NodeID(fmt.Sprintf("core%d", a*half+c))
+				if err := topo.AddDuplexLink(agg, core, units.Gbps, 5*units.Microsecond); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := NodeID(fmt.Sprintf("edge%d_%d", p, e))
+			if err := topo.AddSwitch(edge, DefaultSwitchParams()); err != nil {
+				return nil, nil, err
+			}
+			for a := 0; a < half; a++ {
+				agg := NodeID(fmt.Sprintf("agg%d_%d", p, a))
+				if err := topo.AddDuplexLink(edge, agg, units.Gbps, 5*units.Microsecond); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	hosts := make([]NodeID, 0, k*half*half)
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			edge := NodeID(fmt.Sprintf("edge%d_%d", p, e))
+			for i := 0; i < half; i++ {
+				id := NodeID(fmt.Sprintf("h%d_%d_%d", p, e, i))
+				if err := topo.AddHost(id); err != nil {
+					return nil, nil, err
+				}
+				if err := topo.AddDuplexLink(id, edge, 100*units.Mbps, units.Microsecond); err != nil {
+					return nil, nil, err
+				}
+				hosts = append(hosts, id)
+			}
+		}
+	}
+	return topo, hosts, nil
+}

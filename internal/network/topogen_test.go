@@ -1,0 +1,131 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/units"
+)
+
+func TestRingShape(t *testing.T) {
+	topo, hosts, err := Ring(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 18 {
+		t.Fatalf("hosts = %d, want 18", len(hosts))
+	}
+	// Every switch has two ring neighbours and three hosts.
+	for s := 0; s < 6; s++ {
+		id := NodeID(fmt.Sprintf("sw%d", s))
+		if n := topo.Interfaces(id); n != 5 {
+			t.Fatalf("switch %s interfaces = %d, want 5", id, n)
+		}
+	}
+	// The ring offers a route both ways; BFS picks the short arc.
+	route, err := topo.Route("h0_0", "h3_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 6 { // h, sw0, sw1/sw5, sw2/sw4, sw3, h
+		t.Fatalf("route = %v, want 4 switch hops", route)
+	}
+	// Degenerate sizes still build.
+	for _, n := range []int{1, 2} {
+		if _, _, err := Ring(n, 1); err != nil {
+			t.Fatalf("Ring(%d, 1): %v", n, err)
+		}
+	}
+	if _, _, err := Ring(0, 1); err == nil {
+		t.Fatal("Ring(0, 1) succeeded")
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	k := 4
+	topo, hosts, err := FatTree(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := k * k * k / 4; len(hosts) != want {
+		t.Fatalf("hosts = %d, want %d", len(hosts), want)
+	}
+	// Core switches connect one aggregation switch per pod.
+	for c := 0; c < k*k/4; c++ {
+		id := NodeID(fmt.Sprintf("core%d", c))
+		if n := topo.Interfaces(id); n != k {
+			t.Fatalf("core %s interfaces = %d, want %d", id, n, k)
+		}
+	}
+	// Any two hosts are routable through switches only.
+	route, err := topo.Route(hosts[0], hosts[len(hosts)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.ValidateRoute(route); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-pod routes climb edge -> agg -> core -> agg -> edge.
+	if len(route) != 7 {
+		t.Fatalf("cross-pod route %v, want 5 switch hops", route)
+	}
+	// Same-edge hosts route through their shared edge switch.
+	local, err := topo.Route(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != 3 {
+		t.Fatalf("local route %v, want 1 switch hop", local)
+	}
+	if _, _, err := FatTree(3); err == nil {
+		t.Fatal("odd arity accepted")
+	}
+	if _, _, err := FatTree(0); err == nil {
+		t.Fatal("zero arity accepted")
+	}
+}
+
+// TestGeneratedTopologiesCarryFlows sanity-checks that generated shapes
+// admit analysable flows end to end (resource interning included).
+func TestGeneratedTopologiesCarryFlows(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*Topology, []NodeID, error)
+	}{
+		{"ring", func() (*Topology, []NodeID, error) { return Ring(4, 2) }},
+		{"fattree", func() (*Topology, []NodeID, error) { return FatTree(4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, hosts, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw := New(topo)
+			route, err := topo.Route(hosts[0], hosts[len(hosts)-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := &FlowSpec{
+				Flow: &gmf.Flow{
+					Name: "v",
+					Frames: []gmf.Frame{
+						{MinSep: 20 * units.Millisecond, Deadline: 100 * units.Millisecond, PayloadBits: 160 * 8},
+					},
+				},
+				Route: route,
+			}
+			i, err := nw.AddFlow(fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rids := nw.FlowResources(i)
+			if want := 1 + 2*(len(route)-2); len(rids) != want {
+				t.Fatalf("pipeline has %d resources, want %d", len(rids), want)
+			}
+			if nw.NumResources() != len(rids) {
+				t.Fatalf("interned %d resources for one flow with %d stages", nw.NumResources(), len(rids))
+			}
+		})
+	}
+}

@@ -373,6 +373,55 @@ func BenchmarkAdmissionCold256(b *testing.B) {
 	benchAdmitCycle(b, ctl, residentSpecs(b, topo, hosts, 4, 256), admissionProbe)
 }
 
+// BenchmarkAdmissionSequential256 admits 256 VoIP flows one by one
+// through RequestAll on the 16-switch industrial ring: 256 snapshots,
+// 256 delta worklists, 256 detached result copies. It is the baseline
+// the batched path is measured against.
+func BenchmarkAdmissionSequential256(b *testing.B) {
+	benchBatchAdmission(b, false)
+}
+
+// BenchmarkAdmissionBatch256 admits the identical 256 flows as one
+// RequestBatch: one snapshot, one delta worklist seeded with every
+// newcomer, one converged fixpoint, one result copy. The worklist setup
+// and result-copy overhead amortise across the whole batch.
+func BenchmarkAdmissionBatch256(b *testing.B) {
+	benchBatchAdmission(b, true)
+}
+
+// benchBatchAdmission measures admitting a 256-flow batch into an empty
+// 16-switch ring, batched or sequential, one full batch per iteration.
+func benchBatchAdmission(b *testing.B, batched bool) {
+	b.Helper()
+	topo, hosts, err := network.Ring(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := residentSpecs(b, topo, hosts, 4, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl, err := admission.NewController(network.New(topo), core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ds []admission.Decision
+		if batched {
+			ds, err = ctl.RequestBatch(specs)
+		} else {
+			ds, err = ctl.RequestAll(specs)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range ds {
+			if !d.Admitted {
+				b.Fatalf("%s rejected during batch bench", d.FlowName)
+			}
+		}
+	}
+}
+
 // BenchmarkAdmissionIncremental1024 pushes the steady state to 1024 flows
 // on an 8-ary fat tree (128 hosts, 80 switches) — the scale where the
 // pre-arena engine's per-request deep-copy snapshot dominated.

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	gmfnet-admit [-sporadic] [-example] [scenario.json]
-//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-workers W]
+//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-workers W] [-batch B] [-record FILE]
+//	gmfnet-admit -trace FILE [-cold] [-workers W] [-batch B]
 //
 // With -sporadic every request is first collapsed to the sporadic model,
 // reproducing the capacity loss the paper's GMF model avoids.
@@ -17,14 +18,25 @@
 // incremental engine-backed controller, mixing in departures with
 // probability -depart after each request. It reports the decision mix and
 // the end-to-end admission throughput; -cold runs the same stream through
-// the from-scratch baseline controller for comparison, and -workers lets
-// the incremental engine run large delta worklists as parallel Jacobi
-// rounds.
+// the from-scratch baseline controller for comparison, -workers lets the
+// incremental engine run large delta worklists as parallel Jacobi
+// rounds, and -batch B admits requests in batches of B through
+// Controller.RequestBatch (one converged worklist per batch, departures
+// flush the pending batch first). -record FILE writes the generated
+// operation stream as a replayable JSON-lines trace.
+//
+// With -trace the command replays such a recorded trace
+// deterministically and prints one decision line per operation —
+// timing-free output, so the sequential, -workers and -batch runs of the
+// same trace are byte-identical (RequestBatch decisions equal one-by-one
+// decisions by construction).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
@@ -54,14 +66,23 @@ func run(args []string) error {
 	depart := fs.Float64("depart", 0.2, "stream mode: departure probability after each request")
 	switches := fs.Int("switches", 8, "stream mode: number of edge switches")
 	hosts := fs.Int("hosts", 4, "stream mode: hosts per switch")
-	cold := fs.Bool("cold", false, "stream mode: use the from-scratch baseline controller")
-	workers := fs.Int("workers", 0, "stream mode: parallel delta worklist workers (0/1 sequential, -1 GOMAXPROCS)")
+	cold := fs.Bool("cold", false, "stream/trace mode: use the from-scratch baseline controller")
+	workers := fs.Int("workers", 0, "stream/trace mode: parallel delta worklist workers (0/1 sequential, -1 GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "stream/trace mode: admit requests in batches of this size through RequestBatch")
+	record := fs.String("record", "", "stream mode: record the operation stream as a replayable trace file")
+	traceFile := fs.String("trace", "", "replay a recorded request trace deterministically")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *batch > 0 && *cold {
+		return fmt.Errorf("-batch needs the incremental controller (drop -cold)")
+	}
 
+	if *traceFile != "" {
+		return runTrace(os.Stdout, *traceFile, *cold, *workers, *batch)
+	}
 	if *stream > 0 {
-		return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *workers)
+		return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *workers, *batch, *record)
 	}
 
 	var scenario *config.Scenario
@@ -122,11 +143,60 @@ type requester interface {
 	Network() *network.Network
 }
 
+// admitter funnels admission requests into a controller either one by
+// one or — when size > 0 — in batches through RequestBatch, invoking
+// report for every decision in request order. Callers must flush before
+// a departure (so victims are always decided flows) and once more at
+// end of stream. Live streaming and trace replay share this path, which
+// is what keeps their decision orders — and therefore the golden replay
+// output — identical across batch sizes.
+type admitter struct {
+	ctl      requester
+	batchCtl *admission.Controller // used when size > 0
+	size     int
+	pending  []*network.FlowSpec
+	report   func(admission.Decision)
+}
+
+func (a *admitter) request(fs *network.FlowSpec) error {
+	if a.size <= 0 {
+		d, err := a.ctl.Request(fs)
+		if err != nil {
+			return err
+		}
+		a.report(d)
+		return nil
+	}
+	a.pending = append(a.pending, fs)
+	if len(a.pending) >= a.size {
+		return a.flush()
+	}
+	return nil
+}
+
+func (a *admitter) flush() error {
+	if len(a.pending) == 0 {
+		return nil
+	}
+	ds, err := a.batchCtl.RequestBatch(a.pending)
+	if err != nil {
+		return err
+	}
+	for _, d := range ds {
+		a.report(d)
+	}
+	a.pending = a.pending[:0]
+	return nil
+}
+
 // runStream drives a randomized online request/departure stream through
 // an admission controller and reports throughput. workers > 1 (or -1 for
 // GOMAXPROCS) lets the incremental engine run large delta worklists as
-// parallel Jacobi rounds.
-func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold bool, workers int) error {
+// parallel Jacobi rounds; batch > 0 admits requests in batches of that
+// size through RequestBatch, flushing the pending batch before every
+// departure so victims are always decided flows. record, when set, logs
+// the executed operations as a replayable trace.
+func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold bool, workers, batch int, record string) error {
 	if switches < 1 || hostsPer < 2 {
 		return fmt.Errorf("stream mode needs at least 1 switch and 2 hosts per switch")
 	}
@@ -135,36 +205,59 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold b
 		return err
 	}
 	var ctl requester
+	var batchCtl *admission.Controller
 	if cold {
 		ctl, err = admission.NewColdController(network.New(topo), core.Config{})
 	} else {
-		ctl, err = admission.NewController(network.New(topo), core.Config{Workers: workers})
+		batchCtl, err = admission.NewController(network.New(topo), core.Config{Workers: workers})
+		ctl = batchCtl
 	}
 	if err != nil {
 		return err
+	}
+	var rec *traceRecorder
+	if record != "" {
+		rec, err = newTraceRecorder(record, switches, hostsPer)
+		if err != nil {
+			return err
+		}
+		defer rec.close() // error-path cleanup; the success path closes below
 	}
 
 	r := rand.New(rand.NewSource(seed))
 	var admitted, rejected, released int
 	var liveNames []string
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		spec, err := streamSpec(r, topo, hostIDs, hostsPer, fmt.Sprintf("req%d", i))
-		if err != nil {
-			return err
-		}
-		d, err := ctl.Request(spec)
-		if err != nil {
-			return err
-		}
+	adm := &admitter{ctl: ctl, batchCtl: batchCtl, size: batch, report: func(d admission.Decision) {
 		if d.Admitted {
 			admitted++
 			liveNames = append(liveNames, d.FlowName)
 		} else {
 			rejected++
 		}
-		if len(liveNames) > 0 && r.Float64() < depart {
+	}}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		spec, err := streamSpec(r, topo, hostIDs, hostsPer, fmt.Sprintf("req%d", i))
+		if err != nil {
+			return err
+		}
+		if err := rec.record(addOp(spec)); err != nil {
+			return err
+		}
+		if err := adm.request(spec); err != nil {
+			return err
+		}
+		if r.Float64() < depart {
+			if err := adm.flush(); err != nil {
+				return err
+			}
+			if len(liveNames) == 0 {
+				continue
+			}
 			j := r.Intn(len(liveNames))
+			if err := rec.record(traceOp{Op: "del", Name: liveNames[j]}); err != nil {
+				return err
+			}
 			ok, err := ctl.Release(liveNames[j])
 			if err != nil {
 				return err
@@ -175,11 +268,20 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold b
 			}
 		}
 	}
+	if err := adm.flush(); err != nil {
+		return err
+	}
+	if err := rec.close(); err != nil {
+		return fmt.Errorf("recording trace: %w", err)
+	}
 	elapsed := time.Since(start)
 
 	mode := "incremental"
 	if cold {
 		mode = "cold"
+	}
+	if batch > 0 {
+		mode = fmt.Sprintf("incremental, batch=%d", batch)
 	}
 	t := report.NewTable(fmt.Sprintf("Request stream (%s controller)", mode), "metric", "value")
 	t.AddRowf("requests", n)
@@ -194,6 +296,77 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold b
 		return err
 	}
 	return nil
+}
+
+// runTrace replays a recorded request trace deterministically: one
+// decision line per operation, no timing, so runs of the same trace
+// through the sequential, parallel-worklist and batched controllers can
+// be compared byte for byte. A departure flushes the pending batch
+// first, exactly like the recording side, so decision order is the
+// request order regardless of batching.
+func runTrace(w io.Writer, path string, cold bool, workers, batch int) error {
+	h, ops, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	topo, _, err := network.Campus(h.Topo.Switches, h.Topo.Hosts)
+	if err != nil {
+		return err
+	}
+	var ctl requester
+	var batchCtl *admission.Controller
+	if cold {
+		ctl, err = admission.NewColdController(network.New(topo), core.Config{})
+	} else {
+		batchCtl, err = admission.NewController(network.New(topo), core.Config{Workers: workers})
+		ctl = batchCtl
+	}
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(w)
+	var admitted, rejected, released int
+	adm := &admitter{ctl: ctl, batchCtl: batchCtl, size: batch, report: func(d admission.Decision) {
+		if d.Admitted {
+			admitted++
+			fmt.Fprintf(out, "admit %s\n", d.FlowName)
+		} else {
+			rejected++
+			fmt.Fprintf(out, "reject %s\n", d.FlowName)
+		}
+	}}
+	for _, op := range ops {
+		switch op.Op {
+		case "add":
+			spec, err := op.spec(topo)
+			if err != nil {
+				return err
+			}
+			if err := adm.request(spec); err != nil {
+				return err
+			}
+		case "del":
+			if err := adm.flush(); err != nil {
+				return err
+			}
+			ok, err := ctl.Release(op.Name)
+			if err != nil {
+				return err
+			}
+			verdict := "miss"
+			if ok {
+				released++
+				verdict = "ok"
+			}
+			fmt.Fprintf(out, "release %s %s\n", op.Name, verdict)
+		}
+	}
+	if err := adm.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "admitted=%d rejected=%d released=%d resident=%d\n",
+		admitted, rejected, released, ctl.Network().NumFlows())
+	return out.Flush()
 }
 
 // streamSpec draws one request: mostly VoIP calls, some CBR video, and —

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -36,12 +38,82 @@ func TestRunStreamCold(t *testing.T) {
 	}
 }
 
+func TestRunStreamBatch(t *testing.T) {
+	if err := run([]string{"-stream", "40", "-seed", "3", "-switches", "4", "-hosts", "3", "-batch", "8"}); err != nil {
+		t.Fatalf("batched stream mode failed: %v", err)
+	}
+}
+
+// TestTraceGoldenOutput is the determinism pin for stream mode: the
+// recorded request trace in testdata must produce byte-identical
+// admit/reject decision logs through the sequential controller, the
+// parallel delta worklist, batched admission (two batch sizes, one that
+// forces mid-batch eviction) and the cold baseline — all equal to the
+// checked-in golden file. The trace ends in a burst of ~53 Mbit/s video
+// flows that saturate an edge link, so the batched runs exercise the
+// eviction path, and a departure between them exercises release.
+func TestTraceGoldenOutput(t *testing.T) {
+	tracePath := filepath.Join("testdata", "stream.trace")
+	golden, err := os.ReadFile(filepath.Join("testdata", "stream.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name    string
+		cold    bool
+		workers int
+		batch   int
+	}{
+		{name: "sequential"},
+		{name: "workers2", workers: 2},
+		{name: "batch16", batch: 16},
+		{name: "batch3", batch: 3},
+		{name: "cold", cold: true},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := runTrace(&out, tracePath, v.cold, v.workers, v.batch); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), golden) {
+				t.Fatalf("decision log differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+					out.Bytes(), golden)
+			}
+		})
+	}
+}
+
+// TestTraceRecordReplay round-trips stream mode through -record: the
+// recorded trace must replay without error and end with the same
+// resident count the live stream reported.
+func TestTraceRecordReplay(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "rec.trace")
+	if err := run([]string{"-stream", "30", "-seed", "5", "-switches", "3", "-hosts", "2",
+		"-batch", "4", "-record", traceFile}); err != nil {
+		t.Fatalf("recording stream failed: %v", err)
+	}
+	var seq, bat bytes.Buffer
+	if err := runTrace(&seq, traceFile, false, 0, 0); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if err := runTrace(&bat, traceFile, false, 0, 4); err != nil {
+		t.Fatalf("batched replay failed: %v", err)
+	}
+	if !bytes.Equal(seq.Bytes(), bat.Bytes()) {
+		t.Fatalf("sequential and batched replays differ:\n%s\nvs\n%s", seq.Bytes(), bat.Bytes())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},
 		{"/nonexistent.json"},
 		{"-stream", "5", "-switches", "0"},
 		{"-stream", "5", "-hosts", "1"},
+		{"-stream", "5", "-batch", "4", "-cold"},
+		{"-trace", "/nonexistent.trace"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

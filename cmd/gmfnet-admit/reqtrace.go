@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// The request-trace format is one JSON object per line: a header naming
+// the campus topology, then add/del operations in stream order. A
+// recorded trace replays deterministically — admit/reject decisions
+// depend only on the operations, not on timing or RNG state — so the
+// same trace through the sequential, parallel-worklist and batched
+// controllers must produce byte-identical decision logs (the golden test
+// in main_test.go pins that).
+
+// traceHeader is the first line of a trace file.
+type traceHeader struct {
+	Topo topoSpec `json:"topo"`
+}
+
+// topoSpec names the network.Campus parameters the trace was recorded on.
+type topoSpec struct {
+	Switches int `json:"switches"`
+	Hosts    int `json:"hosts"`
+}
+
+// traceOp is one recorded operation.
+type traceOp struct {
+	Op   string `json:"op"` // "add" or "del"
+	Name string `json:"name"`
+
+	// Request parameters, set for "add". Times are picoseconds
+	// (units.Time), so recording is lossless.
+	Kind       string `json:"kind,omitempty"` // "voip" or "cbr"
+	Src        string `json:"src,omitempty"`
+	Dst        string `json:"dst,omitempty"`
+	Prio       int    `json:"prio,omitempty"`
+	Bytes      int64  `json:"bytes,omitempty"`       // cbr frame payload
+	PeriodPS   int64  `json:"period_ps,omitempty"`   // cbr period
+	DeadlinePS int64  `json:"deadline_ps,omitempty"` // end-to-end deadline
+	RTP        bool   `json:"rtp,omitempty"`
+}
+
+// spec rebuilds the flow spec of an "add" operation on the given
+// topology.
+func (op *traceOp) spec(topo *network.Topology) (*network.FlowSpec, error) {
+	route, err := topo.Route(network.NodeID(op.Src), network.NodeID(op.Dst))
+	if err != nil {
+		return nil, fmt.Errorf("trace op %q: %w", op.Name, err)
+	}
+	fs := &network.FlowSpec{Route: route, Priority: network.Priority(op.Prio)}
+	switch op.Kind {
+	case "voip":
+		fs.Flow = trace.VoIP(op.Name, trace.VoIPOptions{Deadline: units.Time(op.DeadlinePS)})
+		fs.RTP = op.RTP
+	case "cbr":
+		fs.Flow = trace.CBRVideo(op.Name, op.Bytes,
+			units.Time(op.PeriodPS), units.Time(op.DeadlinePS))
+		fs.RTP = op.RTP
+	default:
+		return nil, fmt.Errorf("trace op %q: unknown kind %q", op.Name, op.Kind)
+	}
+	return fs, nil
+}
+
+// addOp captures a generated request as a trace operation. streamSpec
+// draws single-frame VoIP (RTP) or CBR video flows; VoIP is recognised
+// by its G.711 payload and recorded by kind, everything else by its
+// exact CBR parameters.
+func addOp(fs *network.FlowSpec) traceOp {
+	op := traceOp{
+		Op:   "add",
+		Name: fs.Flow.Name,
+		Src:  string(fs.Route[0]),
+		Dst:  string(fs.Route[len(fs.Route)-1]),
+		Prio: int(fs.Priority),
+		RTP:  fs.RTP,
+	}
+	fr := fs.Flow.Frames[0]
+	if fs.RTP && fr.PayloadBits == 160*8 {
+		op.Kind = "voip"
+		op.DeadlinePS = int64(fr.Deadline)
+		return op
+	}
+	op.Kind = "cbr"
+	op.Bytes = fr.PayloadBits / 8
+	op.PeriodPS = int64(fr.MinSep)
+	op.DeadlinePS = int64(fr.Deadline)
+	return op
+}
+
+// traceRecorder streams a header plus operations to a file.
+type traceRecorder struct {
+	f   *os.File
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+func newTraceRecorder(path string, switches, hosts int) (*traceRecorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	r := &traceRecorder{f: f, w: w, enc: json.NewEncoder(w)}
+	if err := r.enc.Encode(traceHeader{Topo: topoSpec{Switches: switches, Hosts: hosts}}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *traceRecorder) record(op traceOp) error {
+	if r == nil {
+		return nil
+	}
+	return r.enc.Encode(op)
+}
+
+// close flushes and closes the trace file. It is idempotent so that the
+// success path can surface the flush error while a deferred call still
+// cleans up on early returns.
+func (r *traceRecorder) close() error {
+	if r == nil || r.f == nil {
+		return nil
+	}
+	ferr := r.w.Flush()
+	cerr := r.f.Close()
+	r.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// loadTrace parses a trace file into its header and operation list.
+func loadTrace(path string) (traceHeader, []traceOp, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return traceHeader{}, nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	var h traceHeader
+	if err := dec.Decode(&h); err != nil {
+		return traceHeader{}, nil, fmt.Errorf("trace %s: bad header: %w", path, err)
+	}
+	if h.Topo.Switches < 1 || h.Topo.Hosts < 2 {
+		return traceHeader{}, nil, fmt.Errorf("trace %s: header needs at least 1 switch and 2 hosts per switch", path)
+	}
+	var ops []traceOp
+	for {
+		var op traceOp
+		if err := dec.Decode(&op); err == io.EOF {
+			break
+		} else if err != nil {
+			return traceHeader{}, nil, fmt.Errorf("trace %s: op %d: %w", path, len(ops), err)
+		}
+		if op.Op != "add" && op.Op != "del" {
+			return traceHeader{}, nil, fmt.Errorf("trace %s: op %d: unknown op %q", path, len(ops), op.Op)
+		}
+		ops = append(ops, op)
+	}
+	return h, ops, nil
+}

@@ -203,8 +203,12 @@ func (s *System) CompareModels(cfg AnalysisConfig) (*ModelComparison, error) {
 // controller runs on a persistent Engine: the network is validated once,
 // each request re-analyses only the flows sharing resources with the
 // newcomer, and rejections roll back through O(1) undo-log snapshot
-// tokens instead of recompute or deep copies. Set AnalysisConfig.Workers
-// to run large delta worklists as parallel Jacobi rounds.
+// tokens instead of recompute or deep copies. RequestBatch decides a
+// whole batch with one converged delta worklist — identical decisions
+// to one-by-one RequestAll, with violators evicted in request order via
+// journaled rollback that spans the eviction departures. Set
+// AnalysisConfig.Workers to run large delta worklists as parallel
+// Jacobi rounds.
 func (s *System) NewAdmissionController(cfg AnalysisConfig) (*admission.Controller, error) {
 	return admission.NewController(s.nw, cfg)
 }
@@ -214,7 +218,9 @@ func (s *System) NewAdmissionController(cfg AnalysisConfig) (*admission.Controll
 // jitter fixpoint (a flat arena indexed by dense resource ids) and the
 // interference index across calls, so a stream of AddFlow/RemoveFlow +
 // Analyze calls costs a fraction of repeated cold Analyze calls;
-// snapshots are O(1) undo-log tokens. Set AnalysisConfig.Workers to
+// snapshots are O(1) undo-log tokens that survive removals (departed
+// blocks are tombstoned, not compacted, while a snapshot is armed, so a
+// Restore can roll back across departures). Set AnalysisConfig.Workers to
 // parallelise large delta worklists. Mutate the flow set only through
 // the engine (or call Engine.Invalidate after out-of-band changes).
 func (s *System) NewEngine(cfg AnalysisConfig) (*Engine, error) {

@@ -15,6 +15,7 @@
 package admission
 
 import (
+	"errors"
 	"fmt"
 
 	"gmfnet/internal/core"
@@ -118,6 +119,219 @@ func (c *Controller) RequestAll(specs []*network.FlowSpec) ([]Decision, error) {
 		out = append(out, d)
 	}
 	return out, nil
+}
+
+// RequestBatch admits a batch of requests with one converged analysis
+// instead of one per request: every newcomer is staged into the engine,
+// a single delta worklist seeded with all of them is converged once, and
+// only when the combined set violates a deadline does the controller
+// fall back to evicting newcomers via journaled rollback — the
+// departures of the eviction probes run under the batch's one snapshot,
+// which survives them thanks to the engine's block-move journal.
+//
+// Decisions are exactly RequestAll's: a schedulable whole batch admits
+// every request (the holistic interference is monotone, so every subset
+// of a schedulable set is schedulable — one-by-one processing would have
+// accepted each prefix too), and the eviction search reproduces the
+// greedy prefix rule by bisecting for the longest schedulable prefix of
+// the undecided suffix and rejecting the first flow beyond it, i.e. the
+// most expensive violator in request order. Admitted decisions share the
+// batch's final converged Result; a rejected decision carries the
+// analysis of the prefix whose violation evicted it.
+//
+// A malformed spec aborts the whole batch: the engine is rolled back to
+// its pre-batch state, no decisions are recorded, and the error is
+// returned (unlike RequestAll, which commits the prefix before the bad
+// request).
+//
+// One verdict is not monotone in the flow set: an analysis that exhausts
+// Config.MaxHolisticIter without converging (and without a stage error)
+// depends on the warm-start point, so batch probes and one-by-one
+// processing could disagree near the cap. When any batch analysis hits
+// the cap, RequestBatch therefore rolls back and replays the batch
+// through the literal one-by-one path, preserving decision equality by
+// construction. Stage errors (overload, inner-fixpoint divergence) are
+// monotone like deadline misses and stay on the fast path.
+func (c *Controller) RequestBatch(specs []*network.FlowSpec) ([]Decision, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	snap := c.eng.Snapshot()
+	abort := func(err error) ([]Decision, error) {
+		if rerr := c.eng.Restore(snap); rerr != nil {
+			return nil, fmt.Errorf("admission: batch rollback failed: %v (after %w)", rerr, err)
+		}
+		return nil, err
+	}
+	fallback := func() ([]Decision, error) {
+		if rerr := c.eng.Restore(snap); rerr != nil {
+			return nil, fmt.Errorf("admission: batch fallback rollback failed: %v", rerr)
+		}
+		return c.RequestAll(specs)
+	}
+	for _, fs := range specs {
+		if _, err := c.eng.AddFlow(fs); err != nil {
+			return abort(err)
+		}
+	}
+	res, err := c.eng.Analyze()
+	if err != nil {
+		return abort(err)
+	}
+	if holisticCapHit(res) {
+		return fallback()
+	}
+	admitted := make([]bool, len(specs))
+	rejected := make([]*core.Result, len(specs))
+	if res.Schedulable() {
+		for i := range admitted {
+			admitted[i] = true
+		}
+	} else if err := c.evictBatch(specs, res, admitted, rejected); err != nil {
+		if errors.Is(err, errHolisticCap) {
+			return fallback()
+		}
+		return abort(err)
+	}
+	// Converge whatever survived; with no evictions this is the cached
+	// batch fixpoint. The surviving set is schedulable by construction.
+	final, err := c.eng.Analyze()
+	if err != nil {
+		return abort(err)
+	}
+	if holisticCapHit(final) {
+		return fallback()
+	}
+	c.eng.Discard(snap)
+	out := make([]Decision, len(specs))
+	for i, fs := range specs {
+		out[i] = Decision{FlowName: fs.Flow.Name, Admitted: admitted[i], Result: final}
+		if !admitted[i] {
+			out[i].Result = rejected[i]
+		}
+	}
+	c.decisions = append(c.decisions, out...)
+	return out, nil
+}
+
+// evictBatch is RequestBatch's slow path: the engine holds every staged
+// newcomer and the last analysis (lastFail) says the combined set is not
+// schedulable. It decides each spec by repeatedly bisecting for the
+// longest schedulable prefix of the undecided suffix — shrinking and
+// re-growing the staged set through RemoveFlow/AddFlow probes under the
+// batch snapshot — accepting that prefix, rejecting the flow beyond it,
+// and re-staging the rest. Schedulability is monotone in the staged
+// prefix (removing flows only removes interference), so the bisection is
+// exact and the resulting accept set equals one-by-one processing. A
+// returned error means the engine is in an intermediate state; the
+// caller restores the batch snapshot (and, for errHolisticCap, replays
+// the batch one by one — see RequestBatch).
+func (c *Controller) evictBatch(specs []*network.FlowSpec, lastFail *core.Result, admitted []bool, rejected []*core.Result) error {
+	// rest holds the undecided spec indices, all currently staged after
+	// the committed-and-accepted flows; base is the engine index of the
+	// first staged one.
+	base := c.eng.Network().NumFlows() - len(specs)
+	rest := make([]int, len(specs))
+	for i := range rest {
+		rest[i] = i
+	}
+	for len(rest) > 0 {
+		cur := len(rest) // staged prefix length of rest
+		adjust := func(target int) error {
+			for cur > target {
+				if err := c.eng.RemoveFlow(base + cur - 1); err != nil {
+					return err
+				}
+				cur--
+			}
+			for cur < target {
+				if _, err := c.eng.AddFlow(specs[rest[cur]]); err != nil {
+					return err
+				}
+				cur++
+			}
+			return nil
+		}
+		lo, hi := 0, len(rest)
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if err := adjust(mid); err != nil {
+				return err
+			}
+			probe, err := c.eng.Analyze()
+			if err != nil {
+				return err
+			}
+			if holisticCapHit(probe) {
+				return errHolisticCap
+			}
+			if probe.Schedulable() {
+				lo = mid
+			} else {
+				hi = mid
+				lastFail = probe
+			}
+		}
+		// rest[:hi-1] is the longest schedulable prefix: accepted.
+		// rest[hi-1] broke it: rejected, with the analysis that shows the
+		// violation.
+		if err := adjust(hi - 1); err != nil {
+			return err
+		}
+		for _, si := range rest[:hi-1] {
+			admitted[si] = true
+		}
+		rejected[rest[hi-1]] = lastFail
+		base += hi - 1
+		rest = rest[hi:]
+		if len(rest) == 0 {
+			break
+		}
+		// Re-stage the suffix beyond the rejected flow and converge once;
+		// if everything now fits the batch is done, otherwise bisect again.
+		for _, si := range rest {
+			if _, err := c.eng.AddFlow(specs[si]); err != nil {
+				return err
+			}
+		}
+		again, err := c.eng.Analyze()
+		if err != nil {
+			return err
+		}
+		if holisticCapHit(again) {
+			return errHolisticCap
+		}
+		if again.Schedulable() {
+			for _, si := range rest {
+				admitted[si] = true
+			}
+			break
+		}
+		lastFail = again
+	}
+	return nil
+}
+
+// errHolisticCap signals that a batch analysis exhausted the holistic
+// iteration cap: not an input error, but a verdict the batch path must
+// not bisect on (see RequestBatch).
+var errHolisticCap = errors.New("admission: holistic iteration cap hit mid-batch")
+
+// holisticCapHit reports whether the analysis stopped because the outer
+// holistic iteration cap was exhausted: not converged, yet no stage
+// reported an error. Deadline misses and stage errors are monotone in
+// the flow set; this verdict is not (it depends on the warm-start
+// point), so the batch path falls back to one-by-one processing on it.
+func holisticCapHit(res *core.Result) bool {
+	if res.Converged {
+		return false
+	}
+	for i := range res.Flows {
+		if res.Flows[i].Err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Release removes the first admitted flow with the given name (a

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"gmfnet/internal/ether"
 	"gmfnet/internal/gmf"
@@ -84,6 +85,20 @@ func (a *Analyzer) removeFlowDemand(i int) {
 	}
 }
 
+// insertDemandAt is the inverse of removeFlowDemand: it re-links flow
+// i's cached demands when Engine.Restore resurrects a departure,
+// shifting higher indices up by one. The cache may legitimately be
+// shorter than the flow count (entries are filled lazily); missing slots
+// are padded so the insert lands at the right index.
+func (a *Analyzer) insertDemandAt(i int, entry []rateDemand) {
+	for len(a.demands) < i {
+		a.demands = append(a.demands, nil)
+	}
+	a.demands = append(a.demands, nil)
+	copy(a.demands[i+1:], a.demands[i:])
+	a.demands[i] = entry
+}
+
 // resetDemands discards the whole cache; Engine.Invalidate uses it after
 // out-of-band flow-set changes that may have shifted indices.
 func (a *Analyzer) resetDemands() {
@@ -110,6 +125,19 @@ func (a *Analyzer) resetDemands() {
 //   - an optional undo journal of (offset, old value) pairs, which makes
 //     engine snapshots O(1) and restores O(writes since the snapshot)
 //     instead of a deep copy of the whole assignment.
+//
+// Lazy-compaction invariant (restore-across-removal). While the journal
+// is armed, removeFlow does NOT compact the arena: the departed flow's
+// block is unlinked from blocks but its slots stay in place as a
+// tombstone, recorded in structJournal (for resurrection by undoTo) and
+// in tombs (for later reclamation). Because nothing moves, every
+// absolute (off, eidx) pair in the write journal — and every live
+// block's base — remains valid across any number of removals, which is
+// what lets one snapshot span departures. Tombstones exist only while a
+// journal is armed: endJournal (snapshot discarded) and beginJournal (a
+// new snapshot supersedes the old one) compact them away and re-base the
+// surviving blocks, and undoTo re-links them instead. With no journal
+// armed, removeFlow compacts eagerly as before (removeFlowReindex).
 type jitterState struct {
 	blocks []flowBlock
 	arena  []units.Time
@@ -130,6 +158,20 @@ type jitterState struct {
 	// beginJournal, newest last; undoTo replays it backwards.
 	journal   []undoEntry
 	journalOn bool
+
+	// structJournal records the flows tombstoned since beginJournal, in
+	// removal order; undoTo re-inserts them backwards. tombs lists the
+	// same blocks' dead arena extents for compaction once the journal is
+	// resolved (see the lazy-compaction invariant above).
+	structJournal []structUndo
+	tombs         []flowBlock
+}
+
+// structUndo records one tombstoned flow: the index it was removed from
+// and its (still allocated) block, so undoTo can re-link it in place.
+type structUndo struct {
+	index int
+	block flowBlock
 }
 
 // flowBlock locates one flow's slots inside the arena.
@@ -319,38 +361,61 @@ func (js *jitterState) resetChanged() {
 // coldReset restores flow j's slots to the cold-start assignment. The
 // incremental engine applies it to every flow affected by a departure, so
 // that the subsequent delta iteration ascends to the least fixpoint from
-// below instead of descending from the stale (now too large) one. It
-// bypasses the journal; callers must have invalidated outstanding
-// snapshots (removeFlowReindex does).
+// below instead of descending from the stale (now too large) one. With a
+// journal armed the overwritten values are recorded like any other write,
+// so a snapshot restore spanning the departure rolls them back too.
 func (js *jitterState) coldReset(j int, fs *network.FlowSpec) {
 	b := &js.blocks[j]
 	n := int(b.n)
+	cold := func(s, k int) units.Time {
+		if s == 0 {
+			return fs.Flow.Frames[k].Jitter
+		}
+		return 0
+	}
 	for s := range b.rids {
 		base := int(b.base) + s*n
+		var m units.Time
 		for k := 0; k < n; k++ {
-			js.arena[base+k] = 0
+			v := cold(s, k)
+			if old := js.arena[base+k]; old != v {
+				if js.journalOn {
+					js.journal = append(js.journal, undoEntry{
+						off: int32(base + k), eidx: b.ebase + int32(s), old: old,
+					})
+				}
+				js.arena[base+k] = v
+			}
+			if v > m {
+				m = v
+			}
 		}
-		js.extraMax[int(b.ebase)+s] = 0
+		js.extraMax[int(b.ebase)+s] = m
 		js.extraValid[int(b.ebase)+s] = true
 	}
-	var m units.Time
-	for k := 0; k < n; k++ {
-		v := fs.Flow.Frames[k].Jitter
-		js.arena[int(b.base)+k] = v
-		if v > m {
-			m = v
-		}
-	}
-	js.extraMax[b.ebase] = m
 }
 
-// removeFlowReindex drops flow i's slots, compacts the arena and shifts
-// every tracking structure — including the changed-flow worklist, which
-// the pre-arena implementation left unshifted, leaking stale indices into
-// the next delta worklist — down by one, mirroring Network.RemoveFlow's
-// index compaction. Offsets recorded in the undo journal no longer address
-// the same slots after the compaction, so the journal is invalidated;
-// Engine.RemoveFlow refuses restores across it via its removal epoch.
+// removeFlow drops flow i's slots, mirroring Network.RemoveFlow's index
+// compaction. With no journal armed it compacts the arena eagerly
+// (removeFlowReindex); with an armed journal it tombstones the block
+// instead — nothing moves, so the snapshot's journaled offsets and the
+// surviving blocks' bases stay valid and a later undoTo can roll back
+// across the departure (see the lazy-compaction invariant on
+// jitterState).
+func (js *jitterState) removeFlow(i int) {
+	if js.journalOn {
+		js.tombstoneFlow(i)
+		return
+	}
+	js.removeFlowReindex(i)
+}
+
+// removeFlowReindex is the eager path: it drops flow i's slots, compacts
+// the arena and shifts every tracking structure — including the
+// changed-flow worklist, which the pre-arena implementation left
+// unshifted, leaking stale indices into the next delta worklist — down by
+// one. Only legal with no journal armed: compaction moves slots out from
+// under journaled offsets.
 func (js *jitterState) removeFlowReindex(i int) {
 	b := js.blocks[i]
 	stages := int32(len(b.rids))
@@ -366,6 +431,27 @@ func (js *jitterState) removeFlowReindex(i int) {
 		js.blocks[j].base -= slots
 		js.blocks[j].ebase -= stages
 	}
+	js.shiftChangedDown(i)
+	js.journal = js.journal[:0]
+	js.journalOn = false
+}
+
+// tombstoneFlow is the journaled path of removeFlow: flow i's block is
+// unlinked from the index structures but its arena slots stay allocated
+// in place, recorded in structJournal for resurrection and in tombs for
+// compaction once the journal is resolved.
+func (js *jitterState) tombstoneFlow(i int) {
+	b := js.blocks[i]
+	js.structJournal = append(js.structJournal, structUndo{index: i, block: b})
+	js.tombs = append(js.tombs, b)
+	js.blocks = append(js.blocks[:i], js.blocks[i+1:]...)
+	js.shiftChangedDown(i)
+}
+
+// shiftChangedDown rewrites the changed-flow worklist after flow i left:
+// entry i is dropped and higher indices shift down by one, keeping
+// changedMark aligned with blocks.
+func (js *jitterState) shiftChangedDown(i int) {
 	list := js.changedList[:0]
 	for _, j := range js.changedList {
 		switch {
@@ -384,16 +470,65 @@ func (js *jitterState) removeFlowReindex(i int) {
 	for _, j := range js.changedList {
 		js.changedMark[j] = true
 	}
-	js.journal = js.journal[:0]
-	js.journalOn = false
+}
+
+// compactTombs reclaims the tombstoned extents left by journaled
+// removals: live arena content slides down over the dead blocks and the
+// surviving blocks' bases are rebased. Must only run with no journal
+// armed — it is called from endJournal and beginJournal, the two places
+// where an outstanding snapshot dies.
+func (js *jitterState) compactTombs() {
+	if len(js.tombs) == 0 {
+		return
+	}
+	sort.Slice(js.tombs, func(a, b int) bool { return js.tombs[a].base < js.tombs[b].base })
+	// Slide the live segments between consecutive tombstones leftward.
+	dst := js.tombs[0].base
+	edst := js.tombs[0].ebase
+	for t := 0; t < len(js.tombs); t++ {
+		b := js.tombs[t]
+		stages := int32(len(b.rids))
+		src := b.base + stages*b.n
+		esrc := b.ebase + stages
+		end := int32(len(js.arena))
+		eend := int32(len(js.extraMax))
+		if t+1 < len(js.tombs) {
+			end = js.tombs[t+1].base
+			eend = js.tombs[t+1].ebase
+		}
+		copy(js.arena[dst:], js.arena[src:end])
+		dst += end - src
+		copy(js.extraMax[edst:], js.extraMax[esrc:eend])
+		copy(js.extraValid[edst:], js.extraValid[esrc:eend])
+		edst += eend - esrc
+	}
+	js.arena = js.arena[:dst]
+	js.extraMax = js.extraMax[:edst]
+	js.extraValid = js.extraValid[:edst]
+	for j := range js.blocks {
+		var slots, stages int32
+		for _, tb := range js.tombs {
+			if tb.base < js.blocks[j].base {
+				slots += int32(len(tb.rids)) * tb.n
+				stages += int32(len(tb.rids))
+			}
+		}
+		js.blocks[j].base -= slots
+		js.blocks[j].ebase -= stages
+	}
+	js.tombs = js.tombs[:0]
 }
 
 // beginJournal starts a fresh undo epoch: the journal is truncated (any
-// older snapshot becomes unrestorable) and subsequent writes record their
-// old values. It returns the mark undoTo needs to also pop flows added
-// after the snapshot.
+// older snapshot becomes unrestorable), tombstones left by that
+// superseded snapshot's removals are compacted away, and subsequent
+// writes record their old values. It returns the mark undoTo needs to
+// also pop flows added after the snapshot.
 func (js *jitterState) beginJournal() jitterMark {
 	js.journal = js.journal[:0]
+	js.journalOn = false
+	js.structJournal = js.structJournal[:0]
+	js.compactTombs()
 	js.journalOn = true
 	return jitterMark{
 		arenaLen: len(js.arena),
@@ -402,17 +537,26 @@ func (js *jitterState) beginJournal() jitterMark {
 	}
 }
 
-// endJournal disarms journaling and drops the recorded history; the
-// engine calls it when the outstanding snapshot is discarded, so a long
-// snapshot-free write stream does not keep accumulating undo entries.
+// endJournal disarms journaling, drops the recorded history and compacts
+// any tombstoned blocks; the engine calls it when the outstanding
+// snapshot is discarded, so a long snapshot-free write stream does not
+// keep accumulating undo entries or dead arena extents.
 func (js *jitterState) endJournal() {
 	js.journal = js.journal[:0]
 	js.journalOn = false
+	js.structJournal = js.structJournal[:0]
+	js.compactTombs()
 }
 
 // undoTo rolls the state back to the mark: journaled writes are replayed
-// backwards and flows added after the mark are popped. Cost is
-// proportional to the writes since beginJournal, not to the total state.
+// backwards, tombstoned blocks are re-linked at their recorded indices in
+// reverse removal order (their slots never moved, so the block records
+// are still exact), and flows added after the mark are popped. After the
+// re-insertions every flow alive at the snapshot sits at its original
+// index and every post-snapshot addition at the tail, so the final
+// truncation to the mark restores the snapshot layout bit-identically.
+// Cost is proportional to the writes and removals since beginJournal,
+// plus a changed-mark wipe, not to the arena size.
 func (js *jitterState) undoTo(m jitterMark) {
 	for i := len(js.journal) - 1; i >= 0; i-- {
 		e := js.journal[i]
@@ -421,12 +565,27 @@ func (js *jitterState) undoTo(m jitterMark) {
 	}
 	js.journal = js.journal[:0]
 	js.journalOn = false
-	js.resetChanged()
+	for i := len(js.structJournal) - 1; i >= 0; i-- {
+		u := js.structJournal[i]
+		js.blocks = append(js.blocks, flowBlock{})
+		copy(js.blocks[u.index+1:], js.blocks[u.index:])
+		js.blocks[u.index] = u.block
+	}
+	js.structJournal = js.structJournal[:0]
+	js.tombs = js.tombs[:0]
 	js.arena = js.arena[:m.arenaLen]
 	js.extraMax = js.extraMax[:m.eLen]
 	js.extraValid = js.extraValid[:m.eLen]
 	js.blocks = js.blocks[:m.numFlows]
+	if cap(js.changedMark) < m.numFlows {
+		js.changedMark = make([]bool, m.numFlows)
+	}
 	js.changedMark = js.changedMark[:m.numFlows]
+	for j := range js.changedMark {
+		js.changedMark[j] = false
+	}
+	js.changedList = js.changedList[:0]
+	js.changed = false
 }
 
 // clone deep-copies the state (journal excluded). The undo-log restore

@@ -28,7 +28,12 @@ import (
 // Snapshots are O(1) tokens backed by an undo journal: between Snapshot
 // and Restore the arena records (slot, old value) for every write, and
 // Restore replays the journal backwards — cost proportional to the writes
-// since the snapshot, never to the total state.
+// since the snapshot, never to the total state. Snapshots survive
+// RemoveFlow: a departure under an armed journal tombstones the departed
+// flow's arena block in place (no compaction, so journaled offsets stay
+// valid) and logs the removed spec, letting Restore re-insert the flow
+// and re-link the block — the rollback-across-departure speculative
+// batch admission needs.
 //
 // With Config.Workers > 1, large delta worklists run as Jacobi-style
 // parallel rounds (every worked flow analysed concurrently against the
@@ -48,14 +53,27 @@ type Engine struct {
 
 	lastIterations int
 
-	// removeEpoch increments on every RemoveFlow (and Invalidate): the
-	// arena compaction shifts slot offsets, so snapshots taken before a
-	// removal can no longer be restored and are refused.
-	removeEpoch uint64
-	// snapSeq increments on every Snapshot and Restore: each snapshot
-	// truncates the undo journal, so only the most recent snapshot is
-	// restorable, at most once.
+	// snapSeq increments on every Snapshot, Restore, Discard and
+	// Invalidate: each snapshot truncates the undo journal, so only the
+	// most recent snapshot is restorable, at most once.
 	snapSeq uint64
+	// snapLive reports whether the most recent snapshot is still
+	// outstanding (neither restored, discarded, superseded nor
+	// invalidated). While it is, RemoveFlow records departures in
+	// removedLog so Restore can re-insert them.
+	snapLive bool
+	// removedLog holds the flows removed since the live snapshot, in
+	// removal order; Restore replays it backwards through
+	// Network.InsertFlowAt.
+	removedLog []removedFlow
+}
+
+// removedFlow records one departure for rollback: the index the flow was
+// removed from, its spec, and its cached per-rate demands.
+type removedFlow struct {
+	index  int
+	fs     *network.FlowSpec
+	demand []rateDemand
 }
 
 // minParallelWorklist is the smallest worklist worth a Jacobi round: below
@@ -86,7 +104,9 @@ func (e *Engine) Invalidate() {
 	e.valid = false
 	e.dirty = make(map[int]bool)
 	e.an.resetDemands()
-	e.removeEpoch++
+	e.snapSeq++ // outstanding snapshots become stale
+	e.snapLive = false
+	e.removedLog = nil
 }
 
 // AddFlow validates the flow against the topology, registers it and marks
@@ -110,14 +130,21 @@ func (e *Engine) AddFlow(fs *network.FlowSpec) (int, error) {
 // resources with the departed one — transitively — are reset to the
 // cold-start jitter assignment and re-analysed on the next Analyze; a
 // descent from the stale fixpoint could otherwise stop at a non-least
-// fixpoint and over-reject later admissions. Snapshots taken before the
-// removal can no longer be restored.
+// fixpoint and over-reject later admissions. A live snapshot survives
+// the removal: the departure is logged (and the arena block tombstoned
+// rather than compacted), so Restore can roll back across it.
 func (e *Engine) RemoveFlow(i int) error {
 	nw := e.an.nw
 	if i < 0 || i >= nw.NumFlows() {
 		return errIndex(i, nw.NumFlows())
 	}
-	e.removeEpoch++
+	if e.snapLive {
+		rec := removedFlow{index: i, fs: nw.Flow(i)}
+		if i < len(e.an.demands) {
+			rec.demand = e.an.demands[i]
+		}
+		e.removedLog = append(e.removedLog, rec)
+	}
 	if !e.valid {
 		nw.RemoveFlow(i)
 		e.an.removeFlowDemand(i)
@@ -127,7 +154,7 @@ func (e *Engine) RemoveFlow(i int) error {
 	affected := e.affectedSet(map[int]bool{i: true})
 	nw.RemoveFlow(i)
 	e.an.removeFlowDemand(i)
-	e.js.removeFlowReindex(i)
+	e.js.removeFlow(i)
 	e.flows = append(e.flows[:i], e.flows[i+1:]...)
 	for j := i; j < len(e.flows); j++ {
 		e.flows[j].Index = j
@@ -386,7 +413,6 @@ type Snapshot struct {
 	jsRef *jitterState
 	mark  jitterMark
 	seq   uint64
-	epoch uint64
 
 	flows          []FlowResult
 	dirty          []int
@@ -397,14 +423,16 @@ type Snapshot struct {
 
 // Snapshot captures the current engine state for a later Restore. Each
 // call starts a fresh undo epoch: only the most recent snapshot can be
-// restored, at most once (snapshot-once semantics). Restoring across a
-// RemoveFlow or Invalidate is refused. Call Discard when the snapshot is
-// known dead (the tentative change committed) to stop journaling.
+// restored, at most once (snapshot-once semantics). The snapshot spans
+// AddFlow, RemoveFlow and analyses alike; only Invalidate kills it. Call
+// Discard when the snapshot is known dead (the tentative change
+// committed) to stop journaling and reclaim tombstoned arena blocks.
 func (e *Engine) Snapshot() *Snapshot {
 	e.snapSeq++
+	e.snapLive = true
+	e.removedLog = nil
 	s := &Snapshot{
 		seq:            e.snapSeq,
-		epoch:          e.removeEpoch,
 		valid:          e.valid,
 		lastIterations: e.lastIterations,
 		numFlows:       e.an.nw.NumFlows(),
@@ -423,38 +451,57 @@ func (e *Engine) Snapshot() *Snapshot {
 }
 
 // Discard releases a snapshot without restoring it: the undo journal is
-// disarmed and its memory reclaimed. Discarding a superseded or already
-// consumed snapshot is a no-op. Commit paths should call it — otherwise
-// the journal stays armed and grows with every write until the next
-// Snapshot, RemoveFlow or Invalidate.
+// disarmed, its memory reclaimed and arena blocks tombstoned by
+// departures since the snapshot are compacted. Discarding a superseded
+// or already consumed snapshot is a no-op. Commit paths should call it —
+// otherwise the journal stays armed and grows with every write until the
+// next Snapshot or Invalidate.
 func (e *Engine) Discard(s *Snapshot) {
 	if s == nil || s.seq != e.snapSeq {
 		return
 	}
 	e.snapSeq++
+	e.snapLive = false
+	e.removedLog = nil
 	if s.jsRef != nil {
 		s.jsRef.endJournal()
 	}
+	if e.js != nil && e.js != s.jsRef {
+		// The jitter state was rebuilt (a cold pass) while the snapshot
+		// was live; reclaim any tombstones the rebuilt state accumulated.
+		e.js.endJournal()
+	}
 }
 
-// Restore rolls the engine and its network back to a snapshot taken
-// earlier in the same add-only window: flows added since the snapshot are
-// popped and journaled jitter writes are undone in reverse — O(writes
-// since the snapshot), not O(total state). Restoring across a RemoveFlow
-// (indices have shifted and the arena was compacted) or a stale snapshot
-// (a newer one was taken, or this one was already restored) returns an
+// Restore rolls the engine and its network back to the snapshot: flows
+// added since it are popped, flows removed since it are re-inserted at
+// their original indices (reverse removal order, via the engine's
+// removal log and the jitter state's tombstone journal), and journaled
+// jitter writes are undone in reverse — O(changes since the snapshot),
+// not O(total state). Restoring a stale snapshot (a newer one was taken,
+// it was discarded or already restored, or Invalidate ran) returns an
 // error.
 func (e *Engine) Restore(s *Snapshot) error {
-	if s.epoch != e.removeEpoch {
-		return fmt.Errorf("core: cannot restore snapshot across flow removals")
-	}
 	if s.seq != e.snapSeq {
 		return fmt.Errorf("core: stale snapshot: only the most recent snapshot can be restored, once")
 	}
 	e.snapSeq++ // consume: a second restore of s is refused
+	e.snapLive = false
 	nw := e.an.nw
+	// Re-insert departures in reverse removal order: afterwards every
+	// flow alive at the snapshot is back at its original index and every
+	// post-snapshot addition sits at the tail, so popping down to the
+	// snapshot count restores the exact flow list.
+	for r := len(e.removedLog) - 1; r >= 0; r-- {
+		rec := e.removedLog[r]
+		if err := nw.InsertFlowAt(rec.index, rec.fs); err != nil {
+			return fmt.Errorf("core: restore could not re-insert removed flow %q: %w", rec.fs.Flow.Name, err)
+		}
+		e.an.insertDemandAt(rec.index, rec.demand)
+	}
+	e.removedLog = nil
 	if nw.NumFlows() < s.numFlows {
-		return fmt.Errorf("core: cannot restore snapshot across flow removals (%d flows now, %d at snapshot)", nw.NumFlows(), s.numFlows)
+		return fmt.Errorf("core: corrupt removal log (%d flows after replay, %d at snapshot)", nw.NumFlows(), s.numFlows)
 	}
 	for nw.NumFlows() > s.numFlows {
 		nw.RemoveLastFlow()

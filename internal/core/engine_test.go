@@ -168,14 +168,26 @@ func TestEngineSnapshotRestore(t *testing.T) {
 	}
 	compareResults(t, after, before)
 
-	// Restoring across a removal is refused.
+	// Restoring across a removal re-inserts the departed flow and lands
+	// on the snapshot's exact bounds (the block-move journal at work).
 	snap2 := eng.Snapshot()
 	if err := eng.RemoveFlow(0); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Restore(snap2); err == nil {
-		t.Fatal("restore across removal succeeded")
+	if _, err := eng.Analyze(); err != nil {
+		t.Fatal(err)
 	}
+	if err := eng.Restore(snap2); err != nil {
+		t.Fatalf("restore across removal: %v", err)
+	}
+	if nw.NumFlows() != 1 || nw.Flow(0).Flow.Name != "base" {
+		t.Fatalf("flow set after restore-across-removal: %d flows", nw.NumFlows())
+	}
+	roundTrip, err := eng.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, roundTrip, before)
 }
 
 // TestAnalyzeDeltaCoversPendingDirtyFlows guards against a converged

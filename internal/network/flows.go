@@ -166,6 +166,55 @@ func (nw *Network) RemoveLastFlow() {
 	nw.RemoveFlow(len(nw.flows) - 1)
 }
 
+// InsertFlowAt is the exact inverse of RemoveFlow(i): it re-registers the
+// flow at index i, shifting the flows at i and above up by one and
+// restoring the link index. The analysis engine's Restore uses it to
+// resurrect departures recorded in its removal log, so a snapshot can
+// roll the network back across RemoveFlow calls. The spec is validated
+// like in AddFlow; i == NumFlows() appends.
+func (nw *Network) InsertFlowAt(i int, fs *FlowSpec) error {
+	if i < 0 || i > len(nw.flows) {
+		return fmt.Errorf("network: insert index %d out of range [0,%d]", i, len(nw.flows))
+	}
+	if fs == nil || fs.Flow == nil {
+		return fmt.Errorf("network: nil flow spec")
+	}
+	if err := fs.Flow.Validate(); err != nil {
+		return err
+	}
+	if fs.Priority < 0 {
+		return fmt.Errorf("network: flow %q: negative priority", fs.Flow.Name)
+	}
+	if err := nw.Topo.ValidateRoute(fs.Route); err != nil {
+		return fmt.Errorf("network: flow %q: %w", fs.Flow.Name, err)
+	}
+	// Shift existing indices at i and above up before inserting i itself,
+	// mirroring (in reverse) the shift RemoveFlow applies after deletion.
+	for _, s := range nw.onLink {
+		for k, j := range s {
+			if j >= i {
+				s[k] = j + 1
+			}
+		}
+	}
+	nw.flows = append(nw.flows, nil)
+	copy(nw.flows[i+1:], nw.flows[i:])
+	nw.flows[i] = fs
+	nw.flowRes = append(nw.flowRes, nil)
+	copy(nw.flowRes[i+1:], nw.flowRes[i:])
+	nw.flowRes[i] = nw.internFlowResources(fs)
+	for h := 0; h < len(fs.Route)-1; h++ {
+		key := [2]NodeID{fs.Route[h], fs.Route[h+1]}
+		s := nw.onLink[key]
+		at := sort.SearchInts(s, i)
+		s = append(s, 0)
+		copy(s[at+1:], s[at:])
+		s[at] = i
+		nw.onLink[key] = s
+	}
+	return nil
+}
+
 // Flows returns the registered flow specs in admission order. The slice is
 // shared; callers must not mutate it.
 func (nw *Network) Flows() []*FlowSpec { return nw.flows }

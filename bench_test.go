@@ -422,6 +422,151 @@ func benchBatchAdmission(b *testing.B, batched bool) {
 	}
 }
 
+// BenchmarkAdmissionFatTreeBatch256 / BenchmarkAdmissionSharded256 are
+// the mid-scale contended pair: the same 256-flow batch (~6% heavy
+// video, forcing evictions) into an empty 4-ary fat tree, decided
+// monolithically vs closure-sharded. (BenchmarkAdmissionBatch256 stays
+// the uncontended monolithic reference on the one-closure ring, where
+// sharding cannot help by construction.)
+func BenchmarkAdmissionFatTreeBatch256(b *testing.B) {
+	topo, hosts, err := network.FatTree(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchInto(b, topo, contendedSpecs(b, topo, hosts, 256), false)
+}
+
+// BenchmarkAdmissionSharded256 is the sharded side of the mid-scale
+// contended pair; see BenchmarkAdmissionFatTreeBatch256.
+func BenchmarkAdmissionSharded256(b *testing.B) {
+	topo, hosts, err := network.FatTree(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchInto(b, topo, contendedSpecs(b, topo, hosts, 256), true)
+}
+
+// contendedSpecs builds n edge-local flows like residentSpecs but makes
+// every 16th a ~67 Mbit/s CBR stream, so edge links overload and the
+// batch exercises the eviction path — the realistic contended-admission
+// case, and the one where batch cost structure differs most between the
+// monolithic and the sharded controller.
+func contendedSpecs(b *testing.B, topo *network.Topology, hosts []network.NodeID, n int) []*network.FlowSpec {
+	b.Helper()
+	specs := residentSpecs(b, topo, hosts, 4, n)
+	for i := 15; i < n; i += 16 {
+		specs[i] = &network.FlowSpec{
+			Flow:     trace.CBRVideo(fmt.Sprintf("heavy%d", i), 250000, 30*units.Millisecond, 250*units.Millisecond),
+			Route:    specs[i].Route,
+			Priority: 1,
+		}
+	}
+	return specs
+}
+
+// BenchmarkAdmissionBatch1024 admits a contended 1024-flow batch (~6%
+// heavy video, forcing evictions) into an empty 8-ary fat tree as one
+// monolithic RequestBatch: the eviction search bisects for schedulable
+// prefixes of the *whole* staged batch, so every probe pays add/remove
+// churn and re-convergence across all 128 closures.
+func BenchmarkAdmissionBatch1024(b *testing.B) {
+	benchFatTreeBatch(b, false)
+}
+
+// BenchmarkAdmissionSharded1024 admits the identical contended batch
+// through the closure-sharded controller. The batch splits into 128
+// independent groups (one per interference closure), so the eviction
+// bisection runs inside 8-flow groups — and closures without violators
+// never probe at all. Decisions are identical to the monolithic path
+// (differential-tested); on a single core the win is the scoped
+// eviction search, on many cores group convergence parallelises on top.
+func BenchmarkAdmissionSharded1024(b *testing.B) {
+	benchFatTreeBatch(b, true)
+}
+
+// benchFatTreeBatch measures admitting the contended 1024-flow batch
+// into an empty 8-ary fat tree, monolithic or sharded, one full batch
+// per iteration.
+func benchFatTreeBatch(b *testing.B, sharded bool) {
+	b.Helper()
+	topo, hosts, err := network.FatTree(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchInto(b, topo, contendedSpecs(b, topo, hosts, 1024), sharded)
+}
+
+// benchBatchInto drives one RequestBatch of the specs into an empty
+// controller per iteration, monolithic or sharded, and reports the
+// rejection count (identical across both controllers by construction;
+// zero rejections would mean the eviction path went unexercised).
+func benchBatchInto(b *testing.B, topo *network.Topology, specs []*network.FlowSpec, sharded bool) {
+	b.Helper()
+	b.ReportAllocs()
+	rejected := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ds []admission.Decision
+		var err error
+		if sharded {
+			var ctl *admission.ShardedController
+			ctl, err = admission.NewShardedController(network.New(topo), core.Config{})
+			if err == nil {
+				ds, err = ctl.RequestBatch(specs)
+			}
+		} else {
+			var ctl *admission.Controller
+			ctl, err = admission.NewController(network.New(topo), core.Config{})
+			if err == nil {
+				ds, err = ctl.RequestBatch(specs)
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		rejected = 0
+		for _, d := range ds {
+			if !d.Admitted {
+				rejected++
+			}
+		}
+		if rejected == 0 {
+			b.Fatal("contended batch admitted everything; eviction path unexercised")
+		}
+	}
+	b.ReportMetric(float64(rejected), "rejected")
+}
+
+// BenchmarkAdmissionShardedCycle1024 is the sharded counterpart of
+// BenchmarkAdmissionIncremental1024: one admission + departure cycle at
+// a 1024-flow steady state on the 8-ary fat tree. The probe's decision
+// and the departure touch only the probe's ~8-flow shard — snapshot,
+// delta analysis, result copy and index bookkeeping all scale with the
+// closure, not with the 1024 residents (the monolithic engine's
+// detached result copy alone is O(flows) per request).
+func BenchmarkAdmissionShardedCycle1024(b *testing.B) {
+	topo, hosts, err := network.FatTree(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := admission.NewShardedController(network.New(topo), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The probe rides inside one resident closure (h0_0_0 -> h0_0_1
+	// shares both directed links with the a=0 residents), so a cycle is
+	// pure one-shard work; a closure-bridging probe would additionally
+	// pay one shard fusion + re-split per cycle.
+	probe := func(i int) *network.FlowSpec {
+		return &network.FlowSpec{
+			Flow:     trace.VoIP(fmt.Sprintf("probe%d", i), trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+			Route:    []network.NodeID{"h0_0_0", "edge0_0", "h0_0_1"},
+			Priority: 2,
+		}
+	}
+	benchAdmitCycle(b, ctl, residentSpecs(b, topo, hosts, 4, 1024), probe)
+}
+
 // BenchmarkAdmissionIncremental1024 pushes the steady state to 1024 flows
 // on an 8-ary fat tree (128 hosts, 80 switches) — the scale where the
 // pre-arena engine's per-request deep-copy snapshot dominated.

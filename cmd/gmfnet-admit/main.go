@@ -6,8 +6,8 @@
 // Usage:
 //
 //	gmfnet-admit [-sporadic] [-example] [scenario.json]
-//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-workers W] [-batch B] [-record FILE]
-//	gmfnet-admit -trace FILE [-cold] [-workers W] [-batch B]
+//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-shards] [-workers W] [-batch B] [-record FILE]
+//	gmfnet-admit -trace FILE [-cold] [-shards] [-workers W] [-batch B]
 //
 // With -sporadic every request is first collapsed to the sporadic model,
 // reproducing the capacity loss the paper's GMF model avoids.
@@ -22,7 +22,11 @@
 // incremental engine run large delta worklists as parallel Jacobi
 // rounds, and -batch B admits requests in batches of B through
 // Controller.RequestBatch (one converged worklist per batch, departures
-// flush the pending batch first). -record FILE writes the generated
+// flush the pending batch first). -shards runs the closure-sharded
+// controller instead: requests are decided inside their interference
+// closure's private shard engine, batch groups spanning disjoint
+// closures run concurrently, and decisions are provably identical to
+// the monolithic controller. -record FILE writes the generated
 // operation stream as a replayable JSON-lines trace.
 //
 // With -trace the command replays such a recorded trace
@@ -67,6 +71,7 @@ func run(args []string) error {
 	switches := fs.Int("switches", 8, "stream mode: number of edge switches")
 	hosts := fs.Int("hosts", 4, "stream mode: hosts per switch")
 	cold := fs.Bool("cold", false, "stream/trace mode: use the from-scratch baseline controller")
+	shards := fs.Bool("shards", false, "stream/trace mode: use the closure-sharded controller")
 	workers := fs.Int("workers", 0, "stream/trace mode: parallel delta worklist workers (0/1 sequential, -1 GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "stream/trace mode: admit requests in batches of this size through RequestBatch")
 	record := fs.String("record", "", "stream mode: record the operation stream as a replayable trace file")
@@ -77,12 +82,15 @@ func run(args []string) error {
 	if *batch > 0 && *cold {
 		return fmt.Errorf("-batch needs the incremental controller (drop -cold)")
 	}
+	if *shards && *cold {
+		return fmt.Errorf("-shards and -cold are mutually exclusive")
+	}
 
 	if *traceFile != "" {
-		return runTrace(os.Stdout, *traceFile, *cold, *workers, *batch)
+		return runTrace(os.Stdout, *traceFile, *cold, *shards, *workers, *batch)
 	}
 	if *stream > 0 {
-		return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *workers, *batch, *record)
+		return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *shards, *workers, *batch, *record)
 	}
 
 	var scenario *config.Scenario
@@ -135,12 +143,19 @@ func run(args []string) error {
 	return nil
 }
 
-// requester is what stream mode needs from a controller; both the
-// incremental Controller and the from-scratch ColdController satisfy it.
+// requester is what stream mode needs from a controller; the
+// incremental Controller, the sharded ShardedController and the
+// from-scratch ColdController all satisfy it.
 type requester interface {
 	Request(fs *network.FlowSpec) (admission.Decision, error)
 	Release(name string) (bool, error)
-	Network() *network.Network
+	NumFlows() int
+}
+
+// batchRequester is the batched admission entry point shared by the
+// monolithic and the sharded controller.
+type batchRequester interface {
+	RequestBatch(specs []*network.FlowSpec) ([]admission.Decision, error)
 }
 
 // admitter funnels admission requests into a controller either one by
@@ -152,7 +167,7 @@ type requester interface {
 // output — identical across batch sizes.
 type admitter struct {
 	ctl      requester
-	batchCtl *admission.Controller // used when size > 0
+	batchCtl batchRequester // used when size > 0
 	size     int
 	pending  []*network.FlowSpec
 	report   func(admission.Decision)
@@ -196,7 +211,7 @@ func (a *admitter) flush() error {
 // size through RequestBatch, flushing the pending batch before every
 // departure so victims are always decided flows. record, when set, logs
 // the executed operations as a replayable trace.
-func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold bool, workers, batch int, record string) error {
+func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, shards bool, workers, batch int, record string) error {
 	if switches < 1 || hostsPer < 2 {
 		return fmt.Errorf("stream mode needs at least 1 switch and 2 hosts per switch")
 	}
@@ -204,14 +219,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold b
 	if err != nil {
 		return err
 	}
-	var ctl requester
-	var batchCtl *admission.Controller
-	if cold {
-		ctl, err = admission.NewColdController(network.New(topo), core.Config{})
-	} else {
-		batchCtl, err = admission.NewController(network.New(topo), core.Config{Workers: workers})
-		ctl = batchCtl
-	}
+	ctl, batchCtl, shardCtl, err := buildController(topo, cold, shards, workers)
 	if err != nil {
 		return err
 	}
@@ -280,15 +288,21 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold b
 	if cold {
 		mode = "cold"
 	}
+	if shards {
+		mode = "sharded"
+	}
 	if batch > 0 {
-		mode = fmt.Sprintf("incremental, batch=%d", batch)
+		mode = fmt.Sprintf("%s, batch=%d", mode, batch)
 	}
 	t := report.NewTable(fmt.Sprintf("Request stream (%s controller)", mode), "metric", "value")
 	t.AddRowf("requests", n)
 	t.AddRowf("admitted", admitted)
 	t.AddRowf("rejected", rejected)
 	t.AddRowf("departures", released)
-	t.AddRowf("resident flows", ctl.Network().NumFlows())
+	t.AddRowf("resident flows", ctl.NumFlows())
+	if shardCtl != nil {
+		t.AddRowf("shards", shardCtl.NumShards())
+	}
 	t.AddRowf("switches x hosts", fmt.Sprintf("%d x %d", switches, hostsPer))
 	t.AddRowf("elapsed", elapsed.Round(time.Millisecond).String())
 	t.AddRowf("requests/s", fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds()))
@@ -304,7 +318,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold b
 // be compared byte for byte. A departure flushes the pending batch
 // first, exactly like the recording side, so decision order is the
 // request order regardless of batching.
-func runTrace(w io.Writer, path string, cold bool, workers, batch int) error {
+func runTrace(w io.Writer, path string, cold, shards bool, workers, batch int) error {
 	h, ops, err := loadTrace(path)
 	if err != nil {
 		return err
@@ -313,14 +327,7 @@ func runTrace(w io.Writer, path string, cold bool, workers, batch int) error {
 	if err != nil {
 		return err
 	}
-	var ctl requester
-	var batchCtl *admission.Controller
-	if cold {
-		ctl, err = admission.NewColdController(network.New(topo), core.Config{})
-	} else {
-		batchCtl, err = admission.NewController(network.New(topo), core.Config{Workers: workers})
-		ctl = batchCtl
-	}
+	ctl, batchCtl, _, err := buildController(topo, cold, shards, workers)
 	if err != nil {
 		return err
 	}
@@ -365,8 +372,27 @@ func runTrace(w io.Writer, path string, cold bool, workers, batch int) error {
 		return err
 	}
 	fmt.Fprintf(out, "admitted=%d rejected=%d released=%d resident=%d\n",
-		admitted, rejected, released, ctl.Network().NumFlows())
+		admitted, rejected, released, ctl.NumFlows())
 	return out.Flush()
+}
+
+// buildController assembles the stream/trace controller variant: the
+// from-scratch baseline, the closure-sharded controller, or the
+// monolithic incremental one. The batchRequester is non-nil for the
+// two engine-backed variants; shardCtl is non-nil only with -shards.
+func buildController(topo *network.Topology, cold, shards bool, workers int) (requester, batchRequester, *admission.ShardedController, error) {
+	cfg := core.Config{Workers: workers}
+	switch {
+	case cold:
+		ctl, err := admission.NewColdController(network.New(topo), core.Config{})
+		return ctl, nil, nil, err
+	case shards:
+		ctl, err := admission.NewShardedController(network.New(topo), cfg)
+		return ctl, ctl, ctl, err
+	default:
+		ctl, err := admission.NewController(network.New(topo), cfg)
+		return ctl, ctl, nil, err
+	}
 }
 
 // streamSpec draws one request: mostly VoIP calls, some CBR video, and —

@@ -44,6 +44,18 @@ func TestRunStreamBatch(t *testing.T) {
 	}
 }
 
+func TestRunStreamSharded(t *testing.T) {
+	if err := run([]string{"-stream", "40", "-seed", "3", "-switches", "4", "-hosts", "3", "-shards"}); err != nil {
+		t.Fatalf("sharded stream mode failed: %v", err)
+	}
+}
+
+func TestRunStreamShardedBatch(t *testing.T) {
+	if err := run([]string{"-stream", "40", "-seed", "3", "-switches", "4", "-hosts", "3", "-shards", "-batch", "8"}); err != nil {
+		t.Fatalf("sharded batched stream mode failed: %v", err)
+	}
+}
+
 // TestTraceGoldenOutput is the determinism pin for stream mode: the
 // recorded request trace in testdata must produce byte-identical
 // admit/reject decision logs through the sequential controller, the
@@ -61,6 +73,7 @@ func TestTraceGoldenOutput(t *testing.T) {
 	variants := []struct {
 		name    string
 		cold    bool
+		shards  bool
 		workers int
 		batch   int
 	}{
@@ -68,13 +81,16 @@ func TestTraceGoldenOutput(t *testing.T) {
 		{name: "workers2", workers: 2},
 		{name: "batch16", batch: 16},
 		{name: "batch3", batch: 3},
+		{name: "sharded", shards: true},
+		{name: "sharded-batch16", shards: true, batch: 16},
+		{name: "sharded-batch3", shards: true, batch: 3},
 		{name: "cold", cold: true},
 	}
 	for _, v := range variants {
 		v := v
 		t.Run(v.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := runTrace(&out, tracePath, v.cold, v.workers, v.batch); err != nil {
+			if err := runTrace(&out, tracePath, v.cold, v.shards, v.workers, v.batch); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(out.Bytes(), golden) {
@@ -94,15 +110,21 @@ func TestTraceRecordReplay(t *testing.T) {
 		"-batch", "4", "-record", traceFile}); err != nil {
 		t.Fatalf("recording stream failed: %v", err)
 	}
-	var seq, bat bytes.Buffer
-	if err := runTrace(&seq, traceFile, false, 0, 0); err != nil {
+	var seq, bat, shd bytes.Buffer
+	if err := runTrace(&seq, traceFile, false, false, 0, 0); err != nil {
 		t.Fatalf("replay failed: %v", err)
 	}
-	if err := runTrace(&bat, traceFile, false, 0, 4); err != nil {
+	if err := runTrace(&bat, traceFile, false, false, 0, 4); err != nil {
 		t.Fatalf("batched replay failed: %v", err)
+	}
+	if err := runTrace(&shd, traceFile, false, true, 0, 4); err != nil {
+		t.Fatalf("sharded replay failed: %v", err)
 	}
 	if !bytes.Equal(seq.Bytes(), bat.Bytes()) {
 		t.Fatalf("sequential and batched replays differ:\n%s\nvs\n%s", seq.Bytes(), bat.Bytes())
+	}
+	if !bytes.Equal(seq.Bytes(), shd.Bytes()) {
+		t.Fatalf("sequential and sharded replays differ:\n%s\nvs\n%s", seq.Bytes(), shd.Bytes())
 	}
 }
 
@@ -113,6 +135,7 @@ func TestRunErrors(t *testing.T) {
 		{"-stream", "5", "-switches", "0"},
 		{"-stream", "5", "-hosts", "1"},
 		{"-stream", "5", "-batch", "4", "-cold"},
+		{"-stream", "5", "-shards", "-cold"},
 		{"-trace", "/nonexistent.trace"},
 	} {
 		if err := run(args); err == nil {

@@ -14,8 +14,13 @@
 //   - internal/core — the response-time analysis and holistic fixpoint;
 //   - internal/sim — a discrete-event simulator of the whole data path;
 //   - internal/sporadic — the sporadic-collapse baseline;
-//   - internal/admission — the admission controller of Section 3.5;
+//   - internal/admission — the admission controllers of Section 3.5
+//     (incremental, closure-sharded, and the cold reference baseline);
 //   - internal/trace — MPEG/VoIP/CBR/random workload generators.
+//
+// The layer map and the engine-state invariants are documented in
+// docs/ARCHITECTURE.md; the scenario JSON and request-trace formats in
+// docs/SCENARIOS.md.
 //
 // A minimal session:
 //
@@ -82,9 +87,15 @@ type (
 	AdmissionDecision = admission.Decision
 	// AdmissionController admits flows against a network incrementally.
 	AdmissionController = admission.Controller
+	// ShardedAdmissionController admits flows per interference closure,
+	// with concurrent shard analyses and identical decisions.
+	ShardedAdmissionController = admission.ShardedController
 	// Engine is the persistent, warm-startable analysis engine behind
 	// incremental admission control.
 	Engine = core.Engine
+	// ShardedEngine partitions the analysis state by interference
+	// closure, one warm engine per closure.
+	ShardedEngine = core.ShardedEngine
 	// ModelComparison pairs GMF and sporadic verdicts.
 	ModelComparison = sporadic.Comparison
 )
@@ -211,6 +222,22 @@ func (s *System) CompareModels(cfg AnalysisConfig) (*ModelComparison, error) {
 // Jacobi rounds.
 func (s *System) NewAdmissionController(cfg AnalysisConfig) (*admission.Controller, error) {
 	return admission.NewController(s.nw, cfg)
+}
+
+// NewShardedAdmissionController returns a closure-sharded admission
+// controller over the system's network; flows already present are
+// treated as admitted and partitioned by interference closure. Flows
+// whose pipelines (transitively) share no resource never exchange
+// jitter, so each closure gets its own warm shard engine: requests
+// route to their closure's shard, batches spanning several closures
+// are decided concurrently, an arrival bridging two closures fuses
+// their shards with a warm arena splice, and departures re-split
+// shards whose flows no longer form one closure. Decisions and bounds
+// are identical to NewAdmissionController's monolithic controller —
+// pinned by differential tests — with speedups on topologies that
+// actually shard (multi-pod fat trees, disjoint ring segments).
+func (s *System) NewShardedAdmissionController(cfg AnalysisConfig) (*admission.ShardedController, error) {
+	return admission.NewShardedController(s.nw, cfg)
 }
 
 // NewEngine returns a persistent, warm-startable analysis engine over the

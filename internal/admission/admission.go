@@ -12,6 +12,14 @@
 // copying or rebuilding the whole assignment. ColdController is the
 // original from-scratch implementation, retained as the reference
 // baseline for differential tests and benchmarks.
+//
+// ShardedController scales the same test out by interference closure:
+// requests are decided inside their closure's private shard engine
+// (core.ShardedEngine), batches spanning disjoint closures are decided
+// concurrently, and eviction searches stay inside one closure instead
+// of bisecting the whole batch. All three controllers produce
+// byte-identical decisions on the same request sequence; the
+// differential tests in this package assert it.
 package admission
 
 import (
@@ -28,8 +36,12 @@ type Decision struct {
 	FlowName string
 	// Admitted reports whether the flow was accepted.
 	Admitted bool
-	// Result is the holistic analysis of the network including the
-	// tentative flow; for rejected flows it explains the rejection.
+	// Result is the holistic analysis including the tentative flow;
+	// for rejected flows it explains the rejection. Controller and
+	// ColdController analyse the whole network; ShardedController
+	// analyses the request's interference closure only (flows outside
+	// it cannot be affected, but their bounds are not in this Result —
+	// read them via Sharded().AnalyzeAll).
 	Result *core.Result
 }
 
@@ -64,6 +76,9 @@ func (c *Controller) Network() *network.Network { return c.eng.Network() }
 // Engine exposes the underlying incremental engine, e.g. to read the
 // current bounds without issuing a request.
 func (c *Controller) Engine() *core.Engine { return c.eng }
+
+// NumFlows returns the number of currently admitted flows.
+func (c *Controller) NumFlows() int { return c.eng.Network().NumFlows() }
 
 // Request tentatively adds the flow, re-analyses the affected part of the
 // network from the engine's warm state, and keeps the flow only when
@@ -403,6 +418,9 @@ func NewColdController(nw *network.Network, cfg core.Config) (*ColdController, e
 
 // Network returns the controlled network.
 func (c *ColdController) Network() *network.Network { return c.nw }
+
+// NumFlows returns the number of currently admitted flows.
+func (c *ColdController) NumFlows() int { return c.nw.NumFlows() }
 
 // Request tentatively adds the flow, analyses the whole network cold, and
 // keeps the flow only when every flow stays schedulable.

@@ -69,9 +69,9 @@ func copySpecs(specs []*network.FlowSpec) []*network.FlowSpec {
 }
 
 // runBatchDifferential drives the same request list through RequestBatch
-// (one batch and chunked), one-by-one RequestAll, and the from-scratch
-// ColdController, then asserts identical accept sets and identical final
-// jitter bounds.
+// (one batch and chunked), one-by-one RequestAll, the closure-sharded
+// controller (chunked batches), and the from-scratch ColdController,
+// then asserts identical accept sets and identical final jitter bounds.
 func runBatchDifferential(t *testing.T, topo *network.Topology, specs []*network.FlowSpec, chunk int) {
 	t.Helper()
 	batchCtl, err := NewController(network.New(topo), core.Config{})
@@ -87,6 +87,10 @@ func runBatchDifferential(t *testing.T, topo *network.Topology, specs []*network
 		t.Fatal(err)
 	}
 	coldCtl, err := NewColdController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCtl, err := NewShardedController(network.New(topo), core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +116,19 @@ func runBatchDifferential(t *testing.T, topo *network.Topology, specs []*network
 	if err != nil {
 		t.Fatal(err)
 	}
+	sharded := copySpecs(specs)
+	var shardDs []Decision
+	for at := 0; at < len(sharded); at += chunk {
+		end := at + chunk
+		if end > len(sharded) {
+			end = len(sharded)
+		}
+		ds, err := shardCtl.RequestBatch(sharded[at:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardDs = append(shardDs, ds...)
+	}
 	var coldDs []Decision
 	for _, fs := range copySpecs(specs) {
 		d, err := coldCtl.Request(fs)
@@ -121,17 +138,19 @@ func runBatchDifferential(t *testing.T, topo *network.Topology, specs []*network
 		coldDs = append(coldDs, d)
 	}
 
-	if len(batchDs) != len(specs) || len(chunkDs) != len(specs) || len(seqDs) != len(specs) {
-		t.Fatalf("decision counts: batch=%d chunked=%d seq=%d, want %d",
-			len(batchDs), len(chunkDs), len(seqDs), len(specs))
+	if len(batchDs) != len(specs) || len(chunkDs) != len(specs) ||
+		len(seqDs) != len(specs) || len(shardDs) != len(specs) {
+		t.Fatalf("decision counts: batch=%d chunked=%d seq=%d sharded=%d, want %d",
+			len(batchDs), len(chunkDs), len(seqDs), len(shardDs), len(specs))
 	}
 	for i := range specs {
 		if batchDs[i].Admitted != seqDs[i].Admitted ||
 			chunkDs[i].Admitted != seqDs[i].Admitted ||
-			coldDs[i].Admitted != seqDs[i].Admitted {
-			t.Fatalf("spec %d (%s): decisions diverged: batch=%v chunked=%v seq=%v cold=%v",
+			coldDs[i].Admitted != seqDs[i].Admitted ||
+			shardDs[i].Admitted != seqDs[i].Admitted {
+			t.Fatalf("spec %d (%s): decisions diverged: batch=%v chunked=%v seq=%v cold=%v sharded=%v",
 				i, specs[i].Flow.Name, batchDs[i].Admitted, chunkDs[i].Admitted,
-				seqDs[i].Admitted, coldDs[i].Admitted)
+				seqDs[i].Admitted, coldDs[i].Admitted, shardDs[i].Admitted)
 		}
 	}
 	if batchCtl.Rejected() == 0 {
@@ -176,6 +195,45 @@ func runBatchDifferential(t *testing.T, topo *network.Topology, specs []*network
 					t.Fatalf("flow %d frame %d bound %v, want %v", i, k,
 						got.Flows[i].Frames[k].Response, want.Flows[i].Frames[k].Response)
 				}
+			}
+		}
+	}
+
+	// The sharded controller has no global flow order; compare its
+	// admitted set and bounds by flow name.
+	if shardCtl.NumFlows() != nets[0].NumFlows() {
+		t.Fatalf("sharded: %d admitted flows, want %d", shardCtl.NumFlows(), nets[0].NumFlows())
+	}
+	checkShardedBounds(t, shardCtl, want)
+}
+
+// checkShardedBounds asserts the sharded controller's per-shard bounds
+// equal the reference analysis, matched by flow name.
+func checkShardedBounds(t *testing.T, shardCtl *ShardedController, want *core.Result) {
+	t.Helper()
+	shardResults, err := shardCtl.Sharded().AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]core.FlowResult)
+	for _, res := range shardResults {
+		for i := range res.Flows {
+			if _, dup := got[res.Flows[i].Name]; dup {
+				t.Fatalf("sharded: flow %q in two shards", res.Flows[i].Name)
+			}
+			got[res.Flows[i].Name] = res.Flows[i]
+		}
+	}
+	for i := range want.Flows {
+		wf := &want.Flows[i]
+		gf, ok := got[wf.Name]
+		if !ok {
+			t.Fatalf("sharded: flow %q missing", wf.Name)
+		}
+		for k := range wf.Frames {
+			if gf.Frames[k].Response != wf.Frames[k].Response {
+				t.Fatalf("sharded: flow %q frame %d bound %v, want %v",
+					wf.Name, k, gf.Frames[k].Response, wf.Frames[k].Response)
 			}
 		}
 	}

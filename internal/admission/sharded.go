@@ -1,0 +1,284 @@
+package admission
+
+import (
+	"fmt"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+)
+
+// ShardedController is the closure-sharded admission controller: it
+// routes every request to the interference closure it belongs to and
+// decides it inside that closure's private shard engine, so requests
+// into disjoint closures (different fat-tree pods, separate ring
+// segments) never share analysis state and batches spanning several
+// closures are decided concurrently.
+//
+// Decisions are identical to the monolithic Controller's: a flow's
+// bounds depend only on the flows its pipeline transitively shares
+// resources with, so analysing its closure in isolation computes the
+// exact same fixpoint the monolithic engine would. A newcomer whose
+// pipeline bridges two closures fuses their shards (a warm arena
+// splice — see core.ShardedEngine) before admission; a batch whose
+// specs bridge closures is decided group-by-group on the fused shard,
+// which for that group is the monolithic engine. The equality is
+// pinned by differential tests on ring, fat-tree and the shipped
+// industrial-ring topologies, and by the golden replay trace.
+//
+// Error contract: Request and Release match Controller exactly —
+// Release removes the first admitted flow with the name in global
+// admission order, even when names repeat. RequestBatch pre-validates
+// the whole batch (a malformed spec fails the batch with no decisions,
+// like Controller.RequestBatch); an analysis error mid-batch —
+// unreachable for validated specs on a validated topology — rolls back
+// the failing group's shard but, unlike the monolithic controller,
+// leaves other groups' admissions standing and recorded (visible via
+// Decisions, releasable via Release). Decision.Result covers the
+// request's interference closure, not the whole network; see Decision.
+//
+// A ShardedController is not safe for concurrent use; RequestBatch
+// parallelises internally over independent groups.
+type ShardedController struct {
+	se *core.ShardedEngine
+
+	// residents lists the admitted flows in admission order (shard
+	// membership scatters them across engines, so the global order
+	// lives here). Release consumes it front-first per name, exactly
+	// like Controller.Release walks its network — including when
+	// several admitted flows share a name.
+	residents []*network.FlowSpec
+
+	decisions []Decision
+	released  int
+}
+
+// NewShardedController returns a sharded controller over the network;
+// flows already present are treated as admitted and partitioned into
+// shards by interference closure. The network is validated once; it is
+// only read (shards re-register its flows over the shared topology).
+func NewShardedController(nw *network.Network, cfg core.Config) (*ShardedController, error) {
+	se, err := core.NewShardedEngine(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &ShardedController{se: se}
+	c.residents = append(c.residents, nw.Flows()...)
+	return c, nil
+}
+
+// Sharded exposes the underlying sharded engine, e.g. to inspect the
+// shard partition or read per-shard bounds without issuing a request.
+func (c *ShardedController) Sharded() *core.ShardedEngine { return c.se }
+
+// Request routes the flow to its closure's shard — fusing shards first
+// when the flow bridges closures, opening a fresh one when it touches
+// none — and decides it there with the standard snapshot / delta
+// analysis / rollback protocol, scoped to that one shard.
+func (c *ShardedController) Request(fs *network.FlowSpec) (Decision, error) {
+	p, err := c.se.Place(fs)
+	if err != nil {
+		return Decision{}, err
+	}
+	tmp := &Controller{eng: p.Engine()}
+	d, err := tmp.Request(fs)
+	if err != nil {
+		p.Commit()
+		c.resplitAfterRejection(p.Fused())
+		return Decision{}, err
+	}
+	if d.Admitted {
+		p.Commit(fs)
+		c.residents = append(c.residents, fs)
+	} else {
+		p.Commit()
+		c.resplitAfterRejection(p.Fused())
+	}
+	c.decisions = append(c.decisions, d)
+	return d, nil
+}
+
+// resplitAfterRejection undoes a fusion performed for a request that
+// was then rejected (or failed): the fused shard holds the still
+// disjoint closures, so without this, arrival-only workloads with
+// rejected bridging requests would monotonically collapse the
+// partition toward one monolithic shard. A no-op when nothing fused.
+func (c *ShardedController) resplitAfterRejection(fused int) {
+	if fused == 0 {
+		return
+	}
+	// Resplit is atomic per shard, so discarding its error is safe:
+	// on failure the partition merely stays fused, which is
+	// conservative — decisions are unaffected, only parallelism and
+	// rollback scope degrade until a later re-split succeeds.
+	_, _ = c.se.Resplit()
+}
+
+// RequestAll processes the requests in order, stopping at the first
+// malformed request, exactly like Controller.RequestAll.
+func (c *ShardedController) RequestAll(specs []*network.FlowSpec) ([]Decision, error) {
+	out := make([]Decision, 0, len(specs))
+	for _, fs := range specs {
+		d, err := c.Request(fs)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// RequestBatch decides a batch shard-by-shard: the specs are
+// partitioned into interference groups (specs sharing a resource with
+// each other or with a common shard), each group is placed — fusing
+// the shards it bridges, so the group's engine is monolithic for the
+// group — and the groups are decided concurrently through the standard
+// batched protocol (one converged worklist per group, violators
+// evicted in request order). Groups are independent by construction,
+// so the combined decisions equal deciding the whole batch in one
+// monolithic engine, in request order.
+func (c *ShardedController) RequestBatch(specs []*network.FlowSpec) ([]Decision, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if err := c.se.ValidateSpecs(specs); err != nil {
+		return nil, err
+	}
+	groups, err := c.se.PlaceBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	type result struct {
+		ds  []Decision
+		err error
+	}
+	results := make([]result, len(groups))
+	groupSpecs := make([][]*network.FlowSpec, len(groups))
+	for gi, g := range groups {
+		groupSpecs[gi] = make([]*network.FlowSpec, len(g.Indices))
+		for at, i := range g.Indices {
+			groupSpecs[gi][at] = specs[i]
+		}
+	}
+	core.RunLimited(len(groups), func(gi int) {
+		results[gi].ds, results[gi].err = (&Controller{eng: groups[gi].Engine()}).RequestBatch(groupSpecs[gi])
+	})
+	var firstErr error
+	fusedRejection := false
+	for gi, g := range groups {
+		admitted := make([]bool, len(g.Indices))
+		allAdmitted := true
+		for at, d := range results[gi].ds {
+			admitted[at] = d.Admitted
+			allAdmitted = allAdmitted && d.Admitted
+		}
+		g.Commit(admitted)
+		if g.Fused() > 0 && (!allAdmitted || results[gi].err != nil) {
+			fusedRejection = true
+		}
+		if results[gi].err != nil && firstErr == nil {
+			firstErr = results[gi].err
+		}
+	}
+	if fusedRejection {
+		// A rejected (or failed) bridging spec fused shards that are
+		// still disjoint closures; re-split so the partition does not
+		// decay in arrival-only workloads.
+		if _, err := c.se.Resplit(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Scatter per-group decisions back to batch positions; a group
+	// that errored contributed none.
+	out := make([]Decision, len(specs))
+	decided := make([]bool, len(specs))
+	for gi, g := range groups {
+		for at, d := range results[gi].ds {
+			out[g.Indices[at]] = d
+			decided[g.Indices[at]] = true
+		}
+	}
+	for i, d := range out {
+		if decided[i] && d.Admitted {
+			c.residents = append(c.residents, specs[i])
+		}
+	}
+	if firstErr != nil {
+		// Groups that finished keep their admissions (unlike the
+		// monolithic controller, which rolls the whole batch back on
+		// error); record their decisions too, so Release, Decisions
+		// and the counters stay consistent with the shard engines,
+		// then surface the error.
+		for i, d := range out {
+			if decided[i] {
+				c.decisions = append(c.decisions, d)
+			}
+		}
+		return nil, firstErr
+	}
+	c.decisions = append(c.decisions, out...)
+	return out, nil
+}
+
+// Release removes the first *admitted* flow with the given name — in
+// global admission order, exactly like Controller.Release, even when
+// several admitted flows share a name — re-converges its shard,
+// releases the departed flow's resource routes, and re-splits any
+// shard whose flows no longer form a single closure. It reports
+// whether a flow was removed.
+func (c *ShardedController) Release(name string) (bool, error) {
+	at := -1
+	for k, fs := range c.residents {
+		if fs.Flow.Name == name {
+			at = k
+			break
+		}
+	}
+	if at < 0 {
+		return false, nil
+	}
+	eng, i, ok := c.se.FindSpec(c.residents[at])
+	if !ok {
+		return false, fmt.Errorf("admission: resident flow %q missing from every shard", name)
+	}
+	if err := c.se.Remove(eng, i); err != nil {
+		return false, err
+	}
+	c.residents = append(c.residents[:at], c.residents[at+1:]...)
+	if _, err := eng.Analyze(); err != nil {
+		return false, err
+	}
+	if _, err := c.se.Resplit(); err != nil {
+		return false, err
+	}
+	c.released++
+	return true, nil
+}
+
+// Decisions returns all decisions in request order.
+func (c *ShardedController) Decisions() []Decision { return c.decisions }
+
+// Admitted returns the number of admitted flows among the processed
+// requests.
+func (c *ShardedController) Admitted() int {
+	n := 0
+	for _, d := range c.decisions {
+		if d.Admitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Rejected returns the number of rejected requests.
+func (c *ShardedController) Rejected() int { return len(c.decisions) - c.Admitted() }
+
+// Released returns the number of departures processed by Release.
+func (c *ShardedController) Released() int { return c.released }
+
+// NumFlows returns the number of currently admitted flows across all
+// shards.
+func (c *ShardedController) NumFlows() int { return c.se.NumFlows() }
+
+// NumShards returns the number of live shards (one per interference
+// closure, up to pending re-splits).
+func (c *ShardedController) NumShards() int { return c.se.NumShards() }

@@ -18,6 +18,21 @@
 // next stage, and Analyze iterates the whole network to the holistic
 // fixpoint of Section 3.5, yielding a schedulability verdict usable as an
 // admission test.
+//
+// Three execution vehicles share those equations:
+//
+//   - Analyzer is the one-shot reference: a full cold fixpoint per call;
+//   - Engine is the persistent online form: warm-started delta worklists
+//     over an arena-backed jitter state with O(1) undo-journal snapshots
+//     (Snapshot/Restore/Discard) that survive departures;
+//   - ShardedEngine partitions the arena by interference closure, one
+//     Engine per closure, with warm shard fusion and re-splitting.
+//
+// All three compute identical bounds — the repo's differential and fuzz
+// tests pin that. The state layout and its invariants (arena blocks,
+// undo journal, tombstones, snapshot-once semantics, closure lifecycle)
+// are documented in docs/ARCHITECTURE.md and on jitterState in
+// analyzer.go.
 package core
 
 import (

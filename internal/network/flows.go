@@ -84,6 +84,11 @@ type Network struct {
 	resIDs  map[resourceKey]ResourceID
 	resKeys []resourceKey
 	flowRes [][]ResourceID
+
+	// closures tracks the interference-closure partition of the flow set
+	// (see closures.go): a union-find over resource ids, merged
+	// incrementally on insertion and lazily rebuilt after removals.
+	closures closureIndex
 }
 
 // New returns a Network over the given topology.
@@ -95,20 +100,32 @@ func New(topo *Topology) *Network {
 	}
 }
 
+// ValidateSpec checks a flow spec against the topology exactly as
+// AddFlow would, without registering it: the spec and its GMF flow must
+// be well-formed, the priority non-negative and the route valid. The
+// sharded admission controller uses it to pre-validate whole batches
+// before any shard is touched.
+func (nw *Network) ValidateSpec(fs *FlowSpec) error {
+	if fs == nil || fs.Flow == nil {
+		return fmt.Errorf("network: nil flow spec")
+	}
+	if err := fs.Flow.Validate(); err != nil {
+		return err
+	}
+	if fs.Priority < 0 {
+		return fmt.Errorf("network: flow %q: negative priority", fs.Flow.Name)
+	}
+	if err := nw.Topo.ValidateRoute(fs.Route); err != nil {
+		return fmt.Errorf("network: flow %q: %w", fs.Flow.Name, err)
+	}
+	return nil
+}
+
 // AddFlow validates the flow spec against the topology and registers it.
 // The returned index identifies the flow in analysis results.
 func (nw *Network) AddFlow(fs *FlowSpec) (int, error) {
-	if fs == nil || fs.Flow == nil {
-		return 0, fmt.Errorf("network: nil flow spec")
-	}
-	if err := fs.Flow.Validate(); err != nil {
+	if err := nw.ValidateSpec(fs); err != nil {
 		return 0, err
-	}
-	if fs.Priority < 0 {
-		return 0, fmt.Errorf("network: flow %q: negative priority", fs.Flow.Name)
-	}
-	if err := nw.Topo.ValidateRoute(fs.Route); err != nil {
-		return 0, fmt.Errorf("network: flow %q: %w", fs.Flow.Name, err)
 	}
 	nw.flows = append(nw.flows, fs)
 	i := len(nw.flows) - 1
@@ -116,7 +133,9 @@ func (nw *Network) AddFlow(fs *FlowSpec) (int, error) {
 		key := [2]NodeID{fs.Route[h], fs.Route[h+1]}
 		nw.onLink[key] = append(nw.onLink[key], i)
 	}
-	nw.flowRes = append(nw.flowRes, nw.internFlowResources(fs))
+	rids := nw.internFlowResources(fs)
+	nw.flowRes = append(nw.flowRes, rids)
+	nw.closureAddPipeline(rids)
 	return i, nil
 }
 
@@ -130,6 +149,7 @@ func (nw *Network) RemoveFlow(i int) {
 	if i < 0 || i >= len(nw.flows) {
 		return
 	}
+	nw.closureRemove()
 	fs := nw.flows[i]
 	nw.flows = append(nw.flows[:i], nw.flows[i+1:]...)
 	nw.flowRes = append(nw.flowRes[:i], nw.flowRes[i+1:]...)
@@ -176,17 +196,8 @@ func (nw *Network) InsertFlowAt(i int, fs *FlowSpec) error {
 	if i < 0 || i > len(nw.flows) {
 		return fmt.Errorf("network: insert index %d out of range [0,%d]", i, len(nw.flows))
 	}
-	if fs == nil || fs.Flow == nil {
-		return fmt.Errorf("network: nil flow spec")
-	}
-	if err := fs.Flow.Validate(); err != nil {
+	if err := nw.ValidateSpec(fs); err != nil {
 		return err
-	}
-	if fs.Priority < 0 {
-		return fmt.Errorf("network: flow %q: negative priority", fs.Flow.Name)
-	}
-	if err := nw.Topo.ValidateRoute(fs.Route); err != nil {
-		return fmt.Errorf("network: flow %q: %w", fs.Flow.Name, err)
 	}
 	// Shift existing indices at i and above up before inserting i itself,
 	// mirroring (in reverse) the shift RemoveFlow applies after deletion.
@@ -203,6 +214,7 @@ func (nw *Network) InsertFlowAt(i int, fs *FlowSpec) error {
 	nw.flowRes = append(nw.flowRes, nil)
 	copy(nw.flowRes[i+1:], nw.flowRes[i:])
 	nw.flowRes[i] = nw.internFlowResources(fs)
+	nw.closureAddPipeline(nw.flowRes[i])
 	for h := 0; h < len(fs.Route)-1; h++ {
 		key := [2]NodeID{fs.Route[h], fs.Route[h+1]}
 		s := nw.onLink[key]

@@ -8,6 +8,15 @@
 // interface count NINTERFACES(N) and the stride-scheduling service period
 // CIRC(N), including the multiprocessor generalisation from the paper's
 // Conclusions.
+//
+// Beyond the paper's notation, Network maintains the indexes the
+// analysis layer builds on: the reverse link-interference index
+// (FlowsOn, Interferers), dense interned pipeline ResourceIDs
+// (FlowResources), and the interference-closure partition (Closures,
+// ClosureOf) — a union-find over resources that tells the sharded
+// admission controller which flows can never exchange jitter. All are
+// maintained incrementally under AddFlow, RemoveFlow and InsertFlowAt.
+// See docs/ARCHITECTURE.md for how the layers fit together.
 package network
 
 import (

@@ -1,0 +1,88 @@
+// Command doccheck fails when any Go package in the tree lacks a
+// package doc comment. CI runs it in the docs job so the godoc layer —
+// the architecture contract of the repo — cannot silently rot: a new
+// package must say what it is before it merges.
+//
+// Usage:
+//
+//	go run ./tools/doccheck [root ...]
+//
+// With no arguments the current directory is scanned. Vendored code,
+// testdata and hidden directories are skipped; _test.go files do not
+// count as documentation carriers.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var missing []string
+	for _, root := range roots {
+		m, err := scan(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "doccheck: package in %s has no package comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// scan walks root and returns the directories whose package carries no
+// doc comment on any of its non-test files.
+func scan(root string) ([]string, error) {
+	// dirs maps a directory to whether any of its non-test files carries
+	// a package doc comment (absent key: no Go files seen).
+	dirs := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if perr != nil {
+			return perr
+		}
+		dirs[dir] = dirs[dir] || f.Doc != nil
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for dir, ok := range dirs {
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	return missing, nil
+}

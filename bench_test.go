@@ -589,6 +589,78 @@ func BenchmarkAdmissionIncremental1024(b *testing.B) {
 	benchAdmitCycle(b, ctl, residentSpecs(b, topo, hosts, 4, 1024), probe)
 }
 
+// benchRingCycle measures one admission + departure cycle through the
+// monolithic view-based controller at a steady state of `residents`
+// switch-local VoIP flows on a `switches`-switch ring. Four hosts per
+// switch and four residents per host group keep every interference
+// closure at 16 flows regardless of scale, so the pair below varies ONLY
+// the total flow count: an O(affected) cycle stays flat from 1024 to
+// 4096 residents, while any O(flows) per-request cost (the pre-view
+// engine's detached result copy and snapshot header copy, both gone)
+// scales the cycle 4×.
+func benchRingCycle(b *testing.B, switches, residents int) {
+	b.Helper()
+	topo, hosts, err := network.Ring(switches, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := admission.NewController(network.New(topo), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAdmitCycle(b, ctl, residentSpecs(b, topo, hosts, 4, residents), admissionProbe)
+}
+
+// BenchmarkAdmissionCycle1024 is the monolithic steady-state cycle at
+// 1024 residents (64-switch ring, 16-flow closures); pair it with
+// BenchmarkAdmissionCycle4096 to read the scaling exponent.
+func BenchmarkAdmissionCycle1024(b *testing.B) { benchRingCycle(b, 64, 1024) }
+
+// BenchmarkAdmissionCycle4096 is the same 16-flow-closure cycle at 4096
+// residents on a 256-switch ring: 4× the flows, identical affected set.
+// Near-equal ns/op with BenchmarkAdmissionCycle1024 is the O(affected)
+// acceptance check of the copy-on-read result path.
+func BenchmarkAdmissionCycle4096(b *testing.B) { benchRingCycle(b, 256, 4096) }
+
+// BenchmarkAdmissionVideoMix256 admits the 256-stream bursty GMF video
+// mix (network.VideoMix: IBBPBBPBB GOPs in three rate profiles, every
+// fourth stream crossing the ring backbone) as one batch per iteration
+// and reports the admitted/rejected split. The nine-frame cycles make
+// each per-flow analysis an order of magnitude heavier than the VoIP
+// benchmarks — the workload where per-request result copies used to be
+// cheap relative to analysis, and batched eviction plus O(affected)
+// results still pay.
+func BenchmarkAdmissionVideoMix256(b *testing.B) {
+	topo, specs, err := network.VideoMix(16, 4, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	admitted := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl, err := admission.NewController(network.New(topo), core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := ctl.RequestBatch(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		admitted = 0
+		for _, d := range ds {
+			if d.Admitted {
+				admitted++
+			}
+		}
+		if admitted == 0 {
+			b.Fatal("video mix admitted nothing")
+		}
+	}
+	b.ReportMetric(float64(admitted), "admitted")
+	b.ReportMetric(float64(len(specs)-admitted), "rejected")
+}
+
 // figure1Bounds computes the holistic bounds of the shared E3/E5 scenario.
 func figure1Bounds(b *testing.B) *core.Result {
 	b.Helper()

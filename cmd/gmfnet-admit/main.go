@@ -180,6 +180,7 @@ func (a *admitter) request(fs *network.FlowSpec) error {
 			return err
 		}
 		a.report(d)
+		a.release(d)
 		return nil
 	}
 	a.pending = append(a.pending, fs)
@@ -199,9 +200,21 @@ func (a *admitter) flush() error {
 	}
 	for _, d := range ds {
 		a.report(d)
+		a.release(d)
 	}
 	a.pending = a.pending[:0]
 	return nil
+}
+
+// release closes the decision's analysis view once it has been
+// reported: stream and trace mode only ever read the verdict, and a
+// long stream would otherwise keep every per-decision view pinned on
+// the engine. Close is idempotent, so the shared view of an admitted
+// batch is fine to release once per decision.
+func (a *admitter) release(d admission.Decision) {
+	if d.View != nil {
+		d.View.Close()
+	}
 }
 
 // runStream drives a randomized online request/departure stream through

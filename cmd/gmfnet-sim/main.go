@@ -92,8 +92,12 @@ func run(args []string) error {
 		for k := range obs.Flows[i].PerFrame {
 			st := obs.Flows[i].PerFrame[k]
 			var bound units.Time
-			if bounds.Flow(i).Err == nil {
-				bound = bounds.Flow(i).Frames[k].Response
+			// The simulator's flow list and the analysis result are built
+			// from the same scenario, but cross-indexing two containers
+			// stays bounds-checked: a malformed pairing degrades to "no
+			// bound" instead of an index panic.
+			if fr, err := bounds.FlowByIndex(i); err == nil && fr.Err == nil && k < len(fr.Frames) {
+				bound = fr.Frames[k].Response
 			}
 			viol := bound > 0 && st.MaxResponse > bound
 			if viol {

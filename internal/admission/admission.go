@@ -7,11 +7,13 @@
 // Controller runs on the incremental core.Engine: it validates the
 // network once, takes an O(1) undo-log snapshot token before every
 // tentative admission, re-analyses only the flows that transitively share
-// a resource with the newcomer, and on rejection restores the token —
-// undoing just the jitter writes the tentative analysis made, never
-// copying or rebuilding the whole assignment. ColdController is the
-// original from-scratch implementation, retained as the reference
-// baseline for differential tests and benchmarks.
+// a resource with the newcomer, reads the verdict off an O(1)
+// copy-on-read core.ResultView (no per-flow result headers are copied
+// anywhere on the accept path), and on rejection restores the token —
+// undoing just the jitter and header writes the tentative analysis
+// made, never copying or rebuilding the whole assignment. ColdController
+// is the original from-scratch implementation, retained as the
+// reference baseline for differential tests and benchmarks.
 //
 // ShardedController scales the same test out by interference closure:
 // requests are decided inside their closure's private shard engine
@@ -36,13 +38,46 @@ type Decision struct {
 	FlowName string
 	// Admitted reports whether the flow was accepted.
 	Admitted bool
-	// Result is the holistic analysis including the tentative flow;
-	// for rejected flows it explains the rejection. Controller and
-	// ColdController analyse the whole network; ShardedController
-	// analyses the request's interference closure only (flows outside
-	// it cannot be affected, but their bounds are not in this Result —
-	// read them via Sharded().AnalyzeAll).
+	// View is the holistic analysis including the tentative flow, as a
+	// copy-on-read core.ResultView frozen at decision time; for rejected
+	// flows it explains the rejection. Controller and ColdController
+	// analyse the whole network; ShardedController analyses the
+	// request's interference closure only (flows outside it cannot be
+	// affected, but their bounds are not in this view — read them via
+	// Sharded().AnalyzeAllViews). ColdController, which has no engine,
+	// leaves View nil and fills Result instead; read decisions through
+	// Analysis to be controller-agnostic.
+	//
+	// A live view pins a little engine bookkeeping, and the engine
+	// copies each header the view saw into it at most once as later
+	// requests overwrite them — in total never more than the eager
+	// per-decision Result copy this replaced, but it does accrue with
+	// the decision log. High-volume services that do not revisit old
+	// analyses should release them (View.Close, or View.Materialize to
+	// keep a detached copy); admitted batch decisions share one view,
+	// for which Close is idempotent.
+	View *core.ResultView
+	// Result is the detached form of the analysis.
+	//
+	// Deprecated: only ColdController populates it eagerly; the
+	// engine-backed controllers publish View instead, precisely so the
+	// hot accept path copies no per-flow result headers. Use Analysis,
+	// which serves whichever form the deciding controller produced.
 	Result *core.Result
+}
+
+// Analysis returns the decision's full detached analysis, materializing
+// the view on first use (O(flows) once, cached). It returns nil for a
+// zero Decision, and for a decision whose View was Closed before ever
+// materializing — the caller declared the analysis dead then.
+func (d Decision) Analysis() *core.Result {
+	if d.Result != nil {
+		return d.Result
+	}
+	if d.View != nil {
+		return d.View.Materialize()
+	}
+	return nil
 }
 
 // Controller owns a network and admits or rejects flows against it,
@@ -83,19 +118,20 @@ func (c *Controller) NumFlows() int { return c.eng.Network().NumFlows() }
 // Request tentatively adds the flow, re-analyses the affected part of the
 // network from the engine's warm state, and keeps the flow only when
 // every flow (old and new) stays schedulable; on rejection the engine is
-// rolled back to its pre-request snapshot. The snapshot is a cheap
-// token: it arms the engine's undo journal and copies only the per-flow
-// result headers — no jitter state — so rollback cost tracks what the
-// tentative analysis touched, not the resident flow count. The returned
-// error reports malformed requests; a sound rejection returns a Decision
-// with Admitted == false and a nil error.
+// rolled back to its pre-request snapshot. The whole accept path is
+// O(affected): the snapshot is a cheap token arming the engine's undo
+// journals (no header or jitter copies), the verdict is read off an O(1)
+// copy-on-read view, and the decision retains that view — the engine's
+// write barrier keeps it frozen as later requests overwrite the shared
+// headers. The returned error reports malformed requests; a sound
+// rejection returns a Decision with Admitted == false and a nil error.
 func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
 	snap := c.eng.Snapshot()
 	if _, err := c.eng.AddFlow(fs); err != nil {
 		c.eng.Discard(snap) // nothing was admitted; disarm the journal
 		return Decision{}, err
 	}
-	res, err := c.eng.Analyze()
+	v, err := c.eng.AnalyzeView()
 	if err != nil {
 		if rerr := c.eng.Restore(snap); rerr != nil {
 			return Decision{}, fmt.Errorf("admission: rollback failed: %v (after %w)", rerr, err)
@@ -104,15 +140,18 @@ func (c *Controller) Request(fs *network.FlowSpec) (Decision, error) {
 	}
 	d := Decision{
 		FlowName: fs.Flow.Name,
-		Admitted: res.Schedulable(),
-		Result:   res,
+		Admitted: v.Schedulable(),
+		View:     v,
 	}
 	if !d.Admitted {
+		// The rollback's undo writes pass through the write barrier, so
+		// the retained view keeps showing the violating analysis.
 		if rerr := c.eng.Restore(snap); rerr != nil {
+			v.Close()
 			return Decision{}, fmt.Errorf("admission: rollback failed: %v", rerr)
 		}
 	} else {
-		// Committed: release the snapshot so the journal stops recording.
+		// Committed: release the snapshot so the journals stop recording.
 		c.eng.Discard(snap)
 	}
 	c.decisions = append(c.decisions, d)
@@ -172,13 +211,24 @@ func (c *Controller) RequestBatch(specs []*network.FlowSpec) ([]Decision, error)
 		return nil, nil
 	}
 	snap := c.eng.Snapshot()
+	// opened tracks every view minted during the batch; the ones that do
+	// not end up in a decision are closed before returning, on every
+	// path, so discarded bisection probes do not stay pinned.
+	var opened []*core.ResultView
+	closeAll := func() {
+		for _, v := range opened {
+			v.Close()
+		}
+	}
 	abort := func(err error) ([]Decision, error) {
+		closeAll()
 		if rerr := c.eng.Restore(snap); rerr != nil {
 			return nil, fmt.Errorf("admission: batch rollback failed: %v (after %w)", rerr, err)
 		}
 		return nil, err
 	}
 	fallback := func() ([]Decision, error) {
+		closeAll()
 		if rerr := c.eng.Restore(snap); rerr != nil {
 			return nil, fmt.Errorf("admission: batch fallback rollback failed: %v", rerr)
 		}
@@ -189,20 +239,21 @@ func (c *Controller) RequestBatch(specs []*network.FlowSpec) ([]Decision, error)
 			return abort(err)
 		}
 	}
-	res, err := c.eng.Analyze()
+	v, err := c.eng.AnalyzeView()
 	if err != nil {
 		return abort(err)
 	}
-	if holisticCapHit(res) {
+	opened = append(opened, v)
+	if holisticCapHit(v) {
 		return fallback()
 	}
 	admitted := make([]bool, len(specs))
-	rejected := make([]*core.Result, len(specs))
-	if res.Schedulable() {
+	rejected := make([]*core.ResultView, len(specs))
+	if v.Schedulable() {
 		for i := range admitted {
 			admitted[i] = true
 		}
-	} else if err := c.evictBatch(specs, res, admitted, rejected); err != nil {
+	} else if err := c.evictBatch(specs, v, admitted, rejected, &opened); err != nil {
 		if errors.Is(err, errHolisticCap) {
 			return fallback()
 		}
@@ -210,19 +261,27 @@ func (c *Controller) RequestBatch(specs []*network.FlowSpec) ([]Decision, error)
 	}
 	// Converge whatever survived; with no evictions this is the cached
 	// batch fixpoint. The surviving set is schedulable by construction.
-	final, err := c.eng.Analyze()
+	final, err := c.eng.AnalyzeView()
 	if err != nil {
 		return abort(err)
 	}
+	opened = append(opened, final)
 	if holisticCapHit(final) {
 		return fallback()
 	}
 	c.eng.Discard(snap)
 	out := make([]Decision, len(specs))
+	kept := map[*core.ResultView]bool{final: true}
 	for i, fs := range specs {
-		out[i] = Decision{FlowName: fs.Flow.Name, Admitted: admitted[i], Result: final}
+		out[i] = Decision{FlowName: fs.Flow.Name, Admitted: admitted[i], View: final}
 		if !admitted[i] {
-			out[i].Result = rejected[i]
+			out[i].View = rejected[i]
+			kept[rejected[i]] = true
+		}
+	}
+	for _, w := range opened {
+		if !kept[w] {
+			w.Close()
 		}
 	}
 	c.decisions = append(c.decisions, out...)
@@ -237,11 +296,15 @@ func (c *Controller) RequestBatch(specs []*network.FlowSpec) ([]Decision, error)
 // batch snapshot — accepting that prefix, rejecting the flow beyond it,
 // and re-staging the rest. Schedulability is monotone in the staged
 // prefix (removing flows only removes interference), so the bisection is
-// exact and the resulting accept set equals one-by-one processing. A
-// returned error means the engine is in an intermediate state; the
-// caller restores the batch snapshot (and, for errHolisticCap, replays
-// the batch one by one — see RequestBatch).
-func (c *Controller) evictBatch(specs []*network.FlowSpec, lastFail *core.Result, admitted []bool, rejected []*core.Result) error {
+// exact and the resulting accept set equals one-by-one processing.
+// Probe analyses are read off copy-on-read views; the write barrier
+// keeps a failing probe's view intact through the later add/remove churn
+// so it can serve as the rejected flow's diagnostic. Every minted view
+// is appended to opened for the caller's cleanup. A returned error means
+// the engine is in an intermediate state; the caller restores the batch
+// snapshot (and, for errHolisticCap, replays the batch one by one — see
+// RequestBatch).
+func (c *Controller) evictBatch(specs []*network.FlowSpec, lastFail *core.ResultView, admitted []bool, rejected []*core.ResultView, opened *[]*core.ResultView) error {
 	// rest holds the undecided spec indices, all currently staged after
 	// the committed-and-accepted flows; base is the engine index of the
 	// first staged one.
@@ -273,10 +336,11 @@ func (c *Controller) evictBatch(specs []*network.FlowSpec, lastFail *core.Result
 			if err := adjust(mid); err != nil {
 				return err
 			}
-			probe, err := c.eng.Analyze()
+			probe, err := c.eng.AnalyzeView()
 			if err != nil {
 				return err
 			}
+			*opened = append(*opened, probe)
 			if holisticCapHit(probe) {
 				return errHolisticCap
 			}
@@ -309,10 +373,11 @@ func (c *Controller) evictBatch(specs []*network.FlowSpec, lastFail *core.Result
 				return err
 			}
 		}
-		again, err := c.eng.Analyze()
+		again, err := c.eng.AnalyzeView()
 		if err != nil {
 			return err
 		}
+		*opened = append(*opened, again)
 		if holisticCapHit(again) {
 			return errHolisticCap
 		}
@@ -337,16 +402,9 @@ var errHolisticCap = errors.New("admission: holistic iteration cap hit mid-batch
 // reported an error. Deadline misses and stage errors are monotone in
 // the flow set; this verdict is not (it depends on the warm-start
 // point), so the batch path falls back to one-by-one processing on it.
-func holisticCapHit(res *core.Result) bool {
-	if res.Converged {
-		return false
-	}
-	for i := range res.Flows {
-		if res.Flows[i].Err != nil {
-			return false
-		}
-	}
-	return true
+// O(1): the view carries the engine's maintained stage-error count.
+func holisticCapHit(v *core.ResultView) bool {
+	return !v.Converged() && v.StageErrors() == 0
 }
 
 // Release removes the first admitted flow with the given name (a
@@ -363,8 +421,9 @@ func (c *Controller) Release(name string) (bool, error) {
 			return false, err
 		}
 		// Removing a flow can only shrink interference, so the remaining
-		// set stays schedulable; the delta pass just refreshes bounds.
-		if _, err := c.eng.Analyze(); err != nil {
+		// set stays schedulable; the delta pass just refreshes bounds —
+		// Refresh converges without publishing (or copying) a result.
+		if err := c.eng.Refresh(); err != nil {
 			return false, err
 		}
 		c.released++

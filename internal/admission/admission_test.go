@@ -44,7 +44,7 @@ func TestAdmitFeasibleFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !d.Admitted {
-		t.Fatalf("feasible flow rejected: %+v", d.Result)
+		t.Fatalf("feasible flow rejected: %+v", d.Analysis())
 	}
 	if c.Network().NumFlows() != 1 {
 		t.Fatalf("network has %d flows, want 1", c.Network().NumFlows())

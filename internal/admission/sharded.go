@@ -33,7 +33,7 @@ import (
 // unreachable for validated specs on a validated topology — rolls back
 // the failing group's shard but, unlike the monolithic controller,
 // leaves other groups' admissions standing and recorded (visible via
-// Decisions, releasable via Release). Decision.Result covers the
+// Decisions, releasable via Release). Decision.View covers the
 // request's interference closure, not the whole network; see Decision.
 //
 // A ShardedController is not safe for concurrent use; RequestBatch
@@ -244,7 +244,7 @@ func (c *ShardedController) Release(name string) (bool, error) {
 		return false, err
 	}
 	c.residents = append(c.residents[:at], c.residents[at+1:]...)
-	if _, err := eng.Analyze(); err != nil {
+	if err := eng.Refresh(); err != nil {
 		return false, err
 	}
 	if _, err := c.se.Resplit(); err != nil {

@@ -68,6 +68,53 @@ func TestScenarioRoundTrip(t *testing.T) {
 	}
 }
 
+// TestVideoMixShipped pins the bursty video-mix scenario's shape: six
+// GMF video streams, each a nine-frame IBBPBBPBB cycle whose I frame
+// dwarfs its B frames (the burstiness the GMF model exists for), with at
+// least one stream crossing the ring backbone — and the whole mix must
+// be schedulable, so it exercises real bounds rather than overload.
+func TestVideoMixShipped(t *testing.T) {
+	sc, err := Load("../../scenarios/video-mix.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumFlows() != 6 {
+		t.Fatalf("flows = %d, want 6", nw.NumFlows())
+	}
+	crossing := 0
+	for i := 0; i < nw.NumFlows(); i++ {
+		fs := nw.Flow(i)
+		if n := fs.Flow.N(); n != 9 {
+			t.Fatalf("flow %q has %d frames, want the 9-frame GOP", fs.Flow.Name, n)
+		}
+		iBits, bBits := fs.Flow.Frames[0].PayloadBits, fs.Flow.Frames[1].PayloadBits
+		if iBits < 4*bBits {
+			t.Fatalf("flow %q not bursty: I=%d B=%d bits", fs.Flow.Name, iBits, bBits)
+		}
+		if len(fs.Route) >= 4 {
+			crossing++
+		}
+	}
+	if crossing == 0 {
+		t.Fatal("no stream crosses the ring backbone")
+	}
+	an, err := core.NewAnalyzer(nw, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable() {
+		t.Fatal("shipped video mix is not schedulable")
+	}
+}
+
 // TestIndustrialRingShipped pins the new ring scenario's shape: the flows
 // must actually traverse the ring (multi-switch routes), not collapse to
 // single-hop paths.

@@ -248,5 +248,23 @@ func (r *Result) Schedulable() bool {
 	return true
 }
 
-// Flow returns the result for the flow with the given index.
-func (r *Result) Flow(i int) *FlowResult { return &r.Flows[i] }
+// Flow returns the result for the flow with the given index. The index
+// must be in [0, len(r.Flows)); a violation panics with a descriptive
+// message (it is a programming error, exactly like indexing Flows
+// directly). Callers handling untrusted indices — CLIs cross-indexing a
+// result against another flow list — should use FlowByIndex instead.
+func (r *Result) Flow(i int) *FlowResult {
+	if i < 0 || i >= len(r.Flows) {
+		panic(fmt.Sprintf("core: Result.Flow(%d) out of range: result covers %d flows", i, len(r.Flows)))
+	}
+	return &r.Flows[i]
+}
+
+// FlowByIndex returns the result for the flow with the given index, or a
+// descriptive error when the index is out of range.
+func (r *Result) FlowByIndex(i int) (*FlowResult, error) {
+	if i < 0 || i >= len(r.Flows) {
+		return nil, errIndex(i, len(r.Flows))
+	}
+	return &r.Flows[i], nil
+}

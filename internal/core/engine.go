@@ -25,15 +25,24 @@ import (
 //     resource with it (AnalyzeDelta), falling back to a full pass when
 //     the affected set is the whole network.
 //
-// Snapshots are O(1) tokens backed by an undo journal: between Snapshot
-// and Restore the arena records (slot, old value) for every write, and
-// Restore replays the journal backwards — cost proportional to the writes
-// since the snapshot, never to the total state. Snapshots survive
-// RemoveFlow: a departure under an armed journal tombstones the departed
-// flow's arena block in place (no compaction, so journaled offsets stay
-// valid) and logs the removed spec, letting Restore re-insert the flow
-// and re-link the block — the rollback-across-departure speculative
-// batch admission needs.
+// Results are published copy-on-read: the engine keeps one live slice of
+// per-flow result headers, stamps each header with the generation that
+// last wrote it, and AnalyzeView/AnalyzeDeltaView return O(1) immutable
+// ResultViews sharing those headers (a write barrier preserves retained
+// views — see view.go). Analyze/AnalyzeDelta remain as compatibility
+// shims with the original detached-copy semantics; Refresh converges
+// without publishing anything.
+//
+// Snapshots are O(1) tokens backed by undo journals: between Snapshot
+// and Restore the arena records (slot, old value) for every jitter
+// write, the header journal records every result-header mutation, and
+// Restore replays both backwards — cost proportional to the writes since
+// the snapshot, never to the total state. Snapshots survive RemoveFlow:
+// a departure under an armed journal tombstones the departed flow's
+// arena block in place (no compaction, so journaled offsets stay valid)
+// and logs the removed spec, letting Restore re-insert the flow and
+// re-link the block — the rollback-across-departure speculative batch
+// admission needs.
 //
 // With Config.Workers > 1, large delta worklists run as Jacobi-style
 // parallel rounds (every worked flow analysed concurrently against the
@@ -47,14 +56,40 @@ type Engine struct {
 	an *Analyzer
 
 	js    *jitterState // last converged jitter assignment when valid
-	flows []FlowResult // last per-flow results, aligned with network indices
+	flows []FlowResult // live per-flow result headers, aligned with network indices
+	meta  []hdrMeta    // per-header generation stamp + cached verdict flags
 	valid bool         // js and flows describe a fixpoint of the current flow set
 	dirty map[int]bool // flows changed since the last converged analysis
+
+	// gen is the header-write generation: bumped once per mutating entry
+	// point, stamped onto every header written under it. Views order
+	// themselves against header writes with it (view.go).
+	gen uint64
+	// unsched / errcnt count the headers that are currently not
+	// schedulable / carry a stage error, so views answer Schedulable()
+	// and the holistic-cap probe in O(1).
+	unsched int
+	errcnt  int
+	// views are the live ResultViews, ascending by creation generation;
+	// the write barrier saves overwritten headers into the suffix that
+	// can still see them.
+	views []*ResultView
+
+	// hdrJournal is the header undo log armed by Snapshot, mirroring the
+	// jitter journal: Restore replays it backwards instead of restoring a
+	// header copy.
+	hdrJournal   []hdrOp
+	hdrJournalOn bool
+
+	// scratch is the reusable buffer parallel rounds write their
+	// per-flow results into before they are folded into flows through
+	// the write barrier.
+	scratch []FlowResult
 
 	lastIterations int
 
 	// snapSeq increments on every Snapshot, Restore, Discard and
-	// Invalidate: each snapshot truncates the undo journal, so only the
+	// Invalidate: each snapshot truncates the undo journals, so only the
 	// most recent snapshot is restorable, at most once.
 	snapSeq uint64
 	// snapLive reports whether the most recent snapshot is still
@@ -97,16 +132,22 @@ func (e *Engine) Network() *network.Network { return e.an.nw }
 // Invalidate discards all warm state; the next analysis runs cold. Call
 // it after mutating the network or its flows outside AddFlow/RemoveFlow
 // (e.g. reassigning priorities). Outstanding snapshots become
-// unrestorable.
+// unrestorable; outstanding views stay readable (their header storage is
+// abandoned, not overwritten).
 func (e *Engine) Invalidate() {
+	e.bumpGen()
 	e.js = nil
 	e.flows = nil
+	e.meta = nil
+	e.unsched, e.errcnt = 0, 0
 	e.valid = false
 	e.dirty = make(map[int]bool)
 	e.an.resetDemands()
 	e.snapSeq++ // outstanding snapshots become stale
 	e.snapLive = false
 	e.removedLog = nil
+	e.hdrJournal = nil
+	e.hdrJournalOn = false
 }
 
 // AddFlow validates the flow against the topology, registers it and marks
@@ -117,9 +158,10 @@ func (e *Engine) AddFlow(fs *network.FlowSpec) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	e.bumpGen()
 	if e.valid {
 		e.js.addFlow(i, fs, e.an.nw.FlowResources(i))
-		e.flows = append(e.flows, FlowResult{Index: i, Name: fs.Flow.Name})
+		e.appendHeader(FlowResult{Index: i, Name: fs.Flow.Name}, true)
 	}
 	e.dirty[i] = true
 	return i, nil
@@ -138,6 +180,7 @@ func (e *Engine) RemoveFlow(i int) error {
 	if i < 0 || i >= nw.NumFlows() {
 		return errIndex(i, nw.NumFlows())
 	}
+	e.bumpGen()
 	if e.snapLive {
 		rec := removedFlow{index: i, fs: nw.Flow(i)}
 		if i < len(e.an.demands) {
@@ -155,10 +198,7 @@ func (e *Engine) RemoveFlow(i int) error {
 	nw.RemoveFlow(i)
 	e.an.removeFlowDemand(i)
 	e.js.removeFlow(i)
-	e.flows = append(e.flows[:i], e.flows[i+1:]...)
-	for j := i; j < len(e.flows); j++ {
-		e.flows[j].Index = j
-	}
+	e.spliceHeader(i, true)
 	shift := func(j int) int {
 		if j > i {
 			return j - 1
@@ -183,39 +223,97 @@ func (e *Engine) RemoveFlow(i int) error {
 	return nil
 }
 
-// Analyze brings the engine's bounds up to date and returns them. With no
-// pending changes it returns the cached result; with pending changes it
-// runs AnalyzeDelta over them; without warm state it runs a full cold
-// pass. The returned Result is detached from the engine: later engine
-// calls do not mutate it.
-func (e *Engine) Analyze() (*Result, error) {
+// converge brings the engine's warm state up to date: with no pending
+// changes it is a no-op, with pending changes it runs the delta
+// worklist over them, and without warm state it runs a full cold pass.
+// It reports whether the current assignment is a converged fixpoint.
+func (e *Engine) converge() (bool, error) {
 	if !e.valid {
-		return e.analyzeFull()
+		return e.convergeFull()
 	}
 	if len(e.dirty) == 0 {
-		return e.result(true), nil
+		return true, nil
 	}
 	changed := make([]int, 0, len(e.dirty))
 	for i := range e.dirty {
 		changed = append(changed, i)
 	}
-	return e.AnalyzeDelta(changed...)
+	return e.convergeDelta(changed...)
+}
+
+// Analyze brings the engine's bounds up to date and returns them as a
+// detached *Result: later engine calls do not mutate it. The detachment
+// copies O(flows) headers per call — the compatibility path; hot callers
+// should prefer AnalyzeView, whose copy-on-read views cost O(1) to
+// create, or Refresh when the bounds need no reading at all.
+func (e *Engine) Analyze() (*Result, error) {
+	conv, err := e.converge()
+	if err != nil {
+		return nil, err
+	}
+	return e.result(conv), nil
+}
+
+// AnalyzeView brings the engine's bounds up to date and returns an
+// immutable copy-on-read view of them. Creating the view is O(1): it
+// shares the engine's live headers, and the engine copies a header into
+// the view only at the moment a later mutation overwrites it, so a
+// retained view costs O(headers actually rewritten), never O(flows).
+// Call ResultView.Materialize for Analyze's detached *Result, or
+// ResultView.Close to discard a view early.
+func (e *Engine) AnalyzeView() (*ResultView, error) {
+	conv, err := e.converge()
+	if err != nil {
+		return nil, err
+	}
+	return e.newView(conv), nil
+}
+
+// Refresh brings the engine's bounds up to date without publishing a
+// result — the cheapest way to re-converge after a departure when the
+// caller does not read the bounds.
+func (e *Engine) Refresh() error {
+	_, err := e.converge()
+	return err
 }
 
 // AnalyzeDelta re-analyses only the flows whose pipelines transitively
 // share a resource with the given changed flows, keeping every other
-// flow's converged bounds. It is decision- and bound-equivalent to a full
-// cold analysis of the current network: unaffected flows' equations do
-// not involve affected flows, and the affected subsystem is iterated
-// monotonically to its least fixpoint. When the affected set is the whole
-// network (or no warm state exists) it falls back to a full pass.
+// flow's converged bounds, and returns them as a detached *Result (the
+// compatibility path — see Analyze). AnalyzeDeltaView is the O(1)
+// copy-on-read form.
 func (e *Engine) AnalyzeDelta(changed ...int) (*Result, error) {
+	conv, err := e.convergeDelta(changed...)
+	if err != nil {
+		return nil, err
+	}
+	return e.result(conv), nil
+}
+
+// AnalyzeDeltaView is AnalyzeDelta returning an immutable copy-on-read
+// view instead of a detached copy; see AnalyzeView.
+func (e *Engine) AnalyzeDeltaView(changed ...int) (*ResultView, error) {
+	conv, err := e.convergeDelta(changed...)
+	if err != nil {
+		return nil, err
+	}
+	return e.newView(conv), nil
+}
+
+// convergeDelta converges the flows whose pipelines transitively share a
+// resource with the given changed flows. It is decision- and
+// bound-equivalent to a full cold analysis of the current network:
+// unaffected flows' equations do not involve affected flows, and the
+// affected subsystem is iterated monotonically to its least fixpoint.
+// When the affected set is the whole network (or no warm state exists)
+// it falls back to a full pass.
+func (e *Engine) convergeDelta(changed ...int) (bool, error) {
 	nw := e.an.nw
 	n := nw.NumFlows()
 	seed := make(map[int]bool, len(changed)+len(e.dirty))
 	for _, i := range changed {
 		if i < 0 || i >= n {
-			return nil, errIndex(i, n)
+			return false, errIndex(i, n)
 		}
 		seed[i] = true
 	}
@@ -226,15 +324,16 @@ func (e *Engine) AnalyzeDelta(changed ...int) (*Result, error) {
 		seed[i] = true
 	}
 	if n == 0 {
+		e.bumpGen()
 		e.js = newJitterState(nw)
-		e.flows = nil
+		e.replaceHeaders(nil, true)
 		e.valid = true
 		e.dirty = make(map[int]bool)
 		e.lastIterations = 0
-		return e.result(true), nil
+		return true, nil
 	}
 	if !e.valid {
-		return e.analyzeFull()
+		return e.convergeFull()
 	}
 	// A changed flow alters the inputs of every flow sharing a directed
 	// link with it (its demand now appears in their interference sums),
@@ -260,15 +359,17 @@ func (e *Engine) AnalyzeDelta(changed ...int) (*Result, error) {
 	return e.analyzeOver(work)
 }
 
-// analyzeFull runs the holistic analysis cold over every flow, rebuilding
-// all warm state.
-func (e *Engine) analyzeFull() (*Result, error) {
+// convergeFull runs the holistic analysis cold over every flow,
+// rebuilding all warm state.
+func (e *Engine) convergeFull() (bool, error) {
 	nw := e.an.nw
+	e.bumpGen()
 	e.js = newJitterState(nw)
-	e.flows = make([]FlowResult, nw.NumFlows())
-	for i := range e.flows {
-		e.flows[i] = FlowResult{Index: i, Name: nw.Flow(i).Flow.Name}
+	flows := make([]FlowResult, nw.NumFlows())
+	for i := range flows {
+		flows[i] = FlowResult{Index: i, Name: nw.Flow(i).Flow.Name}
 	}
+	e.replaceHeaders(flows, true)
 	all := make([]int, nw.NumFlows())
 	for i := range all {
 		all[i] = i
@@ -292,8 +393,13 @@ func (e *Engine) analyzeFull() (*Result, error) {
 // same monotone operator from the same point, so the least fixpoint — and
 // therefore every bound and verdict — is identical; only the number of
 // rounds may differ.
-func (e *Engine) analyzeOver(work []int) (*Result, error) {
+//
+// Every header it rewrites goes through the engine's write barrier, so
+// retained ResultViews keep their pre-analysis values and the cost per
+// round is O(worked flows).
+func (e *Engine) analyzeOver(work []int) (bool, error) {
 	nw := e.an.nw
+	e.bumpGen()
 	workers := e.an.cfg.Workers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -306,12 +412,19 @@ func (e *Engine) analyzeOver(work []int) (*Result, error) {
 				e.an.prewarmDemands()
 				prewarmed = true
 			}
-			overlays := e.an.parallelRound(e.js, work, workers, e.flows)
+			if cap(e.scratch) < len(e.flows) {
+				e.scratch = make([]FlowResult, len(e.flows))
+			}
+			scratch := e.scratch[:len(e.flows)]
+			overlays := e.an.parallelRound(e.js, work, workers, scratch)
+			for _, i := range work {
+				e.setHeader(i, scratch[i], true)
+			}
 			for _, i := range work {
 				if e.flows[i].Err != nil {
 					e.valid = false
 					e.lastIterations = iter
-					return e.result(false), nil
+					return false, nil
 				}
 			}
 			for _, ov := range overlays {
@@ -320,13 +433,13 @@ func (e *Engine) analyzeOver(work []int) (*Result, error) {
 		} else {
 			for _, i := range work {
 				fr := e.an.flowPass(i, e.js)
-				e.flows[i] = fr
+				e.setHeader(i, fr, true)
 				if fr.Err != nil {
 					// An overloaded or diverging stage dooms the whole
 					// configuration; warm state is no longer a fixpoint.
 					e.valid = false
 					e.lastIterations = iter
-					return e.result(false), nil
+					return false, nil
 				}
 			}
 		}
@@ -334,7 +447,7 @@ func (e *Engine) analyzeOver(work []int) (*Result, error) {
 			e.valid = true
 			e.dirty = make(map[int]bool)
 			e.lastIterations = iter
-			return e.result(true), nil
+			return true, nil
 		}
 		next := make(map[int]bool, 2*len(e.js.changedList))
 		for _, f := range e.js.changedList {
@@ -351,10 +464,11 @@ func (e *Engine) analyzeOver(work []int) (*Result, error) {
 	}
 	e.valid = false
 	e.lastIterations = e.an.cfg.MaxHolisticIter
-	return e.result(false), nil
+	return false, nil
 }
 
-// result assembles a detached Result from the cached per-flow results.
+// result assembles a detached Result from the live per-flow headers —
+// the O(flows) copy the view path exists to avoid.
 func (e *Engine) result(converged bool) *Result {
 	out := &Result{
 		Flows:      make([]FlowResult, len(e.flows)),
@@ -369,16 +483,20 @@ func (e *Engine) result(converged bool) *Result {
 // "shares a directed link" relation, sorted ascending. Interference in
 // every pipeline stage — first hop, in(N) ingress, prioritised egress —
 // travels only between flows on a common directed link, so this closure
-// is exactly the set of flows whose bounds can change.
+// is exactly the set of flows whose bounds can change. Cost is
+// O(closure), not O(flows): membership lives in a closure-sized map and
+// the result is collected during the walk, so a departure in a large
+// network touches only its own interference neighbourhood.
 func (e *Engine) affectedSet(seed map[int]bool) []int {
 	nw := e.an.nw
-	n := nw.NumFlows()
-	visited := make([]bool, n)
+	visited := make(map[int]bool, 2*len(seed))
 	queue := make([]int, 0, len(seed))
+	out := make([]int, 0, len(seed))
 	for i := range seed {
 		if !visited[i] {
 			visited[i] = true
 			queue = append(queue, i)
+			out = append(out, i)
 		}
 	}
 	for len(queue) > 0 {
@@ -390,31 +508,26 @@ func (e *Engine) affectedSet(seed map[int]bool) []int {
 				if !visited[j] {
 					visited[j] = true
 					queue = append(queue, j)
+					out = append(out, j)
 				}
 			}
 		}
 	}
-	out := make([]int, 0, n)
-	for i, v := range visited {
-		if v {
-			out = append(out, i)
-		}
-	}
+	sort.Ints(out)
 	return out
 }
 
 // Snapshot captures the engine's state for a later Restore as a cheap
-// token: no jitter values are copied. Taking it arms the undo journal —
-// every subsequent write records its old value — and copies only the
-// per-flow result headers. The admission controller snapshots before
-// every tentative admission and rolls back on rejection instead of
-// re-analysing.
+// token: no jitter values and no result headers are copied. Taking it
+// arms both undo journals — every subsequent jitter write and header
+// mutation records its old value. The admission controller snapshots
+// before every tentative admission and rolls back on rejection instead
+// of re-analysing.
 type Snapshot struct {
 	jsRef *jitterState
 	mark  jitterMark
 	seq   uint64
 
-	flows          []FlowResult
 	dirty          []int
 	valid          bool
 	lastIterations int
@@ -445,16 +558,16 @@ func (e *Engine) Snapshot() *Snapshot {
 		s.jsRef = e.js
 		s.mark = e.js.beginJournal()
 	}
-	s.flows = make([]FlowResult, len(e.flows))
-	copy(s.flows, e.flows)
+	e.hdrJournal = e.hdrJournal[:0]
+	e.hdrJournalOn = true
 	return s
 }
 
-// Discard releases a snapshot without restoring it: the undo journal is
-// disarmed, its memory reclaimed and arena blocks tombstoned by
+// Discard releases a snapshot without restoring it: the undo journals
+// are disarmed, their memory reclaimed and arena blocks tombstoned by
 // departures since the snapshot are compacted. Discarding a superseded
 // or already consumed snapshot is a no-op. Commit paths should call it —
-// otherwise the journal stays armed and grows with every write until the
+// otherwise the journals stay armed and grow with every write until the
 // next Snapshot or Invalidate.
 func (e *Engine) Discard(s *Snapshot) {
 	if s == nil || s.seq != e.snapSeq {
@@ -463,6 +576,8 @@ func (e *Engine) Discard(s *Snapshot) {
 	e.snapSeq++
 	e.snapLive = false
 	e.removedLog = nil
+	e.hdrJournal = e.hdrJournal[:0]
+	e.hdrJournalOn = false
 	if s.jsRef != nil {
 		s.jsRef.endJournal()
 	}
@@ -477,16 +592,19 @@ func (e *Engine) Discard(s *Snapshot) {
 // added since it are popped, flows removed since it are re-inserted at
 // their original indices (reverse removal order, via the engine's
 // removal log and the jitter state's tombstone journal), and journaled
-// jitter writes are undone in reverse — O(changes since the snapshot),
-// not O(total state). Restoring a stale snapshot (a newer one was taken,
-// it was discarded or already restored, or Invalidate ran) returns an
-// error.
+// jitter writes and header mutations are undone in reverse — O(changes
+// since the snapshot), not O(total state). Views taken between Snapshot
+// and Restore survive: the replay runs through the write barrier, so a
+// retained view keeps showing the pre-restore analysis. Restoring a
+// stale snapshot (a newer one was taken, it was discarded or already
+// restored, or Invalidate ran) returns an error.
 func (e *Engine) Restore(s *Snapshot) error {
 	if s.seq != e.snapSeq {
 		return fmt.Errorf("core: stale snapshot: only the most recent snapshot can be restored, once")
 	}
 	e.snapSeq++ // consume: a second restore of s is refused
 	e.snapLive = false
+	e.bumpGen()
 	nw := e.an.nw
 	// Re-insert departures in reverse removal order: afterwards every
 	// flow alive at the snapshot is back at its original index and every
@@ -513,7 +631,7 @@ func (e *Engine) Restore(s *Snapshot) error {
 		s.jsRef.undoTo(s.mark)
 	}
 	e.js = s.jsRef
-	e.flows = s.flows
+	e.undoHeaders()
 	e.valid = s.valid
 	e.lastIterations = s.lastIterations
 	e.dirty = make(map[int]bool, len(s.dirty))

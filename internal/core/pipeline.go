@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"gmfnet/internal/units"
 )
 
@@ -130,5 +132,5 @@ func errIndex(i, n int) error {
 type indexError struct{ i, n int }
 
 func (e *indexError) Error() string {
-	return "core: flow index out of range"
+	return fmt.Sprintf("core: flow index %d out of range [0, %d)", e.i, e.n)
 }

@@ -593,7 +593,9 @@ func RunLimited(n int, f func(int)) {
 // AnalyzeAll converges every shard — concurrently, up to GOMAXPROCS
 // shards in flight — and returns the per-shard results in shard
 // (creation) order. Distinct shards share only the read-only topology,
-// so their fixpoints are independent.
+// so their fixpoints are independent. Each result is a detached copy
+// (O(closure) headers per shard); AnalyzeAllViews is the copy-free
+// form.
 func (se *ShardedEngine) AnalyzeAll() ([]*Result, error) {
 	out := make([]*Result, len(se.shards))
 	errs := make([]error, len(se.shards))
@@ -607,6 +609,38 @@ func (se *ShardedEngine) AnalyzeAll() ([]*Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// AnalyzeAllViews converges every shard concurrently and composes the
+// outcome as one copy-on-read view per closure, in shard (creation)
+// order — no header is copied anywhere. The network-wide verdict is the
+// conjunction of the per-view verdicts (closures are independent, so
+// their fixpoints compose exactly); ShardsSchedulable folds it. Close or
+// Materialize the views like any other ResultView.
+func (se *ShardedEngine) AnalyzeAllViews() ([]*ResultView, error) {
+	out := make([]*ResultView, len(se.shards))
+	errs := make([]error, len(se.shards))
+	engines := se.Shards()
+	RunLimited(len(engines), func(i int) {
+		out[i], errs[i] = engines[i].AnalyzeView()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ShardsSchedulable folds per-closure views into the network-wide
+// admission verdict: every closure converged and schedulable.
+func ShardsSchedulable(views []*ResultView) bool {
+	for _, v := range views {
+		if !v.Schedulable() {
+			return false
+		}
+	}
+	return true
 }
 
 // adoptFrom splices every flow of src into e at its converged jitter
@@ -661,6 +695,7 @@ func (e *Engine) adoptFlow(src *Engine, j int) error {
 		e.an.demands = append(e.an.demands, nil)
 	}
 	e.an.demands[i] = dem
+	e.bumpGen()
 	warm := e.valid && src.valid && len(src.dirty) == 0
 	if !e.valid {
 		e.dirty[i] = true
@@ -668,14 +703,14 @@ func (e *Engine) adoptFlow(src *Engine, j int) error {
 	}
 	e.js.addFlow(i, fs, e.an.nw.FlowResources(i))
 	if !warm {
-		e.flows = append(e.flows, FlowResult{Index: i, Name: fs.Flow.Name})
+		e.appendHeader(FlowResult{Index: i, Name: fs.Flow.Name}, true)
 		e.dirty[i] = true
 		return nil
 	}
 	copyJitterBlock(e.js, i, src.js, j)
 	fr := src.flows[j]
 	fr.Index = i
-	e.flows = append(e.flows, fr)
+	e.appendHeader(fr, true)
 	return nil
 }
 

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gmfnet/internal/network"
+)
+
+// deepCloneResult copies a Result down to the per-stage slices, so the
+// clone shares no memory with the engine — the oracle retained views are
+// compared against.
+func deepCloneResult(r *Result) *Result {
+	out := &Result{Iterations: r.Iterations, Converged: r.Converged, Flows: make([]FlowResult, len(r.Flows))}
+	for i := range r.Flows {
+		fr := r.Flows[i]
+		if fr.Frames != nil {
+			frames := make([]FrameResult, len(fr.Frames))
+			for k := range fr.Frames {
+				fm := fr.Frames[k]
+				if fm.Stages != nil {
+					fm.Stages = append([]StageResult(nil), fm.Stages...)
+				}
+				frames[k] = fm
+			}
+			fr.Frames = frames
+		}
+		out.Flows[i] = fr
+	}
+	return out
+}
+
+// viewOracle mints a retained view together with an independent deep
+// clone of its creation-time reads. The clone is taken through the view
+// itself, immediately, so it captures exactly what the view promises to
+// keep showing (a second analysis would not do: on an engine in error
+// state every converge re-runs the failing pass and may leave different
+// partial headers).
+func viewOracle(t *testing.T, eng *Engine) (*ResultView, *Result) {
+	t.Helper()
+	v, err := eng.AnalyzeView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &Result{
+		Flows:      make([]FlowResult, v.NumFlows()),
+		Iterations: v.Iterations(),
+		Converged:  v.Converged(),
+	}
+	for i := range out.Flows {
+		out.Flows[i] = v.Flow(i)
+	}
+	return v, deepCloneResult(out)
+}
+
+// checkViewMatches asserts a retained view still reports exactly the
+// oracle analysis, field by field.
+func checkViewMatches(t *testing.T, label string, v *ResultView, want *Result) {
+	t.Helper()
+	if v.NumFlows() != len(want.Flows) {
+		t.Fatalf("%s: view covers %d flows, want %d", label, v.NumFlows(), len(want.Flows))
+	}
+	if v.Converged() != want.Converged {
+		t.Fatalf("%s: view converged=%v, want %v", label, v.Converged(), want.Converged)
+	}
+	if v.Iterations() != want.Iterations {
+		t.Fatalf("%s: view iterations=%d, want %d", label, v.Iterations(), want.Iterations)
+	}
+	if v.Schedulable() != want.Schedulable() {
+		t.Fatalf("%s: view schedulable=%v, want %v", label, v.Schedulable(), want.Schedulable())
+	}
+	for i := range want.Flows {
+		got := v.Flow(i)
+		if !reflect.DeepEqual(got, want.Flows[i]) {
+			t.Fatalf("%s: flow %d diverged:\ngot:  %+v\nwant: %+v", label, i, got, want.Flows[i])
+		}
+	}
+}
+
+// TestResultViewMatchesAnalyze pins the basic contract: the view of a
+// converged engine reports the same verdict, bounds and metadata as the
+// detached Analyze result, Materialize reproduces it exactly, and the
+// bounds-checked accessors behave as documented.
+func TestResultViewMatchesAnalyze(t *testing.T) {
+	topo := engineTopo(t)
+	eng, err := NewEngine(network.New(topo), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range []*network.FlowSpec{
+		voipOn("v1", "a1", "sA", "a2"),
+		voipOn("v2", "a2", "sA", "sB", "b1"),
+		voipOn("v3", "b2", "sB", "b3"),
+	} {
+		if _, err := eng.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := eng.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := eng.AnalyzeView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkViewMatches(t, "fresh view", v, res)
+	if _, err := v.FlowByIndex(99); err == nil {
+		t.Fatal("FlowByIndex(99) accepted an out-of-range index")
+	}
+	if _, err := v.FlowByIndex(-1); err == nil {
+		t.Fatal("FlowByIndex(-1) accepted a negative index")
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("ResultView.Flow(99) did not panic")
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, "99") {
+				t.Fatalf("panic message %q does not name the index", msg)
+			}
+		}()
+		v.Flow(99)
+	}()
+	mat := v.Materialize()
+	compareResults(t, mat, res)
+	if len(eng.views) != 0 {
+		t.Fatalf("materialize left %d views pinned", len(eng.views))
+	}
+	// Result.Flow mirrors the descriptive-panic contract.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Result.Flow(99) did not panic")
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, "99") {
+				t.Fatalf("panic message %q does not name the index", msg)
+			}
+		}()
+		res.Flow(99)
+	}()
+	if _, err := res.FlowByIndex(len(res.Flows)); err == nil {
+		t.Fatal("Result.FlowByIndex accepted an out-of-range index")
+	}
+}
+
+// TestResultViewCloseSemantics pins the release contract: Close before
+// Materialize gives the data up (Materialize returns nil, reads panic),
+// Close after Materialize keeps the cached Result serving, and both
+// release the engine pin.
+func TestResultViewCloseSemantics(t *testing.T) {
+	topo := engineTopo(t)
+	eng, err := NewEngine(network.New(topo), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AddFlow(voipOn("v1", "a1", "sA", "a2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := eng.AnalyzeView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	if got := v.Materialize(); got != nil {
+		t.Fatalf("Materialize after Close = %v, want nil", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Flow read after Close did not panic")
+			}
+		}()
+		v.Flow(0)
+	}()
+	w, err := eng.AnalyzeView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Materialize()
+	w.Close()
+	if w.Materialize() != res {
+		t.Fatal("Close after Materialize dropped the cached Result")
+	}
+	if len(eng.views) != 0 {
+		t.Fatalf("%d views still pinned", len(eng.views))
+	}
+}
+
+// TestResultViewStableAcrossMutations retains views across additions,
+// removals and re-analyses and asserts each keeps reporting its creation-
+// time analysis bit-for-bit — the copy-on-read property the write
+// barrier exists for.
+func TestResultViewStableAcrossMutations(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			topo, hosts := randomEngineTopo(t, r)
+			eng, err := NewEngine(network.New(topo), Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for op := 0; op < 5; op++ {
+				fs := randomFlowSpec(t, r, topo, hosts, fmt.Sprintf("base%d-%d", seed, op))
+				if _, err := eng.AddFlow(fs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			type retained struct {
+				v      *ResultView
+				oracle *Result
+				label  string
+			}
+			var views []retained
+			take := func(label string) {
+				v, oracle := viewOracle(t, eng)
+				views = append(views, retained{v, oracle, label})
+			}
+			take("initial")
+			for round := 0; round < 10; round++ {
+				switch r.Intn(3) {
+				case 0:
+					fs := randomFlowSpec(t, r, topo, hosts, fmt.Sprintf("mut%d-%d", seed, round))
+					if _, err := eng.AddFlow(fs); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					if n := eng.Network().NumFlows(); n > 0 {
+						if err := eng.RemoveFlow(r.Intn(n)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case 2:
+					if err := eng.Refresh(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if r.Intn(2) == 0 {
+					take(fmt.Sprintf("round%d", round))
+				}
+				for _, re := range views {
+					checkViewMatches(t, fmt.Sprintf("round %d, view %s", round, re.label), re.v, re.oracle)
+				}
+			}
+			// Materialized forms must equal the oracles too.
+			for _, re := range views {
+				compareResults(t, re.v.Materialize(), re.oracle)
+			}
+		})
+	}
+}
+
+// TestResultViewSurvivesRestore takes a view of the tentative analysis
+// inside a snapshot window and rolls the engine back: the view must keep
+// showing the pre-restore (tentative) analysis — the property the
+// admission controller's rejected decisions rely on.
+func TestResultViewSurvivesRestore(t *testing.T) {
+	topo := engineTopo(t)
+	eng, err := NewEngine(network.New(topo), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AddFlow(voipOn("base", "a1", "sA", "a2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if _, err := eng.AddFlow(voipOn("tent", "a1", "sA", "a3")); err != nil {
+		t.Fatal(err)
+	}
+	v, oracle := viewOracle(t, eng)
+	if err := eng.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	checkViewMatches(t, "after restore", v, oracle)
+	if err := eng.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	checkViewMatches(t, "after restore + refresh", v, oracle)
+	if got := eng.Network().NumFlows(); got != 1 {
+		t.Fatalf("restore left %d flows, want 1", got)
+	}
+	compareResults(t, v.Materialize(), oracle)
+}
+
+// TestResultViewScedulableCounter cross-checks the O(1) Schedulable()
+// verdict (engine-maintained counters) against the full scan of the
+// materialized result while an engine admits a mix of feasible and
+// infeasible flows.
+func TestResultViewSchedulableCounter(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	topo, hosts := randomEngineTopo(t, r)
+	eng, err := NewEngine(network.New(topo), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < 14; op++ {
+		if eng.Network().NumFlows() > 0 && r.Intn(4) == 0 {
+			if err := eng.RemoveFlow(r.Intn(eng.Network().NumFlows())); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			fs := randomFlowSpec(t, r, topo, hosts, fmt.Sprintf("f%d", op))
+			if _, err := eng.AddFlow(fs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := eng.AnalyzeView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := v.Materialize()
+		if v.Schedulable() != res.Schedulable() {
+			t.Fatalf("op %d: O(1) verdict %v, scanned verdict %v", op, v.Schedulable(), res.Schedulable())
+		}
+		errs := 0
+		for i := range res.Flows {
+			if res.Flows[i].Err != nil {
+				errs++
+			}
+		}
+		if v.StageErrors() != errs {
+			t.Fatalf("op %d: StageErrors=%d, scan found %d", op, v.StageErrors(), errs)
+		}
+	}
+}
+
+// FuzzResultView drives random interleavings of AddFlow, RemoveFlow,
+// analyses, Snapshot, Restore and Discard through the engine while
+// retaining views minted along the way, asserting after every operation
+// that each retained view is byte-stable against a deep-clone oracle
+// taken at its creation. This is the pin for the write-barrier
+// invariant: an engine header is copied into every view that can still
+// see it before the engine overwrites it, across splices, re-analyses,
+// cold passes and journal rollbacks alike.
+func FuzzResultView(f *testing.F) {
+	f.Add([]byte{6, 0, 2, 6, 1, 2, 6, 0, 1, 2})       // views across add/remove/analyze churn
+	f.Add([]byte{0, 0, 2, 6, 3, 0, 1, 2, 4, 6})       // view taken before a snapshot rollback
+	f.Add([]byte{0, 2, 3, 6, 1, 1, 4, 6, 0, 2})       // view inside the window, removals rolled back
+	f.Add([]byte{6, 0, 0, 0, 0, 0, 0, 0, 0, 2, 6, 1}) // growth forcing header reallocation
+	f.Add([]byte{0, 2, 6, 3, 5, 3, 1, 4, 2, 6})       // discard + re-snapshot between views
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 48 {
+			data = data[:48] // keep each case cheap
+		}
+		topo, hosts := fuzzTopo(t)
+		eng, err := NewEngine(network.New(topo), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(len(data))))
+		type retained struct {
+			v      *ResultView
+			oracle *Result
+			at     int
+		}
+		var (
+			views    []retained
+			snap     *Snapshot
+			nextFlow int
+		)
+		for pc, b := range data {
+			switch b % 7 {
+			case 0: // add
+				fs := randomFlowSpec(t, r, topo, hosts, fmt.Sprintf("f%d", nextFlow))
+				nextFlow++
+				if _, err := eng.AddFlow(fs); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // remove
+				if n := eng.Network().NumFlows(); n > 0 {
+					if err := eng.RemoveFlow(int(b/7) % n); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // analyze (no retained view)
+				if err := eng.Refresh(); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // snapshot (supersedes any outstanding one)
+				snap = eng.Snapshot()
+			case 4: // restore
+				if snap == nil {
+					continue
+				}
+				if err := eng.Restore(snap); err != nil {
+					t.Fatalf("op %d: restore: %v", pc, err)
+				}
+				snap = nil
+			case 5: // discard
+				eng.Discard(snap)
+				snap = nil
+			case 6: // mint and retain a view (with its deep-clone oracle)
+				v, oracle := viewOracle(t, eng)
+				views = append(views, retained{v: v, oracle: oracle, at: pc})
+				if len(views) > 6 {
+					views[0].v.Close()
+					views = views[1:]
+				}
+			}
+			for _, re := range views {
+				checkViewMatches(t, fmt.Sprintf("op %d (view from op %d)", pc, re.at), re.v, re.oracle)
+			}
+		}
+		// Materialized forms must equal the oracles, and the engine must
+		// still agree with a cold analysis after all the churn.
+		for _, re := range views {
+			compareResults(t, re.v.Materialize(), re.oracle)
+		}
+		res, err := eng.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := network.New(topo)
+		for _, fs := range eng.Network().Flows() {
+			if _, err := ref.AddFlow(fs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		an, err := NewAnalyzer(ref, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := an.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, res, cold)
+	})
+}

@@ -1,0 +1,112 @@
+package network
+
+import (
+	"fmt"
+
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/units"
+)
+
+// VideoProfile is one encoder rate profile of the bursty video-mix
+// workload: the GMF cycle is the classic IBBPBBPBB transmission order,
+// so a flow alternates one large I frame, medium P frames and small B
+// frames — exactly the frame-size burstiness the generalized multiframe
+// model captures and the sporadic collapse wastes capacity on.
+type VideoProfile struct {
+	// Name labels the profile ("hd", "sd", "ld").
+	Name string
+	// IBytes, PBytes and BBytes are the UDP payloads of the three frame
+	// types.
+	IBytes, PBytes, BBytes int64
+	// FramePeriod is the spacing between transmitted frames (the GMF
+	// minimum separation of every frame).
+	FramePeriod units.Time
+	// Deadline is the relative end-to-end deadline of every frame.
+	Deadline units.Time
+	// Priority is the 802.1p priority the profile's streams request.
+	Priority Priority
+}
+
+// VideoProfiles returns the three stock rate profiles of the video mix,
+// highest rate first: "hd" (~5.5 Mbit/s), "sd" (~2.7 Mbit/s) and "ld"
+// (~1.2 Mbit/s). Lower-rate streams carry higher priorities, mirroring
+// how interactive tiers are usually provisioned above bulk video.
+func VideoProfiles() []VideoProfile {
+	return []VideoProfile{
+		{Name: "hd", IBytes: 90000, PBytes: 30000, BBytes: 9000,
+			FramePeriod: 33 * units.Millisecond, Deadline: 300 * units.Millisecond, Priority: 1},
+		{Name: "sd", IBytes: 45000, PBytes: 15000, BBytes: 4500,
+			FramePeriod: 33 * units.Millisecond, Deadline: 250 * units.Millisecond, Priority: 2},
+		{Name: "ld", IBytes: 20000, PBytes: 7000, BBytes: 2100,
+			FramePeriod: 33 * units.Millisecond, Deadline: 200 * units.Millisecond, Priority: 3},
+	}
+}
+
+// GOP builds the profile's nine-frame IBBPBBPBB GMF cycle as a flow.
+func (p VideoProfile) GOP(name string) *gmf.Flow {
+	sizes := []int64{
+		p.IBytes,
+		p.BBytes, p.BBytes,
+		p.PBytes,
+		p.BBytes, p.BBytes,
+		p.PBytes,
+		p.BBytes, p.BBytes,
+	}
+	f := &gmf.Flow{Name: name}
+	for _, bytes := range sizes {
+		f.Frames = append(f.Frames, gmf.Frame{
+			MinSep:      p.FramePeriod,
+			Deadline:    p.Deadline,
+			PayloadBits: bytes * 8,
+		})
+	}
+	return f
+}
+
+// VideoMix builds the bursty GMF video-mix workload: a Ring(switches,
+// hostsPer) industrial topology plus `streams` video flows cycling
+// deterministically through the three VideoProfiles. Stream i starts at
+// host (i mod hostsPer groups) of switch (i mod switches); three out of
+// four streams stay edge-local (host → switch → host), every fourth
+// crosses the ring backbone to the next switch — enough cross traffic
+// that ring links matter without collapsing every closure into one.
+// Stream i is named "vm<i>-<profile>".
+//
+// The returned specs are not yet registered anywhere: feed them to a
+// Network, an admission controller or a benchmark as needed. The
+// generator is fully deterministic, so differential tests can hand the
+// identical workload to several controllers.
+func VideoMix(switches, hostsPer, streams int) (*Topology, []*FlowSpec, error) {
+	if hostsPer < 2 {
+		return nil, nil, fmt.Errorf("network: video mix needs at least 2 hosts per switch")
+	}
+	topo, hosts, err := Ring(switches, hostsPer)
+	if err != nil {
+		return nil, nil, err
+	}
+	profiles := VideoProfiles()
+	specs := make([]*FlowSpec, 0, streams)
+	for i := 0; i < streams; i++ {
+		p := profiles[i%len(profiles)]
+		s := i % switches
+		a := (i / switches) % hostsPer
+		src := hosts[s*hostsPer+a]
+		var dst NodeID
+		if i%4 == 3 {
+			// Cross the backbone: same host slot under the next switch.
+			dst = hosts[((s+1)%switches)*hostsPer+a]
+		} else {
+			dst = hosts[s*hostsPer+(a+1)%hostsPer]
+		}
+		route, err := topo.Route(src, dst)
+		if err != nil {
+			return nil, nil, fmt.Errorf("network: video mix stream %d: %w", i, err)
+		}
+		specs = append(specs, &FlowSpec{
+			Flow:     p.GOP(fmt.Sprintf("vm%d-%s", i, p.Name)),
+			Route:    route,
+			Priority: p.Priority,
+		})
+	}
+	return topo, specs, nil
+}

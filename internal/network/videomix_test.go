@@ -1,0 +1,104 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/units"
+)
+
+// TestVideoMixShape pins the generator's deterministic structure: stream
+// count, the nine-frame IBBPBBPBB GMF cycle, frame-size burstiness
+// (I > P > B), the three-profile rotation, and the local/crossing route
+// mix.
+func TestVideoMixShape(t *testing.T) {
+	const switches, hostsPer, streams = 4, 3, 24
+	topo, specs, err := VideoMix(switches, hostsPer, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != streams {
+		t.Fatalf("streams = %d, want %d", len(specs), streams)
+	}
+	profiles := VideoProfiles()
+	crossing := 0
+	for i, fs := range specs {
+		p := profiles[i%len(profiles)]
+		if !strings.HasSuffix(fs.Flow.Name, "-"+p.Name) {
+			t.Fatalf("stream %d named %q, want profile %q", i, fs.Flow.Name, p.Name)
+		}
+		if n := fs.Flow.N(); n != 9 {
+			t.Fatalf("stream %d has %d frames, want 9", i, n)
+		}
+		iBits, pBits, bBits := fs.Flow.Frames[0].PayloadBits, fs.Flow.Frames[3].PayloadBits, fs.Flow.Frames[1].PayloadBits
+		if !(iBits > pBits && pBits > bBits) {
+			t.Fatalf("stream %d not bursty: I=%d P=%d B=%d bits", i, iBits, pBits, bBits)
+		}
+		if iBits != p.IBytes*8 || pBits != p.PBytes*8 || bBits != p.BBytes*8 {
+			t.Fatalf("stream %d payloads do not match profile %q", i, p.Name)
+		}
+		if fs.Priority != p.Priority {
+			t.Fatalf("stream %d priority %d, want %d", i, fs.Priority, p.Priority)
+		}
+		if len(fs.Route) > 3 {
+			crossing++
+		}
+	}
+	if want := streams / 4; crossing != want {
+		t.Fatalf("%d streams cross the backbone, want %d", crossing, want)
+	}
+	// The workload must register and validate on its own topology.
+	nw := New(topo)
+	for _, fs := range specs {
+		if _, err := nw.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: a second generation is structurally identical.
+	_, again, err := VideoMix(switches, hostsPer, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if specs[i].Flow.Name != again[i].Flow.Name || len(specs[i].Route) != len(again[i].Route) {
+			t.Fatalf("stream %d differs between generations", i)
+		}
+		for h := range specs[i].Route {
+			if specs[i].Route[h] != again[i].Route[h] {
+				t.Fatalf("stream %d route differs between generations", i)
+			}
+		}
+	}
+}
+
+// TestVideoMixErrors pins the argument validation.
+func TestVideoMixErrors(t *testing.T) {
+	if _, _, err := VideoMix(4, 1, 8); err == nil {
+		t.Fatal("hostsPer=1 accepted")
+	}
+	if _, _, err := VideoMix(0, 4, 8); err == nil {
+		t.Fatal("switches=0 accepted")
+	}
+}
+
+// TestVideoMixRates sanity-checks the profiles against the topology's
+// edge links: every profile's long-run rate must fit a 100 Mbit/s edge
+// link many times over, so admission decisions hinge on response-time
+// bounds, not trivial overload.
+func TestVideoMixRates(t *testing.T) {
+	for _, p := range VideoProfiles() {
+		var bits int64
+		f := p.GOP("x")
+		for _, fr := range f.Frames {
+			bits += fr.PayloadBits
+		}
+		cycle := 9 * p.FramePeriod
+		rate := float64(bits) / (float64(cycle) / float64(units.Second))
+		if rate <= 0 || rate > 10e6 {
+			t.Fatalf("profile %q long-run rate %.1f bit/s out of the expected band", p.Name, rate)
+		}
+	}
+}

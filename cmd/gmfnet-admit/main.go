@@ -6,8 +6,13 @@
 // Usage:
 //
 //	gmfnet-admit [-sporadic] [-example] [scenario.json]
-//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-shards] [-workers W] [-batch B] [-record FILE]
-//	gmfnet-admit -trace FILE [-cold] [-shards] [-workers W] [-batch B]
+//	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-shards] [-parallel] [-workers W] [-batch B] [-record FILE]
+//	gmfnet-admit -trace FILE [-cold] [-shards] [-parallel] [-workers W] [-batch B]
+//
+// Every mode accepts -cpuprofile FILE and -memprofile FILE to write
+// pprof profiles of the run (`go tool pprof` reads them) — the way to
+// see where admission time goes, e.g. scheduler contention vs fixpoint
+// work under -parallel.
 //
 // With -sporadic every request is first collapsed to the sporadic model,
 // reproducing the capacity loss the paper's GMF model avoids.
@@ -26,8 +31,12 @@
 // controller instead: requests are decided inside their interference
 // closure's private shard engine, batch groups spanning disjoint
 // closures run concurrently, and decisions are provably identical to
-// the monolithic controller. -record FILE writes the generated
-// operation stream as a replayable JSON-lines trace.
+// the monolithic controller. -parallel runs the multi-core scheduled
+// form of the sharded controller: one serial mailbox goroutine per
+// closure shard, distinct closures decided concurrently on a worker
+// pool (sized by -workers, GOMAXPROCS when 0), same decisions again.
+// -record FILE writes the generated operation stream as a replayable
+// JSON-lines trace.
 //
 // With -trace the command replays such a recorded trace
 // deterministically and prints one decision line per operation —
@@ -43,6 +52,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gmfnet/internal/admission"
@@ -72,10 +83,13 @@ func run(args []string) error {
 	hosts := fs.Int("hosts", 4, "stream mode: hosts per switch")
 	cold := fs.Bool("cold", false, "stream/trace mode: use the from-scratch baseline controller")
 	shards := fs.Bool("shards", false, "stream/trace mode: use the closure-sharded controller")
-	workers := fs.Int("workers", 0, "stream/trace mode: parallel delta worklist workers (0/1 sequential, -1 GOMAXPROCS)")
+	parallel := fs.Bool("parallel", false, "stream/trace mode: use the multi-core scheduled sharded controller")
+	workers := fs.Int("workers", 0, "stream/trace mode: parallel delta worklist workers (0/1 sequential, -1 GOMAXPROCS); with -parallel, the shard worker-pool size (0 GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "stream/trace mode: admit requests in batches of this size through RequestBatch")
 	record := fs.String("record", "", "stream mode: record the operation stream as a replayable trace file")
 	traceFile := fs.String("trace", "", "replay a recorded request trace deterministically")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,62 +99,127 @@ func run(args []string) error {
 	if *shards && *cold {
 		return fmt.Errorf("-shards and -cold are mutually exclusive")
 	}
-
-	if *traceFile != "" {
-		return runTrace(os.Stdout, *traceFile, *cold, *shards, *workers, *batch)
+	if *parallel && *cold {
+		return fmt.Errorf("-parallel and -cold are mutually exclusive")
 	}
-	if *stream > 0 {
-		return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *shards, *workers, *batch, *record)
+	if *parallel && *shards {
+		return fmt.Errorf("-parallel and -shards are mutually exclusive (-parallel is the scheduled form of -shards)")
 	}
 
-	var scenario *config.Scenario
-	switch {
-	case *example:
-		scenario = config.Figure1Scenario()
-	case fs.NArg() == 1:
-		var err error
-		scenario, err = config.Load(fs.Arg(0))
+	prof, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		if *traceFile != "" {
+			return runTrace(os.Stdout, *traceFile, *cold, *shards, *parallel, *workers, *batch)
+		}
+		if *stream > 0 {
+			return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *shards, *parallel, *workers, *batch, *record)
+		}
+
+		var scenario *config.Scenario
+		switch {
+		case *example:
+			scenario = config.Figure1Scenario()
+		case fs.NArg() == 1:
+			var err error
+			scenario, err = config.Load(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("need a scenario file, -example or -stream (see -h)")
+		}
+
+		full, err := scenario.Build()
 		if err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("need a scenario file, -example or -stream (see -h)")
-	}
+		// Rebuild an empty network on the same topology and replay the
+		// flows as requests.
+		empty := network.New(full.Topo)
+		ctl, err := admission.NewController(empty, core.Config{})
+		if err != nil {
+			return err
+		}
 
-	full, err := scenario.Build()
-	if err != nil {
-		return err
+		t := report.NewTable("Admission decisions (in request order)", "flow", "frames", "admitted")
+		for _, fspec := range full.Flows() {
+			req := fspec
+			if *sporadic {
+				req = &network.FlowSpec{
+					Flow:     fspec.Flow.Sporadic(),
+					Route:    fspec.Route,
+					Priority: fspec.Priority,
+					RTP:      fspec.RTP,
+				}
+			}
+			d, err := ctl.Request(req)
+			if err != nil {
+				return err
+			}
+			t.AddRowf(d.FlowName, req.Flow.N(), d.Admitted)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("\nadmitted %d of %d requests\n", ctl.Admitted(), len(ctl.Decisions()))
+		return nil
+	}()
+	if perr := prof.stop(); err == nil {
+		err = perr
 	}
-	// Rebuild an empty network on the same topology and replay the flows
-	// as requests.
-	empty := network.New(full.Topo)
-	ctl, err := admission.NewController(empty, core.Config{})
-	if err != nil {
-		return err
-	}
+	return err
+}
 
-	t := report.NewTable("Admission decisions (in request order)", "flow", "frames", "admitted")
-	for _, fspec := range full.Flows() {
-		req := fspec
-		if *sporadic {
-			req = &network.FlowSpec{
-				Flow:     fspec.Flow.Sporadic(),
-				Route:    fspec.Route,
-				Priority: fspec.Priority,
-				RTP:      fspec.RTP,
+// profiles holds the -cpuprofile/-memprofile state of one run.
+type profiles struct {
+	cpu *os.File
+	mem string
+}
+
+// startProfiles opens the requested pprof outputs and starts CPU
+// profiling; either path may be empty.
+func startProfiles(cpu, mem string) (*profiles, error) {
+	p := &profiles{mem: mem}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// stop finishes the CPU profile and writes the heap profile.
+func (p *profiles) stop() error {
+	var firstErr error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			firstErr = fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err == nil {
+			runtime.GC() // settle the heap so the profile reflects live data
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
 			}
 		}
-		d, err := ctl.Request(req)
-		if err != nil {
-			return err
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("-memprofile: %w", err)
 		}
-		t.AddRowf(d.FlowName, req.Flow.N(), d.Admitted)
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Printf("\nadmitted %d of %d requests\n", ctl.Admitted(), len(ctl.Decisions()))
-	return nil
+	return firstErr
 }
 
 // requester is what stream mode needs from a controller; the
@@ -224,7 +303,7 @@ func (a *admitter) release(d admission.Decision) {
 // size through RequestBatch, flushing the pending batch before every
 // departure so victims are always decided flows. record, when set, logs
 // the executed operations as a replayable trace.
-func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, shards bool, workers, batch int, record string) error {
+func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, shards, parallel bool, workers, batch int, record string) error {
 	if switches < 1 || hostsPer < 2 {
 		return fmt.Errorf("stream mode needs at least 1 switch and 2 hosts per switch")
 	}
@@ -232,7 +311,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 	if err != nil {
 		return err
 	}
-	ctl, batchCtl, shardCtl, err := buildController(topo, cold, shards, workers)
+	ctl, batchCtl, shardCtl, parCtl, err := buildController(topo, cold, shards, parallel, workers)
 	if err != nil {
 		return err
 	}
@@ -292,6 +371,13 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 	if err := adm.flush(); err != nil {
 		return err
 	}
+	if parCtl != nil {
+		// Retire the mailboxes inside the timed region: pending
+		// departures are part of the stream's work.
+		if err := parCtl.Close(); err != nil {
+			return err
+		}
+	}
 	if err := rec.close(); err != nil {
 		return fmt.Errorf("recording trace: %w", err)
 	}
@@ -304,6 +390,9 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 	if shards {
 		mode = "sharded"
 	}
+	if parallel {
+		mode = "parallel"
+	}
 	if batch > 0 {
 		mode = fmt.Sprintf("%s, batch=%d", mode, batch)
 	}
@@ -315,6 +404,9 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 	t.AddRowf("resident flows", ctl.NumFlows())
 	if shardCtl != nil {
 		t.AddRowf("shards", shardCtl.NumShards())
+	}
+	if parCtl != nil {
+		t.AddRowf("shards", parCtl.NumShards())
 	}
 	t.AddRowf("switches x hosts", fmt.Sprintf("%d x %d", switches, hostsPer))
 	t.AddRowf("elapsed", elapsed.Round(time.Millisecond).String())
@@ -331,7 +423,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 // be compared byte for byte. A departure flushes the pending batch
 // first, exactly like the recording side, so decision order is the
 // request order regardless of batching.
-func runTrace(w io.Writer, path string, cold, shards bool, workers, batch int) error {
+func runTrace(w io.Writer, path string, cold, shards, parallel bool, workers, batch int) error {
 	h, ops, err := loadTrace(path)
 	if err != nil {
 		return err
@@ -340,7 +432,7 @@ func runTrace(w io.Writer, path string, cold, shards bool, workers, batch int) e
 	if err != nil {
 		return err
 	}
-	ctl, batchCtl, _, err := buildController(topo, cold, shards, workers)
+	ctl, batchCtl, _, parCtl, err := buildController(topo, cold, shards, parallel, workers)
 	if err != nil {
 		return err
 	}
@@ -384,27 +476,37 @@ func runTrace(w io.Writer, path string, cold, shards bool, workers, batch int) e
 	if err := adm.flush(); err != nil {
 		return err
 	}
+	if parCtl != nil {
+		if err := parCtl.Close(); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(out, "admitted=%d rejected=%d released=%d resident=%d\n",
 		admitted, rejected, released, ctl.NumFlows())
 	return out.Flush()
 }
 
 // buildController assembles the stream/trace controller variant: the
-// from-scratch baseline, the closure-sharded controller, or the
-// monolithic incremental one. The batchRequester is non-nil for the
-// two engine-backed variants; shardCtl is non-nil only with -shards.
-func buildController(topo *network.Topology, cold, shards bool, workers int) (requester, batchRequester, *admission.ShardedController, error) {
+// from-scratch baseline, the closure-sharded controller, its
+// scheduler-backed parallel form, or the monolithic incremental one.
+// The batchRequester is non-nil for the engine-backed variants;
+// shardCtl is non-nil only with -shards, parCtl only with -parallel
+// (the caller must Close it).
+func buildController(topo *network.Topology, cold, shards, parallel bool, workers int) (requester, batchRequester, *admission.ShardedController, *admission.ParallelController, error) {
 	cfg := core.Config{Workers: workers}
 	switch {
 	case cold:
 		ctl, err := admission.NewColdController(network.New(topo), core.Config{})
-		return ctl, nil, nil, err
+		return ctl, nil, nil, nil, err
+	case parallel:
+		ctl, err := admission.NewParallelController(network.New(topo), cfg)
+		return ctl, ctl, nil, ctl, err
 	case shards:
 		ctl, err := admission.NewShardedController(network.New(topo), cfg)
-		return ctl, ctl, ctl, err
+		return ctl, ctl, ctl, nil, err
 	default:
 		ctl, err := admission.NewController(network.New(topo), cfg)
-		return ctl, ctl, nil, err
+		return ctl, ctl, nil, nil, err
 	}
 }
 

@@ -56,6 +56,33 @@ func TestRunStreamShardedBatch(t *testing.T) {
 	}
 }
 
+func TestRunStreamParallel(t *testing.T) {
+	if err := run([]string{"-stream", "40", "-seed", "3", "-switches", "4", "-hosts", "3", "-parallel", "-batch", "8"}); err != nil {
+		t.Fatalf("parallel batched stream mode failed: %v", err)
+	}
+}
+
+// TestRunProfiles smokes the pprof hooks: both profile files must be
+// created and non-empty after a short parallel stream.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if err := run([]string{"-stream", "10", "-seed", "3", "-switches", "2", "-hosts", "2",
+		"-parallel", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatalf("profiled stream failed: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
 // TestTraceGoldenOutput is the determinism pin for stream mode: the
 // recorded request trace in testdata must produce byte-identical
 // admit/reject decision logs through the sequential controller, the
@@ -71,11 +98,12 @@ func TestTraceGoldenOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	variants := []struct {
-		name    string
-		cold    bool
-		shards  bool
-		workers int
-		batch   int
+		name     string
+		cold     bool
+		shards   bool
+		parallel bool
+		workers  int
+		batch    int
 	}{
 		{name: "sequential"},
 		{name: "workers2", workers: 2},
@@ -84,13 +112,17 @@ func TestTraceGoldenOutput(t *testing.T) {
 		{name: "sharded", shards: true},
 		{name: "sharded-batch16", shards: true, batch: 16},
 		{name: "sharded-batch3", shards: true, batch: 3},
+		{name: "parallel", parallel: true},
+		{name: "parallel-batch16", parallel: true, batch: 16},
+		{name: "parallel-batch3", parallel: true, batch: 3},
+		{name: "parallel-workers2", parallel: true, workers: 2},
 		{name: "cold", cold: true},
 	}
 	for _, v := range variants {
 		v := v
 		t.Run(v.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := runTrace(&out, tracePath, v.cold, v.shards, v.workers, v.batch); err != nil {
+			if err := runTrace(&out, tracePath, v.cold, v.shards, v.parallel, v.workers, v.batch); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(out.Bytes(), golden) {
@@ -110,21 +142,27 @@ func TestTraceRecordReplay(t *testing.T) {
 		"-batch", "4", "-record", traceFile}); err != nil {
 		t.Fatalf("recording stream failed: %v", err)
 	}
-	var seq, bat, shd bytes.Buffer
-	if err := runTrace(&seq, traceFile, false, false, 0, 0); err != nil {
+	var seq, bat, shd, par bytes.Buffer
+	if err := runTrace(&seq, traceFile, false, false, false, 0, 0); err != nil {
 		t.Fatalf("replay failed: %v", err)
 	}
-	if err := runTrace(&bat, traceFile, false, false, 0, 4); err != nil {
+	if err := runTrace(&bat, traceFile, false, false, false, 0, 4); err != nil {
 		t.Fatalf("batched replay failed: %v", err)
 	}
-	if err := runTrace(&shd, traceFile, false, true, 0, 4); err != nil {
+	if err := runTrace(&shd, traceFile, false, true, false, 0, 4); err != nil {
 		t.Fatalf("sharded replay failed: %v", err)
+	}
+	if err := runTrace(&par, traceFile, false, false, true, 0, 4); err != nil {
+		t.Fatalf("parallel replay failed: %v", err)
 	}
 	if !bytes.Equal(seq.Bytes(), bat.Bytes()) {
 		t.Fatalf("sequential and batched replays differ:\n%s\nvs\n%s", seq.Bytes(), bat.Bytes())
 	}
 	if !bytes.Equal(seq.Bytes(), shd.Bytes()) {
 		t.Fatalf("sequential and sharded replays differ:\n%s\nvs\n%s", seq.Bytes(), shd.Bytes())
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("sequential and parallel replays differ:\n%s\nvs\n%s", seq.Bytes(), par.Bytes())
 	}
 }
 
@@ -136,7 +174,10 @@ func TestRunErrors(t *testing.T) {
 		{"-stream", "5", "-hosts", "1"},
 		{"-stream", "5", "-batch", "4", "-cold"},
 		{"-stream", "5", "-shards", "-cold"},
+		{"-stream", "5", "-parallel", "-cold"},
+		{"-stream", "5", "-parallel", "-shards"},
 		{"-trace", "/nonexistent.trace"},
+		{"-example", "-cpuprofile", "/nonexistent-dir/cpu.prof"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

@@ -15,7 +15,8 @@
 //   - internal/sim — a discrete-event simulator of the whole data path;
 //   - internal/sporadic — the sporadic-collapse baseline;
 //   - internal/admission — the admission controllers of Section 3.5
-//     (incremental, closure-sharded, and the cold reference baseline);
+//     (incremental, closure-sharded, multi-core scheduled, and the cold
+//     reference baseline);
 //   - internal/trace — MPEG/VoIP/CBR/random workload generators.
 //
 // The layer map and the engine-state invariants are documented in
@@ -97,6 +98,13 @@ type (
 	// ShardedAdmissionController admits flows per interference closure,
 	// with concurrent shard analyses and identical decisions.
 	ShardedAdmissionController = admission.ShardedController
+	// ParallelAdmissionController runs the closure-sharded admission test
+	// on a worker pool: one serial mailbox goroutine per shard, distinct
+	// closures concurrent, batches pipelined, decisions identical.
+	ParallelAdmissionController = admission.ParallelController
+	// PendingAdmissionBatch is an in-flight pipelined batch submitted to
+	// a ParallelAdmissionController; Wait returns its decisions.
+	PendingAdmissionBatch = admission.PendingBatch
 	// Engine is the persistent, warm-startable analysis engine behind
 	// incremental admission control.
 	Engine = core.Engine
@@ -245,6 +253,21 @@ func (s *System) NewAdmissionController(cfg AnalysisConfig) (*admission.Controll
 // actually shard (multi-pod fat trees, disjoint ring segments).
 func (s *System) NewShardedAdmissionController(cfg AnalysisConfig) (*admission.ShardedController, error) {
 	return admission.NewShardedController(s.nw, cfg)
+}
+
+// NewParallelAdmissionController returns the multi-core form of the
+// closure-sharded controller: the same decomposition as
+// NewShardedAdmissionController, executed by a worker-pool shard
+// scheduler. Each shard's decisions run on a serial mailbox goroutine
+// (strictly ordered within a closure), distinct closures decide
+// concurrently across AnalysisConfig.Workers workers (zero selects
+// GOMAXPROCS), and SubmitBatch pipelines batches so one contended
+// closure's eviction bisection never stalls independent work.
+// Decisions are byte-identical to the serial controllers. Call Flush
+// at stream boundaries to surface asynchronous departure errors and
+// re-split fused shards; call Close when done.
+func (s *System) NewParallelAdmissionController(cfg AnalysisConfig) (*admission.ParallelController, error) {
+	return admission.NewParallelController(s.nw, cfg)
 }
 
 // NewEngine returns a persistent, warm-startable analysis engine over the

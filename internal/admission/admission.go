@@ -19,9 +19,13 @@
 // requests are decided inside their closure's private shard engine
 // (core.ShardedEngine), batches spanning disjoint closures are decided
 // concurrently, and eviction searches stay inside one closure instead
-// of bisecting the whole batch. All three controllers produce
-// byte-identical decisions on the same request sequence; the
-// differential tests in this package assert it.
+// of bisecting the whole batch. ParallelController runs that same
+// decomposition on a core.Scheduler worker pool: each shard's decisions
+// execute on a serial mailbox goroutine, distinct closures run
+// concurrently, and SubmitBatch pipelines batches so independent work
+// never waits. All four controllers produce byte-identical decisions on
+// the same request sequence; the differential tests in this package
+// assert it.
 package admission
 
 import (

@@ -1,0 +1,378 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+)
+
+// ParallelController is the multi-core admission controller: the
+// closure-sharded test of ShardedController, scheduled across a worker
+// pool by core.Scheduler. Every interference closure's shard is owned
+// by a serial mailbox goroutine, so decisions within one closure stay
+// strictly ordered while requests and batch groups into distinct
+// closures are decided concurrently — including across submissions:
+// SubmitBatch pipelines batches, so batch k+1's independent closures
+// start while batch k's eviction bisection is still running.
+//
+// Decisions are byte-identical to ShardedController's (and therefore to
+// the monolithic and cold controllers') for any serial or pipelined
+// submission order; with concurrent submitters from several goroutines
+// the interleaving is whatever the dispatch order was, but every
+// decision still equals what the serial controller would have decided
+// at that point. The equality is pinned by the batch differential
+// tests, the golden replay trace, and the fusion stress test.
+//
+// Bookkeeping (decision log, residents, counters) is folded in
+// submission order: a later batch's decisions are recorded only after
+// every earlier submission has completed, so Decisions and Release see
+// exactly the serial controller's global admission order.
+//
+// Error contract: Request and RequestBatch surface their groups' errors
+// exactly like ShardedController (decided groups stay recorded).
+// Release dispatches the departure asynchronously and returns
+// immediately; removal and re-split errors surface at the next Flush
+// (or Close). Call Flush at stream boundaries; call Close when done —
+// it shuts the mailbox goroutines down.
+//
+// A ParallelController is safe for concurrent use.
+type ParallelController struct {
+	se    *core.ShardedEngine
+	sched *core.Scheduler
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// tickets holds unfolded submissions in submission order; the head
+	// folds into decisions/residents as soon as all its groups decided.
+	tickets   []*PendingBatch
+	residents []*network.FlowSpec
+	decisions []Decision
+	released  int
+}
+
+// PendingBatch is one in-flight submission: a ticket whose groups are
+// being decided on their shards' mailboxes. Wait blocks for the
+// decisions; results are recorded in the controller's log in submission
+// order regardless of when Wait is called.
+type PendingBatch struct {
+	c       *ParallelController
+	specs   []*network.FlowSpec
+	out     []Decision
+	decided []bool
+	// remaining counts undecided groups; -1 until dispatch has counted
+	// them (set under the scheduler's dispatch lock before any group
+	// can complete).
+	remaining int
+	err       error
+	folded    bool
+	single    bool // decide via Controller.Request, not RequestBatch
+}
+
+// NewParallelController returns a scheduler-backed controller over the
+// network; flows already present are treated as admitted and
+// partitioned into shards by interference closure. cfg.Workers sizes
+// the worker pool (zero selects GOMAXPROCS — see
+// core.Config.PoolWorkers).
+func NewParallelController(nw *network.Network, cfg core.Config) (*ParallelController, error) {
+	se, err := core.NewShardedEngine(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &ParallelController{se: se, sched: core.NewScheduler(se)}
+	c.cond = sync.NewCond(&c.mu)
+	c.residents = append(c.residents, nw.Flows()...)
+	return c, nil
+}
+
+// Sharded exposes the underlying sharded engine. Reads beyond the
+// topology are only safe after Flush or Close (quiescence).
+func (c *ParallelController) Sharded() *core.ShardedEngine { return c.se }
+
+// Request decides one flow synchronously: it is submitted, decided on
+// its closure's mailbox, and waited for. Identical decisions and error
+// returns to ShardedController.Request.
+func (c *ParallelController) Request(fs *network.FlowSpec) (Decision, error) {
+	t := c.submit([]*network.FlowSpec{fs}, true)
+	ds, err := t.Wait()
+	if err != nil {
+		return Decision{}, err
+	}
+	return ds[0], nil
+}
+
+// RequestAll processes the requests in order, stopping at the first
+// malformed request, exactly like ShardedController.RequestAll.
+func (c *ParallelController) RequestAll(specs []*network.FlowSpec) ([]Decision, error) {
+	out := make([]Decision, 0, len(specs))
+	for _, fs := range specs {
+		d, err := c.Request(fs)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// RequestBatch decides a batch and waits for it: SubmitBatch + Wait.
+// Decisions equal ShardedController.RequestBatch's.
+func (c *ParallelController) RequestBatch(specs []*network.FlowSpec) ([]Decision, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	t, err := c.SubmitBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait()
+}
+
+// SubmitBatch validates the batch (a malformed spec fails it with no
+// decisions, like every batch entry point) and dispatches its
+// interference groups to their shards without waiting: the pipelining
+// entry point. Groups of this batch that land on idle shards start
+// immediately, even while earlier batches' groups — e.g. an eviction
+// bisection in a contended closure — are still running; groups sharing
+// a shard with earlier work queue behind it in submission order. The
+// slice and the specs it holds must stay unmodified until Wait
+// returns; the backing array may be reused afterwards.
+func (c *ParallelController) SubmitBatch(specs []*network.FlowSpec) (*PendingBatch, error) {
+	if len(specs) == 0 {
+		return &PendingBatch{folded: true}, nil
+	}
+	if err := c.se.ValidateSpecs(specs); err != nil {
+		return nil, err
+	}
+	return c.submit(specs, false), nil
+}
+
+// submit creates the ticket and hands the specs to the scheduler. The
+// ticket enters the fold queue before dispatch, so completions —
+// however fast — find it; prepare runs under the dispatch lock before
+// any group can complete, so remaining is set first.
+func (c *ParallelController) submit(specs []*network.FlowSpec, single bool) *PendingBatch {
+	t := &PendingBatch{
+		c:         c,
+		specs:     specs,
+		out:       make([]Decision, len(specs)),
+		decided:   make([]bool, len(specs)),
+		remaining: -1,
+		single:    single,
+	}
+	c.mu.Lock()
+	c.tickets = append(c.tickets, t)
+	c.mu.Unlock()
+	c.sched.Submit(specs,
+		func(groups [][]int) { t.remaining = len(groups) },
+		func(members []int, eng *core.Engine, derr error) []bool {
+			return c.runGroup(t, members, eng, derr)
+		})
+	return t
+}
+
+// runGroup decides one interference group on its shard's mailbox
+// goroutine: the standard serial protocol (Controller.Request or
+// .RequestBatch scoped to the shard engine), with the decisions'
+// analysis views materialized here — views are engine state and must
+// not escape the goroutine that owns the engine — and the ticket
+// updated under the controller lock.
+func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.Engine, derr error) []bool {
+	var ds []Decision
+	err := derr
+	if err == nil {
+		tmp := &Controller{eng: eng}
+		if t.single {
+			d, rerr := tmp.Request(t.specs[members[0]])
+			if rerr != nil {
+				err = rerr
+			} else {
+				ds = []Decision{d}
+			}
+		} else {
+			gspecs := make([]*network.FlowSpec, len(members))
+			for at, i := range members {
+				gspecs[at] = t.specs[i]
+			}
+			ds, err = tmp.RequestBatch(gspecs)
+		}
+	}
+	// Detach the analyses: one materialization per distinct view (an
+	// admitted group shares one), closed right after so nothing stays
+	// pinned on the shard engine.
+	mats := make(map[*core.ResultView]*core.Result)
+	for i := range ds {
+		v := ds[i].View
+		if v == nil {
+			continue
+		}
+		r, ok := mats[v]
+		if !ok {
+			r = v.Materialize()
+			mats[v] = r
+			v.Close()
+		}
+		ds[i].Result = r
+		ds[i].View = nil
+	}
+	flags := make([]bool, len(members))
+	c.mu.Lock()
+	for at := range members {
+		if at < len(ds) {
+			t.out[members[at]] = ds[at]
+			t.decided[members[at]] = true
+			flags[at] = ds[at].Admitted
+		}
+	}
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+	t.remaining--
+	if t.remaining == 0 {
+		c.foldLocked()
+	}
+	c.mu.Unlock()
+	return flags
+}
+
+// foldLocked folds completed head tickets into the decision log and
+// residents list, preserving submission order: a completed ticket
+// behind an unfinished one waits its turn.
+func (c *ParallelController) foldLocked() {
+	for len(c.tickets) > 0 {
+		t := c.tickets[0]
+		if t.remaining != 0 {
+			break
+		}
+		for i := range t.out {
+			if !t.decided[i] {
+				continue // a group that errored decided nothing
+			}
+			c.decisions = append(c.decisions, t.out[i])
+			if t.out[i].Admitted {
+				c.residents = append(c.residents, t.specs[i])
+			}
+		}
+		t.folded = true
+		c.tickets = c.tickets[1:]
+	}
+	c.cond.Broadcast()
+}
+
+// Wait blocks until the submission (and every submission before it) has
+// folded, then returns its decisions in request order — or the first
+// group error, with decided groups recorded in the controller exactly
+// like ShardedController.RequestBatch's error contract.
+func (t *PendingBatch) Wait() ([]Decision, error) {
+	if t.c == nil { // empty submission
+		return nil, nil
+	}
+	c := t.c
+	c.mu.Lock()
+	for !t.folded {
+		c.cond.Wait()
+	}
+	err := t.err
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return t.out, nil
+}
+
+// Release removes the first admitted flow with the given name in global
+// admission order, exactly like the serial controllers. It waits for
+// in-flight submissions to fold (so the admission order is complete),
+// then dispatches the departure asynchronously to the flow's shard —
+// departures on distinct shards overlap with each other and with later
+// admissions. It reports whether a resident flow was claimed; removal
+// errors surface at the next Flush.
+func (c *ParallelController) Release(name string) (bool, error) {
+	c.mu.Lock()
+	for len(c.tickets) > 0 {
+		c.cond.Wait()
+	}
+	at := -1
+	for k, fs := range c.residents {
+		if fs.Flow.Name == name {
+			at = k
+			break
+		}
+	}
+	if at < 0 {
+		c.mu.Unlock()
+		return false, nil
+	}
+	fs := c.residents[at]
+	c.residents = append(c.residents[:at], c.residents[at+1:]...)
+	c.released++
+	c.mu.Unlock()
+	if !c.sched.Remove(fs) {
+		return false, fmt.Errorf("admission: resident flow %q missing from every shard", name)
+	}
+	return true, nil
+}
+
+// Flush waits for every pending decision and departure to complete,
+// re-splits shards whose flows no longer form one closure, and returns
+// the first asynchronous error since the last Flush.
+func (c *ParallelController) Flush() error { return c.sched.Flush() }
+
+// Close flushes and shuts down the shard mailboxes; the controller must
+// not be used afterwards (the final counters remain readable).
+func (c *ParallelController) Close() error { return c.sched.Close() }
+
+// Decisions returns the folded decisions in submission order. Decisions
+// of submissions still in flight are not yet included; Flush first for
+// a complete log.
+func (c *ParallelController) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decisions
+}
+
+// Admitted returns the number of admitted flows among the folded
+// decisions.
+func (c *ParallelController) Admitted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.decisions {
+		if d.Admitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Rejected returns the number of rejected requests among the folded
+// decisions.
+func (c *ParallelController) Rejected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.decisions {
+		if !d.Admitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Released returns the number of departures dispatched by Release.
+func (c *ParallelController) Released() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.released
+}
+
+// NumFlows waits for in-flight work and returns the number of admitted
+// flows across all shards.
+func (c *ParallelController) NumFlows() int { return c.sched.NumFlows() }
+
+// NumShards waits for in-flight work and returns the number of live
+// shards. Until a Flush re-splits, the partition can be coarser than
+// the serial controller's (fusions performed for later-rejected
+// bridging requests are undone lazily).
+func (c *ParallelController) NumShards() int { return c.sched.NumShards() }

@@ -1,0 +1,359 @@
+package admission
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// stressSpec builds one request for the fusion stress test: mostly
+// local traffic under one ring switch, every third request bridging the
+// backbone to a far switch (forcing closure fusion), every fifth a
+// deliberately heavy CBR flow (forcing rejections, and therefore
+// fused-rejection re-splits).
+func stressSpec(t *testing.T, topo *network.Topology, hosts []network.NodeID, hostsPer, switches, g, phase, k int) *network.FlowSpec {
+	t.Helper()
+	name := fmt.Sprintf("p%dg%df%d", phase, g, k)
+	src := hosts[(g%switches)*hostsPer+k%hostsPer]
+	dstSwitch := g % switches
+	if k%3 == 2 {
+		dstSwitch = (g + switches/2) % switches // cross the backbone: fuse
+	}
+	dst := hosts[dstSwitch*hostsPer+(k+1)%hostsPer]
+	if src == dst {
+		dst = hosts[dstSwitch*hostsPer+(k+2)%hostsPer]
+	}
+	route, err := topo.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs *network.FlowSpec
+	if k%5 == 4 {
+		// ~53 Mbit/s: a handful of these overload a 100 Mbit/s host link.
+		fs = &network.FlowSpec{
+			Flow: trace.CBRVideo(name, 200000, 30*units.Millisecond, 250*units.Millisecond),
+		}
+	} else {
+		fs = &network.FlowSpec{
+			Flow: trace.VoIP(name, trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+			RTP:  true,
+		}
+	}
+	fs.Route = route
+	fs.Priority = network.Priority(1 + k%3)
+	return fs
+}
+
+// checkParallelPartition asserts, at quiescence, that the shards
+// partition exactly the controller's resident flows: every resident in
+// exactly one shard, no strays.
+func checkParallelPartition(t *testing.T, ctl *ParallelController) {
+	t.Helper()
+	ctl.mu.Lock()
+	want := make(map[string]int)
+	for _, fs := range ctl.residents {
+		want[fs.Flow.Name]++
+	}
+	ctl.mu.Unlock()
+	got := make(map[string]int)
+	for _, eng := range ctl.se.Shards() {
+		nw := eng.Network()
+		for i := 0; i < nw.NumFlows(); i++ {
+			got[nw.Flow(i).Flow.Name]++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("partition holds %d distinct flows, residents list %d", len(got), len(want))
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Fatalf("flow %q: %d copies across shards, want %d", name, got[name], n)
+		}
+	}
+}
+
+// TestParallelFusionStress is the correctness gate for fusion as
+// ownership transfer: concurrent submitters whose pipelines repeatedly
+// bridge closures (fusing shards mid-flight), heavy flows forcing
+// rejections and deferred re-splits, concurrent departures, and
+// pipelined batches — hammered through the scheduler, then checked
+// against a from-scratch cold analysis of whatever was admitted. Run
+// under -race (the CI race job picks it up) this pins that no engine
+// state is ever touched by two goroutines at once.
+func TestParallelFusionStress(t *testing.T) {
+	const (
+		switches = 8
+		hostsPer = 4
+		workers  = 4
+		gors     = 6
+		phases   = 3
+		perPhase = 8
+	)
+	topo, hosts, err := network.Ring(switches, hostsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewParallelController(network.New(topo), core.Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for phase := 0; phase < phases; phase++ {
+		var wg sync.WaitGroup
+		for g := 0; g < gors; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var batch []*network.FlowSpec
+				for k := 0; k < perPhase; k++ {
+					fs := stressSpec(t, topo, hosts, hostsPer, switches, g, phase, k)
+					if k%2 == 0 {
+						// Pipelined two-spec batches, never waited for:
+						// later submissions overlap their decisions.
+						batch = append(batch, fs)
+						if len(batch) == 2 {
+							if _, err := ctl.SubmitBatch(batch); err != nil {
+								t.Error(err)
+								return
+							}
+							batch = nil
+						}
+					} else if _, err := ctl.Request(fs); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if len(batch) > 0 {
+					if _, err := ctl.SubmitBatch(batch); err != nil {
+						t.Error(err)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+
+		// Concurrent departures: each goroutine releases a slice of this
+		// phase's admitted flows while the others do the same.
+		ctl.mu.Lock()
+		for len(ctl.tickets) > 0 {
+			ctl.cond.Wait()
+		}
+		var names []string
+		for _, fs := range ctl.residents {
+			names = append(names, fs.Flow.Name)
+		}
+		ctl.mu.Unlock()
+		var rg sync.WaitGroup
+		for g := 0; g < gors; g++ {
+			rg.Add(1)
+			go func(g int) {
+				defer rg.Done()
+				for i := g; i < len(names); i += gors {
+					if i%3 != 0 {
+						continue
+					}
+					if _, err := ctl.Release(names[i]); err != nil {
+						t.Error(err)
+					}
+				}
+			}(g)
+		}
+		rg.Wait()
+		if err := ctl.Flush(); err != nil {
+			t.Fatalf("phase %d flush: %v", phase, err)
+		}
+		ctl.mu.Lock()
+		wantFlows := len(ctl.residents)
+		ctl.mu.Unlock()
+		if got := ctl.NumFlows(); got != wantFlows {
+			t.Fatalf("phase %d: %d flows across shards, residents list %d", phase, got, wantFlows)
+		}
+		checkParallelPartition(t, ctl)
+	}
+
+	if err := ctl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Admitted()+ctl.Rejected() != len(ctl.Decisions()) {
+		t.Fatalf("counters disagree: %d + %d != %d decisions",
+			ctl.Admitted(), ctl.Rejected(), len(ctl.Decisions()))
+	}
+
+	// The admitted set must be schedulable and every shard's bounds must
+	// equal a from-scratch cold analysis of exactly that set.
+	ref := network.New(topo)
+	for _, fs := range ctl.residents {
+		if _, err := ref.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := core.NewAnalyzer(ref, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Schedulable() {
+		t.Fatal("admitted set is not schedulable")
+	}
+	checkEngineBounds(t, ctl.Sharded(), want)
+}
+
+// TestParallelMatchesShardedSerially pins the serial-client contract:
+// one goroutine issuing the same randomized Request/Release stream to
+// the parallel and the serial sharded controller gets byte-identical
+// decisions and identical final bounds.
+func TestParallelMatchesShardedSerially(t *testing.T) {
+	topo, hosts, err := network.Ring(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	specs := batchSpecs(t, r, topo, hosts, 24, "pm-")
+	parCtl, err := NewParallelController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCtl, err := NewShardedController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fs := range specs {
+		pd, err := parCtl.Request(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := *fs
+		sd, err := shardCtl.Request(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pd.Admitted != sd.Admitted {
+			t.Fatalf("spec %d (%s): parallel=%v sharded=%v", i, fs.Flow.Name, pd.Admitted, sd.Admitted)
+		}
+		if pd.Admitted && i%4 == 0 {
+			pok, err := parCtl.Release(fs.Flow.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sok, err := shardCtl.Release(fs.Flow.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pok != sok {
+				t.Fatalf("release %q: parallel=%v sharded=%v", fs.Flow.Name, pok, sok)
+			}
+		}
+	}
+	if err := parCtl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if parCtl.NumFlows() != shardCtl.NumFlows() {
+		t.Fatalf("final flows: parallel=%d sharded=%d", parCtl.NumFlows(), shardCtl.NumFlows())
+	}
+	if parCtl.Released() != shardCtl.Released() {
+		t.Fatalf("released: parallel=%d sharded=%d", parCtl.Released(), shardCtl.Released())
+	}
+	results, err := shardCtl.Sharded().AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &core.Result{Converged: true}
+	for _, res := range results {
+		want.Flows = append(want.Flows, res.Flows...)
+	}
+	checkEngineBounds(t, parCtl.Sharded(), want)
+}
+
+// TestParallelErrorContract pins malformed-input behavior: a bad batch
+// fails synchronously with no decisions recorded, a bad single request
+// surfaces its error through Wait, and the controller keeps working
+// afterwards.
+func TestParallelErrorContract(t *testing.T) {
+	topo, hosts, err := network.Ring(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewParallelController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	bad := &network.FlowSpec{
+		Flow:  trace.VoIP("bad", trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+		Route: []network.NodeID{"nope1", "nope2"},
+	}
+	if _, err := ctl.RequestBatch([]*network.FlowSpec{bad}); err == nil {
+		t.Fatal("batch with malformed spec: want validation error")
+	}
+	if n := len(ctl.Decisions()); n != 0 {
+		t.Fatalf("failed batch recorded %d decisions", n)
+	}
+	if _, err := ctl.Request(bad); err == nil {
+		t.Fatal("malformed single request: want error")
+	}
+
+	route, err := topo.Route(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &network.FlowSpec{
+		Flow:     trace.VoIP("good", trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+		Route:    route,
+		RTP:      true,
+		Priority: 2,
+	}
+	d, err := ctl.Request(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Admitted {
+		t.Fatal("feasible flow rejected after error")
+	}
+	if err := ctl.Flush(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if ctl.NumFlows() != 1 {
+		t.Fatalf("NumFlows = %d, want 1", ctl.NumFlows())
+	}
+}
+
+// TestParallelEmptyBatch pins the trivial edges: empty submissions
+// decide nothing and Wait returns immediately.
+func TestParallelEmptyBatch(t *testing.T) {
+	topo, _, err := network.Ring(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewParallelController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ds, err := ctl.RequestBatch(nil)
+	if err != nil || ds != nil {
+		t.Fatalf("empty RequestBatch = (%v, %v), want (nil, nil)", ds, err)
+	}
+	pb, err := ctl.SubmitBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds, err := pb.Wait(); err != nil || ds != nil {
+		t.Fatalf("empty SubmitBatch Wait = (%v, %v), want (nil, nil)", ds, err)
+	}
+	if ok, err := ctl.Release("ghost"); ok || err != nil {
+		t.Fatalf("Release(ghost) = (%v, %v), want (false, nil)", ok, err)
+	}
+}

@@ -159,7 +159,7 @@ func (c *ShardedController) RequestBatch(specs []*network.FlowSpec) ([]Decision,
 			groupSpecs[gi][at] = specs[i]
 		}
 	}
-	core.RunLimited(len(groups), func(gi int) {
+	core.RunLimitedWorkers(len(groups), c.se.PoolWorkers(), func(gi int) {
 		results[gi].ds, results[gi].err = (&Controller{eng: groups[gi].Engine()}).RequestBatch(groupSpecs[gi])
 	})
 	var firstErr error

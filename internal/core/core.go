@@ -37,6 +37,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"gmfnet/internal/network"
 	"gmfnet/internal/units"
@@ -82,12 +83,35 @@ type Config struct {
 	// MaxHolisticIter caps the outer holistic jitter iteration of
 	// Section 3.5. Zero selects 256.
 	MaxHolisticIter int
-	// Workers sets the engine's parallel delta worklist: when > 1, delta
-	// iterations whose worklist is large enough run as Jacobi-style
-	// rounds across that many goroutines instead of the sequential
-	// Gauss-Seidel sweep; both reach the same least fixpoint. Zero or
-	// one keeps the iteration sequential; negative selects GOMAXPROCS.
+	// Workers is the one parallelism knob of the analysis layer. It
+	// bounds every fan-out that Config reaches: the size of the shard
+	// scheduler's worker pool, the per-shard fan-out of AnalyzeAll and
+	// the sharded batch groups (all via PoolWorkers), and the engine's
+	// parallel delta worklist — when > 1, delta iterations whose
+	// worklist is large enough run as Jacobi-style rounds across that
+	// many goroutines instead of the sequential Gauss-Seidel sweep;
+	// both reach the same least fixpoint. Zero or one keeps the
+	// engine iteration sequential; negative selects GOMAXPROCS.
+	//
+	// The two levels do not stack: a ShardedEngine hands each shard a
+	// sequential engine (shard-level concurrency already uses the
+	// budget), so delta-worklist parallelism applies to monolithic
+	// engines only and shard and worklist fan-out never oversubscribe
+	// each other.
 	Workers int
+}
+
+// PoolWorkers resolves Workers to a worker-pool size for shard-level
+// fan-out (the scheduler's pool, AnalyzeAll, sharded batch groups):
+// a positive value is taken literally, zero and negative select
+// GOMAXPROCS. Contrast the engine-internal worklist, where zero means
+// sequential — shard-level concurrency is on by default, worklist
+// parallelism is opt-in.
+func (c Config) PoolWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) withDefaults() Config {

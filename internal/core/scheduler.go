@@ -1,0 +1,618 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gmfnet/internal/network"
+)
+
+// Scheduler runs a ShardedEngine across cores: every shard gets a
+// serial mailbox that owns the shard's Engine, so decisions within one
+// interference closure stay strictly ordered while distinct closures
+// proceed concurrently on a pool of Config.PoolWorkers persistent
+// worker goroutines. A dispatcher routes work — admission groups and
+// departures — to shards by resource keys under one mutex; the engines
+// themselves are only ever touched by one task at a time (the mailbox
+// hands each body to a pool worker and waits for it before popping the
+// next), so no analysis state is shared between threads. Bodies run on
+// the long-lived workers rather than the per-shard goroutines so the
+// deep analysis recursion grows a stack once per worker, not once per
+// shard — shard churn stays cheap.
+//
+// Fusion is handled as ownership transfer. When a group's pipeline
+// bridges several shards, the dispatcher immediately re-routes the
+// victims' resources to the survivor (pure bookkeeping — fuseRoutes),
+// so later dispatches land on the survivor's mailbox and stay ordered
+// behind the fusing group. Each victim's queue then drains: a sentinel
+// task on the victim's mailbox marks the moment its engine goes
+// quiescent, and the survivor's task waits for every victim's sentinel
+// before splicing their arenas in (adoptFrom) and deciding the group.
+// Only that wait blocks a mailbox, and it happens before the task's
+// body is handed to the pool, so the pool cannot deadlock: workers only
+// ever run non-blocking engine work.
+//
+// Routing is eager: a group's pipeline resources are owned by its shard
+// from dispatch time, and the keys of members that end up rejected are
+// disowned when the decision completes. Interleaved dispatches may
+// therefore land on a shard that still holds rejected-pending or
+// recently-departed routes — decisions are unaffected (see the
+// dispatch-equivalence note on Submit), the partition is merely
+// coarser until the next Flush re-splits it.
+//
+// Re-splitting is deferred to quiescence: fused-then-rejected groups
+// and departures mark the partition dirty, and Flush — once every
+// in-flight task has completed — runs Resplit and rebuilds the
+// dispatcher's indexes. Running it eagerly would have to stop the world
+// anyway (Resplit walks every shard), so batching it at the flush
+// boundary costs nothing and keeps the hot path wait-free.
+//
+// A Scheduler is safe for concurrent use by multiple dispatching
+// goroutines. Close shuts the mailboxes down; the wrapped ShardedEngine
+// is consistent and single-thread usable afterwards.
+type Scheduler struct {
+	se   *ShardedEngine
+	work chan poolItem  // task bodies, executed by the worker pool
+	pool sync.WaitGroup // worker goroutines
+
+	wg sync.WaitGroup // live mailbox goroutines
+
+	mu    sync.Mutex // guards everything below AND all ShardedEngine maps
+	quiet *sync.Cond // signalled when inflight drops to zero
+
+	inflight  int
+	boxes     map[*shard]*mailbox
+	specShard map[*network.FlowSpec]*shard // committed flow -> owning shard
+	forward   map[*shard]*shard            // fused victim -> survivor
+	flowCount map[*shard]int               // committed flows per shard (dispatcher's view)
+
+	needResplit bool
+	err         error // first asynchronous failure; surfaced by Flush
+	closed      bool
+}
+
+// GroupRun decides one dispatched interference group on a pool worker,
+// serialised by the shard's mailbox. members indexes the submitted
+// batch; eng is the shard engine (owned by the calling goroutine for
+// the duration — no other task can touch it). A non-nil dispatchErr means the group could
+// not be placed or fused (eng is then unusable for it); the callback
+// must not decide anything and should record the error. The returned
+// flags, aligned with members, report which members were admitted —
+// the scheduler keeps their resource routes and releases the rest.
+// State read through eng (including ResultViews) must not escape the
+// callback: materialize anything the caller needs.
+type GroupRun func(members []int, eng *Engine, dispatchErr error) []bool
+
+// NewScheduler wraps the engine. The engine must not be used directly
+// (other than read-only topology access) until Close returns; flows
+// already present stay owned by their shards and are indexed for
+// Remove.
+func NewScheduler(se *ShardedEngine) *Scheduler {
+	s := &Scheduler{
+		se:        se,
+		work:      make(chan poolItem),
+		boxes:     make(map[*shard]*mailbox),
+		specShard: make(map[*network.FlowSpec]*shard),
+		forward:   make(map[*shard]*shard),
+		flowCount: make(map[*shard]int),
+	}
+	s.quiet = sync.NewCond(&s.mu)
+	workers := se.cfg.PoolWorkers()
+	s.pool.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer s.pool.Done()
+			for it := range s.work {
+				it.body(it.eng)
+				it.done <- struct{}{}
+			}
+		}()
+	}
+	for _, sh := range se.shards {
+		nw := sh.eng.Network()
+		s.flowCount[sh] = nw.NumFlows()
+		for i := 0; i < nw.NumFlows(); i++ {
+			s.specShard[nw.Flow(i)] = sh
+		}
+	}
+	return s
+}
+
+// Sharded exposes the wrapped engine. Safe uses while the scheduler is
+// live: topology reads and ValidateSpecs (both touch only the shared
+// read-only topology). Anything else requires quiescence.
+func (s *Scheduler) Sharded() *ShardedEngine { return s.se }
+
+// Submit partitions the specs into interference groups (exactly
+// PlaceBatch's partition: specs sharing a resource directly, through a
+// chain of batch specs, or through a common shard) and dispatches each
+// group to its closure's mailbox, fusing shards as needed. prepare, if
+// non-nil, is called with the group index lists under the dispatch lock
+// before any group can start — use it to record how many completions to
+// expect. run is then invoked once per group on its shard's goroutine;
+// distinct groups run concurrently, groups on one shard in dispatch
+// order.
+//
+// Dispatch equivalence: because routing is eager, a submission may see
+// routes of not-yet-decided or just-rejected members of earlier
+// submissions and land in a coarser group (or fused shard) than a
+// serial run would use. Decisions are identical regardless: a shard
+// holding several disjoint closures decides a request exactly as the
+// split shards would (residual residents are schedulable — admission
+// only ever admits schedulable sets and removal shrinks interference —
+// so the verdict reduces to the request's own closure), and a
+// monolithic decision over resource-disjoint groups equals the per-
+// group decisions. Both properties are the ones the sharded-vs-
+// monolithic differential tests pin.
+func (s *Scheduler) Submit(specs []*network.FlowSpec, prepare func(groups [][]int), run GroupRun) {
+	// The commit half of a group outlives the caller's Wait (the
+	// decision callback fires first), so the slice is copied here:
+	// callers may reuse their backing array as soon as their own
+	// completion signal fires. The specs themselves must stay
+	// unmodified until their decisions complete.
+	specs = append([]*network.FlowSpec(nil), specs...)
+	keys := make([][]Resource, len(specs))
+	for i := range specs {
+		keys[i] = specKeys(specs[i])
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic("core: Submit on a closed Scheduler")
+	}
+	groups := s.se.groupByKeys(keys)
+	if prepare != nil {
+		prepare(groups)
+	}
+	for _, idx := range groups {
+		s.dispatchGroupLocked(specs, keys, idx, run)
+	}
+}
+
+// dispatchGroupLocked routes one group: resolve the target shard
+// (fresh, unique, or fused survivor), transfer victim ownership, own
+// the group's keys eagerly, and enqueue the decision task.
+func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Resource, idx []int, run GroupRun) {
+	total := 0
+	for _, i := range idx {
+		total += len(keys[i])
+	}
+	gkeys := make([]Resource, 0, total)
+	for _, i := range idx {
+		gkeys = append(gkeys, keys[i]...)
+	}
+	touched := s.se.touching(gkeys)
+	var target *shard
+	var victims []*shard
+	if len(touched) == 0 {
+		t, err := s.se.newShard()
+		if err != nil {
+			// Unreachable for a validated topology; account the group
+			// synchronously so the caller's completion count stays exact.
+			s.setErrLocked(err)
+			run(idx, nil, err)
+			return
+		}
+		target = t
+		s.flowCount[target] = 0
+	} else {
+		target = fusionSurvivor(touched, func(sh *shard) int { return s.flowCount[sh] })
+		for _, sh := range touched {
+			if sh != target {
+				victims = append(victims, sh)
+			}
+		}
+	}
+
+	// Ownership transfer, bookkeeping half: re-route the victims' keys
+	// to the survivor NOW, so every later dispatch for those resources
+	// queues behind this group on the survivor's mailbox.
+	var handoff *sync.WaitGroup
+	victimEngines := make([]*Engine, 0, len(victims))
+	if len(victims) > 0 {
+		handoff = new(sync.WaitGroup)
+		handoff.Add(len(victims))
+		for _, v := range victims {
+			s.se.fuseRoutes(target, v)
+			s.forward[v] = target
+			s.flowCount[target] += s.flowCount[v]
+			delete(s.flowCount, v)
+			victimEngines = append(victimEngines, v.eng)
+			vb := s.boxes[v]
+			delete(s.boxes, v)
+			if vb == nil {
+				// The victim never ran a task; its engine is quiescent
+				// and the enqueue below publishes it to the survivor.
+				handoff.Done()
+				continue
+			}
+			// Sentinel: fires once every task queued before the fusion
+			// has finished, then retires the mailbox. Runs as a pre on
+			// the victim's own goroutine — never on a pool worker — so
+			// it cannot deadlock the pool.
+			s.inflight++
+			vb.enqueue(schedTask{pre: func() {
+				s.mu.Lock()
+				s.taskDoneLocked()
+				s.mu.Unlock()
+				handoff.Done()
+				vb.close()
+			}})
+		}
+	}
+
+	// Eager routing of the group itself; rejected members are disowned
+	// at completion, so the net effect equals the serial Commit.
+	for _, i := range idx {
+		s.se.own(target, keys[i])
+	}
+
+	s.inflight++
+	task := schedTask{
+		body: func(eng *Engine) {
+			var err error
+			for _, ve := range victimEngines {
+				if aerr := eng.adoptFrom(ve); aerr != nil {
+					err = fmt.Errorf("core: shard fusion: %w", aerr)
+					break
+				}
+			}
+			flags := run(idx, eng, err)
+			s.completeGroup(target, specs, keys, idx, flags, len(victims), err)
+		},
+	}
+	if handoff != nil {
+		task.pre = handoff.Wait
+	}
+	s.boxLocked(target).enqueue(task)
+}
+
+// completeGroup is the commit half of a dispatched group, still on the
+// group's pool worker: admitted members' specs are indexed,
+// rejected members' routes released, and a fused-but-rejected group
+// marks the partition for re-splitting at the next Flush. The target is
+// re-resolved through the fusion forwards: a later dispatch may have
+// fused this shard into a survivor while the group was queued, moving
+// its routes and counts there — the commit must land on the survivor.
+func (s *Scheduler) completeGroup(target *shard, specs []*network.FlowSpec, keys [][]Resource, idx []int, flags []bool, fused int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target = s.resolveLocked(target)
+	anyRejected := err != nil
+	for at, i := range idx {
+		if flags != nil && flags[at] {
+			s.specShard[specs[i]] = target
+			s.flowCount[target]++
+		} else {
+			anyRejected = true
+			s.se.disown(target, keys[i])
+		}
+	}
+	if err != nil {
+		s.setErrLocked(err)
+	}
+	if fused > 0 && anyRejected {
+		s.needResplit = true
+	}
+	s.maybeDropLocked(target)
+	s.taskDoneLocked()
+}
+
+// Remove dispatches an asynchronous departure of the exact spec to its
+// owning shard's mailbox (following fusion forwards), where the flow is
+// removed, its shard re-converged, and its resource routes released.
+// It reports whether the spec was a tracked resident; the removal
+// itself completes later — removal errors surface through Flush.
+// Departures on distinct shards run concurrently; a departure and the
+// admissions around it on one shard stay in dispatch order.
+func (s *Scheduler) Remove(fs *network.FlowSpec) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic("core: Remove on a closed Scheduler")
+	}
+	sh, ok := s.specShard[fs]
+	if !ok {
+		return false
+	}
+	sh = s.resolveLocked(sh)
+	delete(s.specShard, fs) // claimed: a concurrent Remove of the same spec misses
+	s.inflight++
+	s.boxLocked(sh).enqueue(schedTask{body: func(eng *Engine) {
+		nw := eng.Network()
+		at := -1
+		for i := 0; i < nw.NumFlows(); i++ {
+			if nw.Flow(i) == fs {
+				at = i
+				break
+			}
+		}
+		var err error
+		var keys []Resource
+		if at < 0 {
+			err = fmt.Errorf("core: scheduler: tracked flow %q missing from its shard", fs.Flow.Name)
+		} else {
+			keys = specKeys(nw.Flow(at))
+			if err = eng.RemoveFlow(at); err == nil {
+				// Removal only shrinks interference; Refresh re-converges
+				// the survivors without publishing a result.
+				err = eng.Refresh()
+			}
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// The shard may have been fused into a survivor while this
+		// departure was queued; its routes and counts live there now.
+		cur := s.resolveLocked(sh)
+		if err != nil {
+			s.setErrLocked(err)
+		} else {
+			s.se.disown(cur, keys)
+			s.flowCount[cur]--
+			s.needResplit = true // a departure can split the closure
+		}
+		s.maybeDropLocked(cur)
+		s.taskDoneLocked()
+	}})
+	return true
+}
+
+// resolveLocked follows fusion forwards to the shard that currently
+// owns a fused-away shard's flows and routes.
+func (s *Scheduler) resolveLocked(sh *shard) *shard {
+	for {
+		nxt, ok := s.forward[sh]
+		if !ok {
+			return sh
+		}
+		sh = nxt
+	}
+}
+
+// Quiesce blocks until every dispatched task has completed. The shard
+// engines are then untouched until the next Submit/Remove, so reads
+// through Sharded are safe while the caller prevents new dispatches.
+func (s *Scheduler) Quiesce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quiesceLocked()
+}
+
+func (s *Scheduler) quiesceLocked() {
+	for s.inflight > 0 {
+		s.quiet.Wait()
+	}
+}
+
+// Flush quiesces, re-splits the partition if any fused-rejected group
+// or departure dirtied it, rebuilds the dispatcher's indexes, and
+// returns (and clears) the first asynchronous error since the last
+// Flush — fusion splice, removal, or re-split failures. The re-split
+// is deferred here deliberately: it is decision-neutral (a fused shard
+// decides exactly as its split closures would) and needs the world
+// stopped anyway.
+func (s *Scheduler) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quiesceLocked()
+	if s.needResplit {
+		s.needResplit = false
+		if _, err := s.se.Resplit(); err != nil {
+			s.setErrLocked(err)
+		}
+		s.rebuildLocked()
+	}
+	err := s.err
+	s.err = nil
+	return err
+}
+
+// rebuildLocked re-indexes the dispatcher after a re-split: shards were
+// replaced wholesale, so specShard/flowCount are rebuilt from the live
+// partition, fusion forwards are obsolete, and mailboxes of retired
+// shards are closed. Requires quiescence (held via s.mu by the caller).
+func (s *Scheduler) rebuildLocked() {
+	live := make(map[*shard]bool, len(s.se.shards))
+	for _, sh := range s.se.shards {
+		live[sh] = true
+	}
+	for sh, mb := range s.boxes {
+		if !live[sh] {
+			mb.close()
+			delete(s.boxes, sh)
+		}
+	}
+	s.forward = make(map[*shard]*shard)
+	s.specShard = make(map[*network.FlowSpec]*shard)
+	s.flowCount = make(map[*shard]int)
+	for _, sh := range s.se.shards {
+		nw := sh.eng.Network()
+		s.flowCount[sh] = nw.NumFlows()
+		for i := 0; i < nw.NumFlows(); i++ {
+			s.specShard[nw.Flow(i)] = sh
+		}
+	}
+}
+
+// NumFlows quiesces and returns the committed flow count across shards.
+func (s *Scheduler) NumFlows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quiesceLocked()
+	return s.se.NumFlows()
+}
+
+// NumShards quiesces and returns the number of live shards.
+func (s *Scheduler) NumShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quiesceLocked()
+	return s.se.NumShards()
+}
+
+// Close flushes, retires every mailbox and waits for their goroutines
+// to exit, returning Flush's error. The wrapped ShardedEngine is
+// consistent afterwards and may be used directly (single-threaded);
+// the Scheduler itself must not be used again.
+func (s *Scheduler) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	first := !s.closed
+	if first {
+		s.closed = true
+		for sh, mb := range s.boxes {
+			mb.close()
+			delete(s.boxes, sh)
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if first {
+		close(s.work)
+	}
+	s.pool.Wait()
+	return err
+}
+
+// setErrLocked records the first asynchronous failure.
+func (s *Scheduler) setErrLocked(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// taskDoneLocked retires one in-flight task and wakes quiescence
+// waiters at zero.
+func (s *Scheduler) taskDoneLocked() {
+	s.inflight--
+	if s.inflight == 0 {
+		s.quiet.Broadcast()
+	}
+}
+
+// maybeDropLocked retires a shard that ended up empty (a fresh shard
+// whose only candidates were rejected, or one emptied by departures):
+// no committed flows, no owned routes, nothing queued. Only the shard's
+// own tasks call this (serialised by its mailbox), so the engine cannot
+// be mid-use elsewhere; enqueues happen under s.mu, so the emptiness
+// check cannot race a new dispatch.
+func (s *Scheduler) maybeDropLocked(sh *shard) {
+	if s.flowCount[sh] != 0 || len(sh.owned) != 0 {
+		return
+	}
+	mb := s.boxes[sh]
+	if mb != nil && !mb.drained() {
+		return
+	}
+	s.se.drop(sh)
+	delete(s.flowCount, sh)
+	if mb != nil {
+		mb.close()
+		delete(s.boxes, sh)
+	}
+}
+
+// boxLocked returns the shard's mailbox, starting its goroutine on
+// first use.
+func (s *Scheduler) boxLocked(sh *shard) *mailbox {
+	if mb, ok := s.boxes[sh]; ok {
+		return mb
+	}
+	mb := &mailbox{sched: s, sh: sh, done: make(chan struct{}, 1)}
+	mb.cond = sync.NewCond(&mb.mu)
+	s.boxes[sh] = mb
+	s.wg.Add(1)
+	go mb.loop()
+	return mb
+}
+
+// schedTask is one unit of mailbox work. pre runs first, on the
+// mailbox goroutine itself — it is the only part allowed to block
+// (fusion handoff waits). body is then handed to a pool worker, which
+// owns the shard's engine for the duration; it must not block on other
+// tasks.
+type schedTask struct {
+	pre  func()
+	body func(eng *Engine)
+}
+
+// poolItem is one body on the worker pool's queue: run it against the
+// shard engine, then signal the mailbox that is waiting on done.
+type poolItem struct {
+	body func(eng *Engine)
+	eng  *Engine
+	done chan<- struct{}
+}
+
+// mailbox serialises one shard's work: a goroutine pops tasks in FIFO
+// order, so everything touching the shard's engine is totally ordered.
+// The queue is unbounded — dispatch never blocks — and the run-loop
+// owns the engine outright between Submit boundaries.
+type mailbox struct {
+	sched *Scheduler
+	sh    *shard
+	done  chan struct{} // signalled by the pool worker after each body
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []schedTask
+	closed bool
+}
+
+func (m *mailbox) enqueue(t schedTask) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		panic("core: enqueue on a closed mailbox")
+	}
+	m.queue = append(m.queue, t)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// drained reports whether nothing is queued. The currently executing
+// task (if any) is not counted; callers that need full quiescence use
+// the scheduler's inflight counter.
+func (m *mailbox) drained() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue) == 0
+}
+
+// close retires the mailbox once the queue drains; idempotent.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// loop is the run-loop-owns-state actor: between one body's handoff to
+// the pool and its done signal, exactly one goroutine touches m.sh.eng,
+// which is what makes per-closure ordering and engine thread-safety
+// structural rather than locked. The loop itself never runs engine
+// work, so this goroutine's stack stays small no matter how deep the
+// analysis recursion goes.
+func (m *mailbox) loop() {
+	defer m.sched.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		t := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		if t.pre != nil {
+			t.pre()
+		}
+		if t.body != nil {
+			m.sched.work <- poolItem{body: t.body, eng: m.sh.eng, done: m.done}
+			<-m.done
+		}
+	}
+}

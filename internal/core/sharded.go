@@ -93,10 +93,24 @@ func NewShardedEngine(nw *network.Network, cfg Config) (*ShardedEngine, error) {
 	return se, nil
 }
 
+// shardEngineCfg is the config handed to per-shard engines: the
+// analysis knobs pass through, but Workers is clamped to 1 (sequential
+// delta worklists). Shard-level fan-out — AnalyzeAll, batch groups, the
+// scheduler's worker pool — already spends the Config.Workers budget,
+// so letting every shard also fan out its worklists would oversubscribe
+// the machine. Decisions are unaffected: the sequential and parallel
+// worklists reach the same least fixpoint. Closures are small by
+// construction anyway (a shard rarely reaches minParallelWorklist).
+func (se *ShardedEngine) shardEngineCfg() Config {
+	cfg := se.cfg
+	cfg.Workers = 1
+	return cfg
+}
+
 // newShard opens an empty shard. Its engine is converged trivially so
 // later fusions and splits can adopt warm blocks into it.
 func (se *ShardedEngine) newShard() (*shard, error) {
-	eng, err := NewEngine(network.New(se.topo), se.cfg)
+	eng, err := NewEngine(network.New(se.topo), se.shardEngineCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -314,12 +328,7 @@ func (se *ShardedEngine) PlaceBatch(specs []*network.FlowSpec) ([]*BatchPlacemen
 // oldest), splicing the others' converged arena blocks in, and returns
 // the survivor.
 func (se *ShardedEngine) fuse(list []*shard) (*shard, error) {
-	dst := list[0]
-	for _, s := range list[1:] {
-		if n, m := s.eng.Network().NumFlows(), dst.eng.Network().NumFlows(); n > m || (n == m && s.seq < dst.seq) {
-			dst = s
-		}
-	}
+	dst := fusionSurvivor(list, func(s *shard) int { return s.eng.Network().NumFlows() })
 	for _, s := range list {
 		if s == dst {
 			continue
@@ -327,14 +336,38 @@ func (se *ShardedEngine) fuse(list []*shard) (*shard, error) {
 		if err := dst.eng.adoptFrom(s.eng); err != nil {
 			return nil, fmt.Errorf("core: shard fusion: %w", err)
 		}
-		for k, n := range s.owned {
-			se.byRes[k] = dst
-			dst.owned[k] += n
-		}
-		s.owned = nil // already re-routed; keep drop from deleting them
-		se.drop(s)
+		se.fuseRoutes(dst, s)
 	}
 	return dst, nil
+}
+
+// fusionSurvivor picks the shard a fusion keeps: the one with the most
+// flows, ties to the oldest. flows abstracts the count so the scheduler
+// can use its own bookkeeping instead of reading engines that may be
+// mid-task on their mailboxes.
+func fusionSurvivor(list []*shard, flows func(*shard) int) *shard {
+	dst := list[0]
+	for _, s := range list[1:] {
+		if n, m := flows(s), flows(dst); n > m || (n == m && s.seq < dst.seq) {
+			dst = s
+		}
+	}
+	return dst
+}
+
+// fuseRoutes transfers victim's resource routes to dst and unregisters
+// victim — the pure bookkeeping half of a fusion, touching only the
+// shard map, never an engine. The arena splice (adoptFrom) is the
+// caller's job: fuse runs it inline; the scheduler defers it to dst's
+// mailbox so routing moves on immediately while the victim's queue
+// drains.
+func (se *ShardedEngine) fuseRoutes(dst, victim *shard) {
+	for k, n := range victim.owned {
+		se.byRes[k] = dst
+		dst.owned[k] += n
+	}
+	victim.owned = nil // already re-routed; keep drop from deleting them
+	se.drop(victim)
 }
 
 // Resplit re-partitions shards whose flows no longer form a single
@@ -368,7 +401,7 @@ func (se *ShardedEngine) Resplit() (int, error) {
 		detached := make([]*shard, 0, len(closures))
 		buildErr := func() error {
 			for _, members := range closures {
-				eng, err := NewEngine(network.New(se.topo), se.cfg)
+				eng, err := NewEngine(network.New(se.topo), se.shardEngineCfg())
 				if err != nil {
 					return err
 				}
@@ -570,11 +603,23 @@ func (se *ShardedEngine) groupByKeys(keys [][]Resource) [][]int {
 // flight, and returns when all have finished. It is the fan-out used
 // for independent per-shard work (AnalyzeAll, the sharded batch
 // groups): the tasks must touch disjoint state or only write to
-// distinct indices.
+// distinct indices. Callers holding a Config should use
+// RunLimitedWorkers with Config.PoolWorkers so every layer draws from
+// the same worker budget.
 func RunLimited(n int, f func(int)) {
-	workers := runtime.GOMAXPROCS(0)
+	RunLimitedWorkers(n, runtime.GOMAXPROCS(0), f)
+}
+
+// RunLimitedWorkers is RunLimited with an explicit worker cap — the
+// same knob the shard scheduler's pool is sized by (Config.Workers via
+// PoolWorkers), so delta-worklist and shard-level fan-out cannot
+// oversubscribe each other. workers < 1 is treated as 1.
+func RunLimitedWorkers(n, workers int, f func(int)) {
 	if workers > n {
 		workers = n
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -590,6 +635,10 @@ func RunLimited(n int, f func(int)) {
 	wg.Wait()
 }
 
+// PoolWorkers returns the shard-level worker budget of this engine's
+// Config (see Config.PoolWorkers).
+func (se *ShardedEngine) PoolWorkers() int { return se.cfg.PoolWorkers() }
+
 // AnalyzeAll converges every shard — concurrently, up to GOMAXPROCS
 // shards in flight — and returns the per-shard results in shard
 // (creation) order. Distinct shards share only the read-only topology,
@@ -600,7 +649,7 @@ func (se *ShardedEngine) AnalyzeAll() ([]*Result, error) {
 	out := make([]*Result, len(se.shards))
 	errs := make([]error, len(se.shards))
 	engines := se.Shards()
-	RunLimited(len(engines), func(i int) {
+	RunLimitedWorkers(len(engines), se.PoolWorkers(), func(i int) {
 		out[i], errs[i] = engines[i].Analyze()
 	})
 	for _, err := range errs {
@@ -621,7 +670,7 @@ func (se *ShardedEngine) AnalyzeAllViews() ([]*ResultView, error) {
 	out := make([]*ResultView, len(se.shards))
 	errs := make([]error, len(se.shards))
 	engines := se.Shards()
-	RunLimited(len(engines), func(i int) {
+	RunLimitedWorkers(len(engines), se.PoolWorkers(), func(i int) {
 		out[i], errs[i] = engines[i].AnalyzeView()
 	})
 	for _, err := range errs {

@@ -87,6 +87,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "stream/trace mode: parallel delta worklist workers (0/1 sequential, -1 GOMAXPROCS); with -parallel, the shard worker-pool size (0 GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "stream/trace mode: admit requests in batches of this size through RequestBatch")
 	record := fs.String("record", "", "stream mode: record the operation stream as a replayable trace file")
+	accel := fs.Bool("accel", false, "stream/trace mode: Anderson-accelerate the holistic fixpoint (identical decisions, fewer sweeps)")
+	stats := fs.Bool("stats", false, "stream/trace mode: report aggregated convergence statistics")
 	traceFile := fs.String("trace", "", "replay a recorded request trace deterministically")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -111,11 +113,13 @@ func run(args []string) error {
 		return err
 	}
 	err = func() error {
+		opts := runOpts{cold: *cold, shards: *shards, parallel: *parallel,
+			workers: *workers, batch: *batch, accel: *accel, stats: *stats}
 		if *traceFile != "" {
-			return runTrace(os.Stdout, *traceFile, *cold, *shards, *parallel, *workers, *batch)
+			return runTrace(os.Stdout, *traceFile, opts)
 		}
 		if *stream > 0 {
-			return runStream(*stream, *seed, *depart, *switches, *hosts, *cold, *shards, *parallel, *workers, *batch, *record)
+			return runStream(*stream, *seed, *depart, *switches, *hosts, opts, *record)
 		}
 
 		var scenario *config.Scenario
@@ -303,7 +307,7 @@ func (a *admitter) release(d admission.Decision) {
 // size through RequestBatch, flushing the pending batch before every
 // departure so victims are always decided flows. record, when set, logs
 // the executed operations as a replayable trace.
-func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, shards, parallel bool, workers, batch int, record string) error {
+func runStream(n int, seed int64, depart float64, switches, hostsPer int, o runOpts, record string) error {
 	if switches < 1 || hostsPer < 2 {
 		return fmt.Errorf("stream mode needs at least 1 switch and 2 hosts per switch")
 	}
@@ -311,7 +315,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 	if err != nil {
 		return err
 	}
-	ctl, batchCtl, shardCtl, parCtl, err := buildController(topo, cold, shards, parallel, workers)
+	ctl, batchCtl, shardCtl, parCtl, err := buildController(topo, o)
 	if err != nil {
 		return err
 	}
@@ -326,8 +330,10 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 
 	r := rand.New(rand.NewSource(seed))
 	var admitted, rejected, released int
+	var conv core.ConvergenceStats
 	var liveNames []string
-	adm := &admitter{ctl: ctl, batchCtl: batchCtl, size: batch, report: func(d admission.Decision) {
+	adm := &admitter{ctl: ctl, batchCtl: batchCtl, size: o.batch, report: func(d admission.Decision) {
+		conv.Add(decisionStats(d))
 		if d.Admitted {
 			admitted++
 			liveNames = append(liveNames, d.FlowName)
@@ -384,17 +390,20 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 	elapsed := time.Since(start)
 
 	mode := "incremental"
-	if cold {
+	if o.cold {
 		mode = "cold"
 	}
-	if shards {
+	if o.shards {
 		mode = "sharded"
 	}
-	if parallel {
+	if o.parallel {
 		mode = "parallel"
 	}
-	if batch > 0 {
-		mode = fmt.Sprintf("%s, batch=%d", mode, batch)
+	if o.accel {
+		mode += ", accel"
+	}
+	if o.batch > 0 {
+		mode = fmt.Sprintf("%s, batch=%d", mode, o.batch)
 	}
 	t := report.NewTable(fmt.Sprintf("Request stream (%s controller)", mode), "metric", "value")
 	t.AddRowf("requests", n)
@@ -411,6 +420,12 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 	t.AddRowf("switches x hosts", fmt.Sprintf("%d x %d", switches, hostsPer))
 	t.AddRowf("elapsed", elapsed.Round(time.Millisecond).String())
 	t.AddRowf("requests/s", fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds()))
+	if o.stats {
+		t.AddRowf("fixpoint sweeps", conv.Iterations)
+		t.AddRowf("worklist rounds", conv.WorklistRounds)
+		t.AddRowf("accel steps", conv.AccelSteps)
+		t.AddRowf("accel fallbacks", conv.Fallbacks)
+	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
@@ -423,7 +438,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, cold, 
 // be compared byte for byte. A departure flushes the pending batch
 // first, exactly like the recording side, so decision order is the
 // request order regardless of batching.
-func runTrace(w io.Writer, path string, cold, shards, parallel bool, workers, batch int) error {
+func runTrace(w io.Writer, path string, o runOpts) error {
 	h, ops, err := loadTrace(path)
 	if err != nil {
 		return err
@@ -432,13 +447,15 @@ func runTrace(w io.Writer, path string, cold, shards, parallel bool, workers, ba
 	if err != nil {
 		return err
 	}
-	ctl, batchCtl, _, parCtl, err := buildController(topo, cold, shards, parallel, workers)
+	ctl, batchCtl, _, parCtl, err := buildController(topo, o)
 	if err != nil {
 		return err
 	}
 	out := bufio.NewWriter(w)
 	var admitted, rejected, released int
-	adm := &admitter{ctl: ctl, batchCtl: batchCtl, size: batch, report: func(d admission.Decision) {
+	var conv core.ConvergenceStats
+	adm := &admitter{ctl: ctl, batchCtl: batchCtl, size: o.batch, report: func(d admission.Decision) {
+		conv.Add(decisionStats(d))
 		if d.Admitted {
 			admitted++
 			fmt.Fprintf(out, "admit %s\n", d.FlowName)
@@ -483,6 +500,12 @@ func runTrace(w io.Writer, path string, cold, shards, parallel bool, workers, ba
 	}
 	fmt.Fprintf(out, "admitted=%d rejected=%d released=%d resident=%d\n",
 		admitted, rejected, released, ctl.NumFlows())
+	if o.stats {
+		// Off the golden path: the decision log above is pinned byte for
+		// byte across controller variants, the stats line is diagnostic.
+		fmt.Fprintf(out, "stats sweeps=%d rounds=%d accel=%d fallbacks=%d\n",
+			conv.Iterations, conv.WorklistRounds, conv.AccelSteps, conv.Fallbacks)
+	}
 	return out.Flush()
 }
 
@@ -492,22 +515,47 @@ func runTrace(w io.Writer, path string, cold, shards, parallel bool, workers, ba
 // The batchRequester is non-nil for the engine-backed variants;
 // shardCtl is non-nil only with -shards, parCtl only with -parallel
 // (the caller must Close it).
-func buildController(topo *network.Topology, cold, shards, parallel bool, workers int) (requester, batchRequester, *admission.ShardedController, *admission.ParallelController, error) {
-	cfg := core.Config{Workers: workers}
+func buildController(topo *network.Topology, o runOpts) (requester, batchRequester, *admission.ShardedController, *admission.ParallelController, error) {
+	cfg := core.Config{Workers: o.workers, Accel: o.accel}
 	switch {
-	case cold:
-		ctl, err := admission.NewColdController(network.New(topo), core.Config{})
+	case o.cold:
+		ctl, err := admission.NewColdController(network.New(topo), core.Config{Accel: o.accel})
 		return ctl, nil, nil, nil, err
-	case parallel:
+	case o.parallel:
 		ctl, err := admission.NewParallelController(network.New(topo), cfg)
 		return ctl, ctl, nil, ctl, err
-	case shards:
+	case o.shards:
 		ctl, err := admission.NewShardedController(network.New(topo), cfg)
 		return ctl, ctl, ctl, nil, err
 	default:
 		ctl, err := admission.NewController(network.New(topo), cfg)
 		return ctl, ctl, nil, nil, err
 	}
+}
+
+// runOpts selects the stream/trace controller variant and its reporting.
+type runOpts struct {
+	cold, shards, parallel bool
+	workers, batch         int
+	// accel turns on the safeguarded Anderson acceleration of the
+	// holistic fixpoint; decisions are identical by construction, only
+	// the sweep counts change.
+	accel bool
+	// stats reports aggregated ConvergenceStats over the whole run.
+	stats bool
+}
+
+// decisionStats extracts the convergence breakdown of one decision's
+// analysis, wherever the controller variant put it: engine-backed
+// controllers publish a view, the cold baseline a detached result.
+func decisionStats(d admission.Decision) core.ConvergenceStats {
+	if d.View != nil {
+		return d.View.Stats()
+	}
+	if d.Result != nil {
+		return d.Result.Stats
+	}
+	return core.ConvergenceStats{}
 }
 
 // streamSpec draws one request: mostly VoIP calls, some CBR video, and —

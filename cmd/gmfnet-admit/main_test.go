@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -98,31 +100,35 @@ func TestTraceGoldenOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	variants := []struct {
-		name     string
-		cold     bool
-		shards   bool
-		parallel bool
-		workers  int
-		batch    int
+		name string
+		opts runOpts
 	}{
 		{name: "sequential"},
-		{name: "workers2", workers: 2},
-		{name: "batch16", batch: 16},
-		{name: "batch3", batch: 3},
-		{name: "sharded", shards: true},
-		{name: "sharded-batch16", shards: true, batch: 16},
-		{name: "sharded-batch3", shards: true, batch: 3},
-		{name: "parallel", parallel: true},
-		{name: "parallel-batch16", parallel: true, batch: 16},
-		{name: "parallel-batch3", parallel: true, batch: 3},
-		{name: "parallel-workers2", parallel: true, workers: 2},
-		{name: "cold", cold: true},
+		{name: "workers2", opts: runOpts{workers: 2}},
+		{name: "batch16", opts: runOpts{batch: 16}},
+		{name: "batch3", opts: runOpts{batch: 3}},
+		{name: "sharded", opts: runOpts{shards: true}},
+		{name: "sharded-batch16", opts: runOpts{shards: true, batch: 16}},
+		{name: "sharded-batch3", opts: runOpts{shards: true, batch: 3}},
+		{name: "parallel", opts: runOpts{parallel: true}},
+		{name: "parallel-batch16", opts: runOpts{parallel: true, batch: 16}},
+		{name: "parallel-batch3", opts: runOpts{parallel: true, batch: 3}},
+		{name: "parallel-workers2", opts: runOpts{parallel: true, workers: 2}},
+		{name: "cold", opts: runOpts{cold: true}},
+		// The accelerated legs pin the tentpole guarantee end to end:
+		// Anderson extrapolation with the monotone safeguard changes
+		// sweep counts, never decisions — the logs stay byte-identical.
+		{name: "accel", opts: runOpts{accel: true}},
+		{name: "accel-batch16", opts: runOpts{accel: true, batch: 16}},
+		{name: "accel-sharded", opts: runOpts{accel: true, shards: true}},
+		{name: "accel-parallel", opts: runOpts{accel: true, parallel: true}},
+		{name: "accel-cold", opts: runOpts{accel: true, cold: true}},
 	}
 	for _, v := range variants {
 		v := v
 		t.Run(v.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := runTrace(&out, tracePath, v.cold, v.shards, v.parallel, v.workers, v.batch); err != nil {
+			if err := runTrace(&out, tracePath, v.opts); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(out.Bytes(), golden) {
@@ -130,6 +136,38 @@ func TestTraceGoldenOutput(t *testing.T) {
 					out.Bytes(), golden)
 			}
 		})
+	}
+}
+
+// TestTraceStatsLine checks the -stats reporting: the replay's decision
+// log is unchanged (the stats line is appended after the pinned
+// summary), and the sweep/round counters are live.
+func TestTraceStatsLine(t *testing.T) {
+	tracePath := filepath.Join("testdata", "stream.trace")
+	var plain, stats bytes.Buffer
+	if err := runTrace(&plain, tracePath, runOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrace(&stats, tracePath, runOpts{accel: true, stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := stats.String()
+	if !strings.HasPrefix(out, plain.String()[:len(plain.String())-1]) {
+		// Everything up to the trailing newline must match the plain run.
+		t.Fatalf("-stats altered the decision log:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "stats sweeps=") {
+		t.Fatalf("missing stats trailer, got %q", last)
+	}
+	var sweeps, rounds, accel, fallbacks int
+	if _, err := fmt.Sscanf(last, "stats sweeps=%d rounds=%d accel=%d fallbacks=%d",
+		&sweeps, &rounds, &accel, &fallbacks); err != nil {
+		t.Fatalf("unparseable stats trailer %q: %v", last, err)
+	}
+	if sweeps <= 0 || rounds < sweeps {
+		t.Fatalf("implausible convergence counters: %s", last)
 	}
 }
 
@@ -143,16 +181,16 @@ func TestTraceRecordReplay(t *testing.T) {
 		t.Fatalf("recording stream failed: %v", err)
 	}
 	var seq, bat, shd, par bytes.Buffer
-	if err := runTrace(&seq, traceFile, false, false, false, 0, 0); err != nil {
+	if err := runTrace(&seq, traceFile, runOpts{}); err != nil {
 		t.Fatalf("replay failed: %v", err)
 	}
-	if err := runTrace(&bat, traceFile, false, false, false, 0, 4); err != nil {
+	if err := runTrace(&bat, traceFile, runOpts{batch: 4}); err != nil {
 		t.Fatalf("batched replay failed: %v", err)
 	}
-	if err := runTrace(&shd, traceFile, false, true, false, 0, 4); err != nil {
+	if err := runTrace(&shd, traceFile, runOpts{shards: true, batch: 4}); err != nil {
 		t.Fatalf("sharded replay failed: %v", err)
 	}
-	if err := runTrace(&par, traceFile, false, false, true, 0, 4); err != nil {
+	if err := runTrace(&par, traceFile, runOpts{parallel: true, batch: 4}); err != nil {
 		t.Fatalf("parallel replay failed: %v", err)
 	}
 	if !bytes.Equal(seq.Bytes(), bat.Bytes()) {

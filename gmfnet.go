@@ -74,6 +74,15 @@ type (
 	Figure1Options = network.Figure1Options
 	// AnalysisConfig tunes the response-time analysis.
 	AnalysisConfig = core.Config
+	// ConvergenceStats breaks down how the holistic fixpoint of one
+	// analysis was reached: plain sweeps, total worklist rounds,
+	// accepted Anderson jumps and safeguard rollbacks (AnalysisConfig
+	// Accel).
+	ConvergenceStats = core.ConvergenceStats
+	// ErrNoConvergence records an analysis abandoned at the holistic
+	// iteration cap (AnalysisConfig.MaxHolisticIter) — found on
+	// AnalysisResult.NoConvergence, never returned as an error.
+	ErrNoConvergence = core.ErrNoConvergence
 	// AnalysisResult is the holistic analysis outcome, detached from the
 	// engine that produced it.
 	AnalysisResult = core.Result

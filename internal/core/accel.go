@@ -1,0 +1,495 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"gmfnet/internal/units"
+)
+
+// This file implements the engine's accelerated convergence layer
+// (Config.Accel): Anderson(m) extrapolation over the flat jitter arena,
+// safeguarded so the converged assignment is bit-identical to the plain
+// Kleene least fixpoint.
+//
+// The holistic operator F of Section 3.5 is monotone on the jitter
+// lattice and the engine's plain iteration is a Kleene ascent: x_{r+1}
+// = F(x_r) (worklist-restricted, which changes nothing about the
+// limit). The iterates now live in one flat arena, which makes them
+// vectors — precisely the setting where Anderson acceleration of
+// fixed-point problems applies: keep a short history of (iterate,
+// residual) pairs, extrapolate the limit by a least-squares mix of the
+// residual differences, and jump there instead of crawling.
+//
+// The candidate is the classic type-II Anderson mix: solve the
+// (m-1)x(m-1) normal equations over the residual differences
+// (Tikhonov-regularised, Gaussian elimination; m is tiny) and form
+// z = g_k - sum_j gamma_j (g_{j+1}-g_j) in float64, rounding back to
+// picosecond slots. The window m (Config.AccelDepth) matters more than
+// any other knob: the worklist iteration propagates interference one
+// hop per sweep, so an interference cycle of length L shows up as a
+// rotating residual mode of period ~L, and the mix can only cancel a
+// rotation it has seen — m of about one cycle length captures it,
+// m of 3-4 merely dents it.
+//
+// Every candidate is clamped to the monotone envelope before it is
+// written: z >= g slotwise, and a slot whose residual is zero is not
+// moved at all (its inputs did not move last round, so extrapolating
+// it is unjustified). The candidate is then adjudicated by one plain
+// verification sweep under a speculative write epoch (jitterState
+// beginSpec/rollbackSpec): plain sweeps from any point at or below the
+// least fixpoint only ascend, so if the sweep moves any slot DOWN —
+// or blows a stage up (overload/divergence at the inflated jitters) —
+// the candidate overshot, and the epoch is rolled back to the exact
+// plain iterate g it started from. Rather than abandoning the whole
+// jump, the refuted slots are narrowed to the values the sweep itself
+// computed for them and the shrunk candidate is re-verified
+// (narrowCandidate below); the history survives rejection, since its
+// entries are accepted plain iterates and the candidate never entered
+// it.
+//
+// The refuting sweep is a necessary check, not by itself a sufficient
+// one: F can have fixpoints above the least one, and at a candidate
+// beyond the next basin F(z) >= z holds again, so a one-sweep
+// adjudication would accept it. Exactness therefore additionally rests
+// on the per-slot step bound (accelBumpCap): small steps cannot clear
+// the refutation region between basins, so every overshooting
+// trajectory is caught by a downward move and rolled back, and the
+// accepted trajectory x_0 <= ... <= z <= F(z) <= ... converges to the
+// same least fixpoint as the plain ascent. The differential, fuzz and
+// golden-trace suites pin the resulting bounds and decisions
+// bit-for-bit against the unaccelerated engines.
+//
+// All buffers — the active-set layout, the history ring, the
+// least-squares scratch — are reused across rounds and analyses: the
+// steady state allocates nothing per iteration.
+
+// accelMaxNarrow caps how many times one candidate may be narrowed and
+// re-verified after a refuting sweep before it is abandoned outright.
+// Narrowing terminates on its own (the bumped set strictly shrinks);
+// the cap just bounds the wall-clock of a pathological round.
+const accelMaxNarrow = 8
+
+// accelBumpCap bounds the Anderson candidate per slot to this multiple
+// of the slot's current residual. This is the accelerator's exactness
+// margin, not a tuning nicety: the holistic operator can have fixpoints
+// above the least one (near-critical closures self-justify higher
+// response levels), and a candidate that leaps the whole gap in one
+// step lands where F(z) >= z holds again and the decrease-refutation
+// sweep cannot tell it from the true fixpoint. Small per-slot steps
+// force an overshooting trajectory through the intermediate region
+// where some slot moves down under F, which refutes it. Caps up to
+// 32x stay exact on every differential scenario; 48-64x provably jumps
+// basins on the 12-switch ring (see TestAcceleratedDeepChainIterations).
+const accelBumpCap = 24
+
+// accelEntry is one history sample: the iterate g = F(x) and its
+// residual f = g - x over the active slots.
+type accelEntry struct {
+	g []units.Time
+	f []units.Time
+}
+
+// accelState is the reusable Anderson-acceleration state of one engine.
+// It is reset at the start of every analyzeOver call; only the buffers
+// survive.
+type accelState struct {
+	depth int // history window m (>= 2)
+
+	// The active set: the union of every worklist seen this analysis,
+	// i.e. the subspace of arena slots the extrapolation tracks. flows
+	// is ascending; offs[i] is flows[i]'s offset in the packed vectors.
+	// Growing the set rebuilds the layout and drops the history.
+	activeMark []bool
+	flows      []int
+	offs       []int
+	size       int
+
+	// hist is the history ring, oldest first, at most depth entries.
+	hist []accelEntry
+
+	// x is the pre-sweep snapshot observe takes, paired by record with
+	// the post-sweep arena into the next history entry.
+	x      []units.Time
+	xvalid bool
+
+	// Least-squares and candidate scratch.
+	z     []units.Time
+	mat   []float64
+	rhs   []float64
+	gamma []float64
+}
+
+func newAccelState(depth int) *accelState {
+	if depth < 2 {
+		depth = 2
+	}
+	return &accelState{depth: depth}
+}
+
+// reset clears the active set and history for a fresh analysis,
+// keeping every buffer.
+func (a *accelState) reset() {
+	for _, j := range a.flows {
+		a.activeMark[j] = false
+	}
+	a.flows = a.flows[:0]
+	a.offs = a.offs[:0]
+	a.size = 0
+	a.hist = a.hist[:0]
+	a.xvalid = false
+}
+
+// ensureActive folds the round's worklist into the active set. Growth
+// rebuilds the packed layout and migrates the history into it: old
+// flows keep their samples, newcomers get their current arena values
+// with a zero residual — so the extrapolation never moves a slot it
+// has no history for, but a worklist front creeping across the closure
+// (the deep-chain ripple) does not keep wiping the history it needs.
+func (a *accelState) ensureActive(js *jitterState, work []int) {
+	if n := js.numFlows(); len(a.activeMark) < n {
+		a.activeMark = append(a.activeMark, make([]bool, n-len(a.activeMark))...)
+	}
+	grew := false
+	for _, j := range work {
+		if !a.activeMark[j] {
+			a.activeMark[j] = true
+			grew = true
+		}
+	}
+	if !grew {
+		return
+	}
+	oldFlows, oldOffs := a.flows, a.offs
+	flows := make([]int, 0, len(oldFlows)+len(work))
+	flows = append(flows, oldFlows...)
+	for _, j := range work {
+		pos := sort.SearchInts(oldFlows, j)
+		if pos == len(oldFlows) || oldFlows[pos] != j {
+			flows = append(flows, j)
+		}
+	}
+	sort.Ints(flows)
+	offs := make([]int, 0, len(flows))
+	size := 0
+	for _, j := range flows {
+		offs = append(offs, size)
+		b := &js.blocks[j]
+		size += len(b.rids) * int(b.n)
+	}
+	a.flows, a.offs, a.size = flows, offs, size
+	for ei := range a.hist {
+		e := &a.hist[ei]
+		e.g = a.migrateVec(e.g, oldFlows, oldOffs, js, true)
+		e.f = a.migrateVec(e.f, oldFlows, oldOffs, js, false)
+	}
+	if a.xvalid {
+		a.x = a.migrateVec(a.x, oldFlows, oldOffs, js, true)
+	}
+}
+
+// migrateVec rebuilds a packed vector from the old layout into the
+// current one: flows present in both keep their values, newcomers are
+// filled from the live arena (fromArena, for iterates) or left zero
+// (for residuals). Allocates only on growth, never per round.
+func (a *accelState) migrateVec(vec []units.Time, oldFlows, oldOffs []int, js *jitterState, fromArena bool) []units.Time {
+	out := make([]units.Time, a.size)
+	oi := 0
+	for fi, j := range a.flows {
+		b := &js.blocks[j]
+		slots := len(b.rids) * int(b.n)
+		dst := out[a.offs[fi] : a.offs[fi]+slots]
+		for oi < len(oldFlows) && oldFlows[oi] < j {
+			oi++
+		}
+		if oi < len(oldFlows) && oldFlows[oi] == j {
+			copy(dst, vec[oldOffs[oi]:oldOffs[oi]+slots])
+		} else if fromArena {
+			copy(dst, js.arena[b.base:int(b.base)+slots])
+		}
+	}
+	return out
+}
+
+// gather packs the active flows' arena slots into dst (len a.size).
+func (a *accelState) gather(js *jitterState, dst []units.Time) {
+	for fi, j := range a.flows {
+		b := &js.blocks[j]
+		slots := int32(len(b.rids)) * b.n
+		copy(dst[a.offs[fi]:], js.arena[b.base:b.base+slots])
+	}
+}
+
+// observe snapshots the pre-sweep iterate x.
+func (a *accelState) observe(js *jitterState) {
+	if a.size == 0 {
+		a.xvalid = false
+		return
+	}
+	a.x = resizeTimes(a.x, a.size)
+	a.gather(js, a.x)
+	a.xvalid = true
+}
+
+// record pushes the post-sweep pair (g, f = g - x) into the history
+// ring, recycling the oldest entry's buffers when the ring is full.
+func (a *accelState) record(js *jitterState) {
+	if !a.xvalid || a.size == 0 {
+		return
+	}
+	var e accelEntry
+	if len(a.hist) == a.depth {
+		e = a.hist[0]
+		copy(a.hist, a.hist[1:])
+		a.hist = a.hist[:a.depth-1]
+	}
+	e.g = resizeTimes(e.g, a.size)
+	e.f = resizeTimes(e.f, a.size)
+	a.gather(js, e.g)
+	for i, g := range e.g {
+		e.f[i] = g - a.x[i]
+	}
+	a.hist = append(a.hist, e)
+}
+
+// ready reports whether enough history exists to extrapolate.
+func (a *accelState) ready() bool { return len(a.hist) >= a.depth && a.size > 0 }
+
+// propose builds an extrapolated candidate and writes its slot bumps
+// into js (through set, so journaling, the changed worklist and the
+// extra caches all stay coherent). It reports whether any slot moved;
+// the caller then runs the safeguarded verification sweep.
+func (a *accelState) propose(js *jitterState) bool {
+	a.z = resizeTimes(a.z, a.size)
+	if !a.andersonCandidate() {
+		return false
+	}
+	return a.writeCandidate(js, a.hist[len(a.hist)-1].g)
+}
+
+// narrowCandidate lowers the bumps the verification sweep refuted —
+// each slot in decOffs moves down to decVals, the value the sweep
+// itself computed for it (its F(z), read before rollback) — and
+// rewrites the candidate into js. A sweep from any state >= g keeps
+// every slot >= its g value, so only bumped slots can decrease, the
+// feedback value sits strictly inside [g, z), and every narrowing
+// strictly lowers at least one integer slot: the retry loop
+// terminates. Using the sweep's own output instead of zeroing the bump
+// keeps the gain on slots whose local decay is faster than the global
+// mode. Returns false when no bump survived.
+func (a *accelState) narrowCandidate(js *jitterState, decOffs []int32, decVals []units.Time) bool {
+	h := len(a.hist)
+	if h == 0 {
+		return false
+	}
+	g := a.hist[h-1].g
+	var kept, orig float64
+	for i, off := range decOffs {
+		idx, ok := a.packedIndex(js, off)
+		if !ok {
+			continue
+		}
+		v := decVals[i]
+		if v < g[idx] {
+			v = g[idx]
+		}
+		if v < a.z[idx] {
+			orig += float64(a.z[idx] - g[idx])
+			kept += float64(v - g[idx])
+			a.z[idx] = v
+		}
+	}
+	// The refuted slots' surviving fraction of their bump anticipates
+	// the cascade: the slots that passed did so against the refuted
+	// slots' inflated inputs, so the same shrink is applied to every
+	// surviving bump up front instead of waiting for the next sweep to
+	// refute them one wavefront at a time.
+	if orig > 0 {
+		s := math.Sqrt(kept / orig)
+		for i, zv := range a.z {
+			if b := zv - g[i]; b > 0 {
+				nb := units.Time(float64(b) * s)
+				a.z[i] = g[i] + nb
+			}
+		}
+	}
+	return a.writeCandidate(js, g)
+}
+
+// packedIndex maps an arena offset to its index in the packed active
+// vectors, by binary search over the active flows' blocks (arena bases
+// are monotone in flow index).
+func (a *accelState) packedIndex(js *jitterState, off int32) (int, bool) {
+	lo, hi := 0, len(a.flows)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := &js.blocks[a.flows[mid]]
+		slots := int32(len(b.rids)) * b.n
+		switch {
+		case off < b.base:
+			hi = mid - 1
+		case off >= b.base+slots:
+			lo = mid + 1
+		default:
+			return a.offs[mid] + int(off-b.base), true
+		}
+	}
+	return 0, false
+}
+
+// andersonCandidate forms the type-II Anderson mix over the residual
+// differences: solve (dF'dF + reg) gamma = dF' f_k and set
+// z = g_k - dG gamma, clamped slotwise to [g, g + cap*f].
+func (a *accelState) andersonCandidate() bool {
+	h := len(a.hist)
+	q := h - 1
+	fk := a.hist[h-1].f
+	gk := a.hist[h-1].g
+	a.mat = resizeFloats(a.mat, q*q)
+	a.rhs = resizeFloats(a.rhs, q)
+	a.gamma = resizeFloats(a.gamma, q)
+	df := func(j, s int) float64 { return float64(a.hist[j+1].f[s] - a.hist[j].f[s]) }
+	var trace float64
+	for i := 0; i < q; i++ {
+		for j := i; j < q; j++ {
+			var sum float64
+			for s := 0; s < a.size; s++ {
+				sum += df(i, s) * df(j, s)
+			}
+			a.mat[i*q+j] = sum
+			a.mat[j*q+i] = sum
+			if i == j {
+				trace += sum
+			}
+		}
+		var sum float64
+		for s := 0; s < a.size; s++ {
+			sum += df(i, s) * float64(fk[s])
+		}
+		a.rhs[i] = sum
+	}
+	if trace == 0 {
+		// Degenerate: the residual did not change between sweeps;
+		// nothing to mix.
+		return false
+	}
+	reg := 1e-10 * trace
+	for i := 0; i < q; i++ {
+		a.mat[i*q+i] += reg
+	}
+	if !solveDense(a.mat, a.rhs, a.gamma, q) {
+		return false
+	}
+	for i := 0; i < q; i++ {
+		if g := a.gamma[i]; math.IsNaN(g) || math.Abs(g) > 1e6 {
+			return false
+		}
+	}
+	any := false
+	for s := 0; s < a.size; s++ {
+		zz := float64(gk[s])
+		for j := 0; j < q; j++ {
+			zz -= a.gamma[j] * float64(a.hist[j+1].g[s]-a.hist[j].g[s])
+		}
+		f := fk[s]
+		if f < 0 {
+			f = 0
+		}
+		maxBump := f * accelBumpCap
+		if maxBump/accelBumpCap != f { // overflow
+			maxBump = f
+		}
+		// Floor, not round: a bump 1 ps past the least fixpoint costs a
+		// full rollback sweep, a 1 ps undershoot costs nothing (the
+		// accepted sweep ascends through it anyway).
+		bumpF := math.Floor(zz - float64(gk[s]))
+		if bumpF < 0 {
+			bumpF = 0
+		} else if bumpF > float64(maxBump) {
+			bumpF = float64(maxBump)
+		}
+		bump := units.Time(bumpF)
+		a.z[s] = units.SaturatingAdd(gk[s], bump)
+		if bump > 0 {
+			any = true
+		}
+	}
+	return any
+}
+
+// writeCandidate applies the candidate's upward bumps (z was clamped
+// >= g, so equality means "leave the slot alone").
+func (a *accelState) writeCandidate(js *jitterState, g []units.Time) bool {
+	wrote := false
+	for fi, j := range a.flows {
+		b := &js.blocks[j]
+		n := int(b.n)
+		off := a.offs[fi]
+		for pos := range b.rids {
+			for k := 0; k < n; k++ {
+				idx := off + pos*n + k
+				if a.z[idx] > g[idx] {
+					js.set(j, pos, k, a.z[idx])
+					wrote = true
+				}
+			}
+		}
+	}
+	return wrote
+}
+
+// solveDense solves the dense n x n system m*out = b by Gaussian
+// elimination with partial pivoting, destroying m and b (they are
+// scratch). n is the Anderson window minus one — a handful.
+func solveDense(m, b, out []float64, n int) bool {
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r*n+col]) > math.Abs(m[piv*n+col]) {
+				piv = r
+			}
+		}
+		if m[piv*n+col] == 0 {
+			return false
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				m[col*n+c], m[piv*n+c] = m[piv*n+c], m[col*n+c]
+			}
+			b[col], b[piv] = b[piv], b[col]
+		}
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			fac := m[r*n+col] * inv
+			if fac == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r*n+c] -= fac * m[col*n+c]
+			}
+			b[r] -= fac * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r*n+c] * out[c]
+		}
+		out[r] = s / m[r*n+r]
+	}
+	return true
+}
+
+func resizeTimes(s []units.Time, n int) []units.Time {
+	if cap(s) < n {
+		return make([]units.Time, n)
+	}
+	return s[:n]
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// accelConfig is the accelerated twin of the default test config.
+func accelConfig() Config { return Config{Accel: true} }
+
+// TestAcceleratedMatchesPlainRandom is the core exactness differential:
+// an accelerated engine and a plain engine driven through identical
+// add/remove/analyze sequences must hold bit-identical jitter
+// assignments and bounds after every analysis — the safeguard's
+// fallback-to-plain contract.
+func TestAcceleratedMatchesPlainRandom(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			topo, hosts := randomEngineTopo(t, r)
+			plain, err := NewEngine(network.New(topo), Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accel, err := NewEngine(network.New(topo), accelConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for op := 0; op < 24; op++ {
+				if accel.Network().NumFlows() > 2 && r.Intn(4) == 0 {
+					i := r.Intn(accel.Network().NumFlows())
+					if err := plain.RemoveFlow(i); err != nil {
+						t.Fatal(err)
+					}
+					if err := accel.RemoveFlow(i); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					fs := randomFlowSpec(t, r, topo, hosts, fmt.Sprintf("f%d-%d", seed, op))
+					if _, err := plain.AddFlow(fs); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := accel.AddFlow(fs); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pres, err := plain.Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ares, err := accel.Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareResults(t, ares, pres)
+				if pres.Converged && !sameAssignment(accel.js, plain.js) {
+					t.Fatalf("op %d: accelerated jitter assignment differs from plain least fixpoint", op)
+				}
+				if ares.Stats.Iterations != ares.Iterations {
+					t.Fatalf("op %d: Stats.Iterations %d != Iterations %d",
+						op, ares.Stats.Iterations, ares.Iterations)
+				}
+				if ares.Stats.WorklistRounds < ares.Stats.Iterations {
+					t.Fatalf("op %d: WorklistRounds %d < Iterations %d",
+						op, ares.Stats.WorklistRounds, ares.Stats.Iterations)
+				}
+			}
+		})
+	}
+}
+
+// deepChainSetup builds the deep-convergence scenario the acceleration
+// targets: a ring of software switches joined by 100 Mbit/s links, and
+// video flows whose three-hop routes overlap like shingles all the way
+// around. The shingling closes a directed cycle in the interference
+// graph — each flow's response feeds the entry jitter of the next flow
+// around the ring — so the holistic jitter assignment circulates in
+// near-constant laps, gaining roughly one more preemption window per
+// sweep until the busy periods saturate. That staircase is the worst
+// case for the plain Kleene ascent (iterations proportional to the
+// final jitter over the per-lap increment) and precisely the ramp
+// pattern the accelerated engine collapses geometrically.
+func deepChainSetup(t *testing.T) (*network.Topology, []*network.FlowSpec) {
+	t.Helper()
+	const switches = 12
+	topo := network.NewTopology()
+	for s := 0; s < switches; s++ {
+		sw := network.NodeID(fmt.Sprintf("sw%d", s))
+		if err := topo.AddSwitch(sw, network.DefaultSwitchParams()); err != nil {
+			t.Fatal(err)
+		}
+		if s > 0 {
+			prev := network.NodeID(fmt.Sprintf("sw%d", s-1))
+			if err := topo.AddDuplexLink(prev, sw, 100*units.Mbps, units.Microsecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for h := 0; h < 2; h++ {
+			id := network.NodeID(fmt.Sprintf("h%d_%d", s, h))
+			if err := topo.AddHost(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := topo.AddDuplexLink(id, sw, 100*units.Mbps, units.Microsecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	last := network.NodeID(fmt.Sprintf("sw%d", switches-1))
+	if err := topo.AddDuplexLink(last, "sw0", 100*units.Mbps, units.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	var specs []*network.FlowSpec
+	for s := 0; s < switches; s++ {
+		src := network.NodeID(fmt.Sprintf("h%d_0", s))
+		dst := network.NodeID(fmt.Sprintf("h%d_1", (s+switches-3)%switches))
+		route, err := topo.Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, &network.FlowSpec{
+			Flow: trace.CBRVideo(fmt.Sprintf("video%d", s), 65000,
+				30*units.Millisecond, 2*units.Second),
+			Route:    route,
+			Priority: 1,
+		})
+	}
+	return topo, specs
+}
+
+// analyzeChain loads the deep-chain scenario into a fresh engine under
+// cfg and returns the converged result.
+func analyzeChain(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	topo, specs := deepChainSetup(t)
+	eng, err := NewEngine(network.New(topo), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range specs {
+		if _, err := eng.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := eng.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("deep chain did not converge (stats %+v)", res.Stats)
+	}
+	return res
+}
+
+// TestAcceleratedDeepChainIterations pins the convergence-rate win on
+// the deep-chain scenario so it cannot silently regress: the plain
+// iteration count is pinned inside a slack band, the accelerated
+// engine must converge in no more iterations, must actually take
+// accelerated steps, and must cut the advancing-sweep count by at
+// least 30% — the tentpole's acceptance bar. Bounds are identical by
+// the differential above.
+func TestAcceleratedDeepChainIterations(t *testing.T) {
+	plain := analyzeChain(t, Config{})
+	accel := analyzeChain(t, accelConfig())
+	t.Logf("plain iterations=%d; accel stats=%+v", plain.Iterations, accel.Stats)
+	// The chain needs roughly one sweep per hop of the longest ripple;
+	// the band is wide enough to absorb formula tweaks but tight enough
+	// to catch a broken worklist (1-2 iterations) or a divergence
+	// regression (hundreds).
+	if plain.Iterations < 6 || plain.Iterations > 64 {
+		t.Fatalf("plain iteration count %d outside the pinned band [6, 64]", plain.Iterations)
+	}
+	if accel.Iterations > plain.Iterations {
+		t.Fatalf("accelerated iterations %d exceed plain %d", accel.Iterations, plain.Iterations)
+	}
+	if accel.Stats.AccelSteps == 0 {
+		t.Fatalf("accelerated run took no accelerated steps (stats %+v)", accel.Stats)
+	}
+	if 10*accel.Iterations > 7*plain.Iterations {
+		t.Fatalf("accelerated iterations %d not >=30%% below plain %d", accel.Iterations, plain.Iterations)
+	}
+	for i := range plain.Flows {
+		for k := range plain.Flows[i].Frames {
+			if plain.Flows[i].Frames[k].Response != accel.Flows[i].Frames[k].Response {
+				t.Fatalf("flow %d frame %d bound differs: plain %v accel %v", i, k,
+					plain.Flows[i].Frames[k].Response, accel.Flows[i].Frames[k].Response)
+			}
+		}
+	}
+}
+
+// TestErrNoConvergence pins the typed abandonment signal: exhausting
+// MaxHolisticIter yields Converged == false plus a NoConvergence record
+// carrying a positive residual — with a nil error from Analyze, since
+// cap exhaustion is a verdict, not a failure (the batch fallback in
+// admission depends on that; see Controller.RequestBatch).
+func TestErrNoConvergence(t *testing.T) {
+	topo, specs := deepChainSetup(t)
+	eng, err := NewEngine(network.New(topo), Config{MaxHolisticIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range specs {
+		if _, err := eng.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := eng.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Schedulable() {
+		t.Fatalf("cap-starved analysis converged (iterations %d)", res.Iterations)
+	}
+	nc := res.NoConvergence
+	if nc == nil {
+		t.Fatal("Result.NoConvergence is nil after cap exhaustion")
+	}
+	if nc.Iterations != 2 || nc.Residual <= 0 || nc.Pending <= 0 {
+		t.Fatalf("NoConvergence = %+v, want iterations 2 and positive residual/pending", nc)
+	}
+	if nc.Error() == "" {
+		t.Fatal("NoConvergence.Error() empty")
+	}
+	v, err := eng.AnalyzeView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NoConvergence() == nil {
+		t.Fatal("ResultView.NoConvergence() nil after cap exhaustion")
+	}
+	if mat := v.Materialize(); mat.NoConvergence == nil {
+		t.Fatal("materialized Result lost NoConvergence")
+	}
+	// A converged analysis clears the signal.
+	eng2, err := NewEngine(network.New(topo), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.AddFlow(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng2.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Converged || res2.NoConvergence != nil {
+		t.Fatalf("converged analysis carries NoConvergence %+v", res2.NoConvergence)
+	}
+	// The one-shot cold Analyzer reports the same signal.
+	ref := network.New(topo)
+	for _, fs := range specs {
+		if _, err := ref.AddFlow(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := NewAnalyzer(ref, Config{MaxHolisticIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Converged || cold.NoConvergence == nil || cold.NoConvergence.Residual <= 0 {
+		t.Fatalf("cold analyzer after cap exhaustion: converged=%v noconv=%+v",
+			cold.Converged, cold.NoConvergence)
+	}
+}
+
+// FuzzAcceleratedFixpoint drives random interleavings of AddFlow,
+// RemoveFlow, Analyze, Snapshot, Restore and Discard through an
+// accelerated engine and a plain twin in lockstep: after every analysis
+// both must hold bit-identical jitter assignments and agree with each
+// other's bounds, and at the end both must agree with a cold reference
+// analysis — acceleration must be invisible everywhere except the
+// iteration counters.
+func FuzzAcceleratedFixpoint(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 0, 2, 1, 2})             // adds and analyses
+	f.Add([]byte{0, 1, 3, 0, 2, 1, 4, 2})          // snapshot/restore around churn
+	f.Add([]byte{0, 0, 0, 2, 3, 1, 2, 4, 2})       // rollback of an accelerated analysis
+	f.Add([]byte{3, 0, 5, 3, 1, 4, 0, 2, 2})       // discard, re-snapshot, remove, restore
+	f.Add([]byte{0, 2, 0, 2, 0, 2, 0, 2, 1, 2, 2}) // steady growth, repeated analyses
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64] // keep each case cheap
+		}
+		topo, hosts := fuzzTopo(t)
+		accel, err := NewEngine(network.New(topo), accelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewEngine(network.New(topo), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(len(data))))
+		var (
+			snapA, snapP *Snapshot
+			nextFlow     int
+		)
+		for pc, b := range data {
+			switch b % 6 {
+			case 0: // add
+				fs := randomFlowSpec(t, r, topo, hosts, fmt.Sprintf("f%d", nextFlow))
+				nextFlow++
+				if _, err := accel.AddFlow(fs); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := plain.AddFlow(fs); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // remove
+				if n := accel.Network().NumFlows(); n > 0 {
+					i := int(b/6) % n
+					if err := accel.RemoveFlow(i); err != nil {
+						t.Fatal(err)
+					}
+					if err := plain.RemoveFlow(i); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // analyze
+				ares, err := accel.Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pres, err := plain.Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareResults(t, ares, pres)
+				if pres.Converged && !sameAssignment(accel.js, plain.js) {
+					t.Fatalf("op %d: accelerated assignment differs from plain", pc)
+				}
+			case 3: // snapshot (supersedes any outstanding one)
+				snapA = accel.Snapshot()
+				snapP = plain.Snapshot()
+			case 4: // restore
+				if snapA == nil {
+					continue
+				}
+				if err := accel.Restore(snapA); err != nil {
+					t.Fatalf("op %d: accel restore: %v", pc, err)
+				}
+				if err := plain.Restore(snapP); err != nil {
+					t.Fatalf("op %d: plain restore: %v", pc, err)
+				}
+				if !sameAssignment(accel.js, plain.js) {
+					t.Fatalf("op %d: assignments differ after restore", pc)
+				}
+				snapA, snapP = nil, nil
+			case 5: // discard
+				accel.Discard(snapA)
+				plain.Discard(snapP)
+				snapA, snapP = nil, nil
+			}
+		}
+		res, err := accel.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := network.New(topo)
+		for _, fs := range accel.Network().Flows() {
+			if _, err := ref.AddFlow(fs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		an, err := NewAnalyzer(ref, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := an.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, res, cold)
+	})
+}

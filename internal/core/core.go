@@ -99,6 +99,23 @@ type Config struct {
 	// engines only and shard and worklist fan-out never oversubscribe
 	// each other.
 	Workers int
+	// Accel enables Anderson-accelerated convergence of the engine's
+	// holistic iteration: between plain sweeps the engine extrapolates
+	// the jitter assignment from its residual history and adjudicates
+	// the candidate with one safeguarded verification sweep, falling
+	// back to plain Kleene iteration whenever the candidate misbehaves
+	// (see accel.go). The converged assignment — and therefore every
+	// bound and admission verdict — is bit-identical to the
+	// unaccelerated least fixpoint; only iteration counts change.
+	// ShardedEngine and the scheduler pass the knob to every per-shard
+	// engine. The one-shot Analyzer ignores it (it is the cold
+	// reference the accelerated engine is differentially tested
+	// against).
+	Accel bool
+	// AccelDepth is the Anderson history window m: how many previous
+	// (iterate, residual) pairs the extrapolation mixes. Zero selects 4.
+	// Meaningful only with Accel set.
+	AccelDepth int
 }
 
 // PoolWorkers resolves Workers to a worker-pool size for shard-level
@@ -124,7 +141,63 @@ func (c Config) withDefaults() Config {
 	if c.MaxHolisticIter == 0 {
 		c.MaxHolisticIter = 256
 	}
+	if c.AccelDepth == 0 {
+		c.AccelDepth = 8
+	}
 	return c
+}
+
+// ConvergenceStats reports how the last holistic iteration converged.
+// The engine fills it on every analysis; with acceleration off,
+// WorklistRounds == Iterations and the accel counters are zero.
+type ConvergenceStats struct {
+	// Iterations counts the sweeps that advanced the monotone ascent —
+	// the plain Kleene iterations plus the accepted accelerated steps.
+	// It equals Result.Iterations.
+	Iterations int
+	// WorklistRounds counts every worklist round executed, including
+	// verification sweeps of accelerated candidates that were rolled
+	// back — the total effort spent, bounded by Config.MaxHolisticIter.
+	WorklistRounds int
+	// AccelSteps counts accelerated candidates whose verification sweep
+	// accepted them (the sweep is itself one of the Iterations).
+	AccelSteps int
+	// Fallbacks counts accelerated candidates the safeguard rejected
+	// and rolled back to the plain iterate.
+	Fallbacks int
+}
+
+// Add accumulates other into s; admission loops use it to aggregate
+// per-decision stats.
+func (s *ConvergenceStats) Add(other ConvergenceStats) {
+	s.Iterations += other.Iterations
+	s.WorklistRounds += other.WorklistRounds
+	s.AccelSteps += other.AccelSteps
+	s.Fallbacks += other.Fallbacks
+}
+
+// ErrNoConvergence reports that the holistic iteration exhausted
+// Config.MaxHolisticIter with the jitter assignment still moving: the
+// analysis gave up, it did not converge in exactly the cap. It is
+// carried on Result.NoConvergence / ResultView.NoConvergence() — not
+// returned from Analyze — because cap exhaustion is a verdict
+// (unschedulable as far as we know), not a structural failure: the
+// batched admission path relies on distinguishing it from stage errors
+// (see Controller.RequestBatch).
+type ErrNoConvergence struct {
+	// Iterations is the cap that was exhausted.
+	Iterations int
+	// Residual is the largest jitter increase observed in the final
+	// sweep — how far the assignment was still moving when abandoned.
+	Residual units.Time
+	// Pending is the number of flows whose jitters changed in the final
+	// sweep.
+	Pending int
+}
+
+func (e *ErrNoConvergence) Error() string {
+	return fmt.Sprintf("core: holistic iteration abandoned after %d iterations (residual %v, %d flows still moving)",
+		e.Iterations, e.Residual, e.Pending)
 }
 
 // ResourceKind distinguishes the two resource types of the pipeline.
@@ -256,6 +329,15 @@ type Result struct {
 	// Converged reports whether the jitter assignment reached a fixpoint
 	// within Config.MaxHolisticIter.
 	Converged bool
+	// Stats breaks the convergence down (worklist rounds, accelerated
+	// steps, safeguard fallbacks). Stats.Iterations == Iterations.
+	Stats ConvergenceStats
+	// NoConvergence is non-nil when the analysis exhausted
+	// Config.MaxHolisticIter without reaching a fixpoint; it carries
+	// the residual the iteration was abandoned at. Converged is then
+	// false and the usual verdict logic applies — the typed error just
+	// distinguishes "gave up" from "converged and unschedulable".
+	NoConvergence *ErrNoConvergence
 }
 
 // Schedulable reports the admission verdict: the analysis converged and

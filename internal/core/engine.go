@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"gmfnet/internal/network"
+	"gmfnet/internal/units"
 )
 
 // Engine is a persistent, warm-startable analysis engine for online
@@ -86,7 +87,17 @@ type Engine struct {
 	// the write barrier.
 	scratch []FlowResult
 
+	// lastIterations mirrors stats.Iterations for the pre-stats
+	// Result.Iterations field; stats carries the full breakdown of the
+	// last holistic analysis and noConv its abandonment record when
+	// MaxHolisticIter ran out (see ConvergenceStats, ErrNoConvergence).
 	lastIterations int
+	stats          ConvergenceStats
+	noConv         *ErrNoConvergence
+
+	// accel is the reusable Anderson-acceleration state, allocated on
+	// the first accelerated analysis (Config.Accel; see accel.go).
+	accel *accelState
 
 	// snapSeq increments on every Snapshot, Restore, Discard and
 	// Invalidate: each snapshot truncates the undo journals, so only the
@@ -330,6 +341,8 @@ func (e *Engine) convergeDelta(changed ...int) (bool, error) {
 		e.valid = true
 		e.dirty = make(map[int]bool)
 		e.lastIterations = 0
+		e.stats = ConvergenceStats{}
+		e.noConv = nil
 		return true, nil
 	}
 	if !e.valid {
@@ -397,6 +410,22 @@ func (e *Engine) convergeFull() (bool, error) {
 // Every header it rewrites goes through the engine's write barrier, so
 // retained ResultViews keep their pre-analysis values and the cost per
 // round is O(worked flows).
+//
+// With Config.Accel set, plain rounds additionally feed an Anderson
+// history (accel.go): between sweeps the engine may write an
+// extrapolated candidate into the jitter state under a speculative
+// journal epoch and use the next sweep as its safeguard — an accepted
+// sweep advanced the ascent from the candidate (one more Iteration, one
+// AccelStep), a rejected one is rolled back slotwise and the plain
+// ascent resumes where it was (a Fallback). The speculative round's
+// worklist is the plain next worklist W extended with the bumped flows
+// and their interferers, so after a rollback the very same worklist
+// covers both the plain continuation and every header the rolled-back
+// sweep rewrote. MaxHolisticIter caps the advancing sweeps
+// (stats.Iterations), exactly the plain iteration count — so whenever
+// the plain engine converges within the cap, the accelerated one does
+// too; rolled-back verification sweeps are extra effort
+// (stats.WorklistRounds), not extra cap pressure.
 func (e *Engine) analyzeOver(work []int) (bool, error) {
 	nw := e.an.nw
 	e.bumpGen()
@@ -404,49 +433,94 @@ func (e *Engine) analyzeOver(work []int) (bool, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	prewarmed := false
-	for iter := 1; iter <= e.an.cfg.MaxHolisticIter; iter++ {
+	var acc *accelState
+	if e.an.cfg.Accel {
+		if e.accel == nil {
+			e.accel = newAccelState(e.an.cfg.AccelDepth)
+		}
+		acc = e.accel
+		acc.reset()
+	}
+	var (
+		stats      ConvergenceStats
+		prewarmed  bool
+		spec       bool
+		mark       specMark
+		narrows    int
+		cooldown   int
+		decScratch []int32
+		valScratch []units.Time
+	)
+	e.noConv = nil
+	maxIter := e.an.cfg.MaxHolisticIter
+	for stats.Iterations < maxIter {
+		stats.WorklistRounds++
+		if acc != nil {
+			// The packed candidate layout must stay frozen while a
+			// candidate is in flight: the verification sweep may pull
+			// new flows into the worklist, and growing the active set
+			// here would desynchronise z from the history it was built
+			// against. Newcomers are folded in on the next plain round.
+			if !spec {
+				acc.ensureActive(e.js, work)
+			}
+			acc.observe(e.js)
+		}
 		e.js.resetChanged()
-		if workers > 1 && len(work) >= minParallelWorklist {
-			if !prewarmed {
-				e.an.prewarmDemands()
-				prewarmed = true
-			}
-			if cap(e.scratch) < len(e.flows) {
-				e.scratch = make([]FlowResult, len(e.flows))
-			}
-			scratch := e.scratch[:len(e.flows)]
-			overlays := e.an.parallelRound(e.js, work, workers, scratch)
-			for _, i := range work {
-				e.setHeader(i, scratch[i], true)
-			}
-			for _, i := range work {
-				if e.flows[i].Err != nil {
-					e.valid = false
-					e.lastIterations = iter
-					return false, nil
+		errAt := e.sweepOnce(work, workers, &prewarmed)
+		if spec {
+			spec = false
+			if errAt >= 0 || e.js.decreased {
+				// The safeguard tripped: the extrapolated point
+				// overshot the least fixpoint (a slot moved down under
+				// F, or a stage blew up at the inflated jitters).
+				// Undo the candidate and its verification sweep; work
+				// still covers every header the sweep rewrote. A
+				// decrease pinpoints the refuted slots, so narrow the
+				// candidate to its surviving bumps and re-verify —
+				// the bumped set strictly shrinks, so this terminates.
+				// A stage blow-up names no slots; abandon wholesale
+				// and hold off proposing for a few rounds so a burst
+				// of hopeless candidates cannot double the sweep cost.
+				stats.Fallbacks++
+				decScratch = append(decScratch[:0], e.js.decOffs...)
+				valScratch = valScratch[:0]
+				for _, off := range decScratch {
+					valScratch = append(valScratch, e.js.arena[off])
 				}
-			}
-			for _, ov := range overlays {
-				ov.mergeInto(e.js)
-			}
-		} else {
-			for _, i := range work {
-				fr := e.an.flowPass(i, e.js)
-				e.setHeader(i, fr, true)
-				if fr.Err != nil {
-					// An overloaded or diverging stage dooms the whole
-					// configuration; warm state is no longer a fixpoint.
-					e.valid = false
-					e.lastIterations = iter
-					return false, nil
+				e.js.rollbackSpec(mark)
+				if errAt < 0 && narrows < accelMaxNarrow {
+					narrows++
+					mark = e.js.beginSpec()
+					if acc.narrowCandidate(e.js, decScratch, valScratch) {
+						spec = true
+						continue
+					}
+					e.js.acceptSpec(mark)
 				}
+				cooldown = narrows + 2
+				narrows = 0
+				continue
 			}
+			e.js.acceptSpec(mark)
+			stats.AccelSteps++
+			narrows = 0
+		}
+		stats.Iterations++
+		if errAt >= 0 {
+			// An overloaded or diverging stage dooms the whole
+			// configuration; warm state is no longer a fixpoint.
+			e.valid = false
+			e.finishStats(stats)
+			return false, nil
+		}
+		if acc != nil {
+			acc.record(e.js)
 		}
 		if len(e.js.changedList) == 0 {
 			e.valid = true
 			e.dirty = make(map[int]bool)
-			e.lastIterations = iter
+			e.finishStats(stats)
 			return true, nil
 		}
 		next := make(map[int]bool, 2*len(e.js.changedList))
@@ -456,6 +530,23 @@ func (e *Engine) analyzeOver(work []int) (bool, error) {
 				next[j] = true
 			}
 		}
+		if cooldown > 0 {
+			cooldown--
+		} else if acc != nil && stats.Iterations < maxIter && acc.ready() {
+			mark = e.js.beginSpec()
+			e.js.resetChanged()
+			if acc.propose(e.js) {
+				spec = true
+				for _, f := range e.js.changedList {
+					next[f] = true
+					for _, j := range nw.Interferers(f) {
+						next[j] = true
+					}
+				}
+			} else {
+				e.js.acceptSpec(mark)
+			}
+		}
 		work = work[:0]
 		for i := range next {
 			work = append(work, i)
@@ -463,17 +554,72 @@ func (e *Engine) analyzeOver(work []int) (bool, error) {
 		sort.Ints(work)
 	}
 	e.valid = false
-	e.lastIterations = e.an.cfg.MaxHolisticIter
+	e.noConv = &ErrNoConvergence{
+		Iterations: maxIter,
+		Residual:   e.js.maxDelta,
+		Pending:    len(e.js.changedList),
+	}
+	e.finishStats(stats)
 	return false, nil
+}
+
+// sweepOnce runs one worklist round — Jacobi-parallel when the worklist
+// is large enough, Gauss-Seidel otherwise — writing every result header
+// through the barrier. It returns the index of the first flow whose
+// pass failed (overload or divergence), or -1. On failure the parallel
+// branch has published every header but merged no overlay; both callers
+// cope (plain rounds mark the engine invalid, speculative rounds roll
+// the epoch back).
+func (e *Engine) sweepOnce(work []int, workers int, prewarmed *bool) int {
+	if workers > 1 && len(work) >= minParallelWorklist {
+		if !*prewarmed {
+			e.an.prewarmDemands()
+			*prewarmed = true
+		}
+		if cap(e.scratch) < len(e.flows) {
+			e.scratch = make([]FlowResult, len(e.flows))
+		}
+		scratch := e.scratch[:len(e.flows)]
+		overlays := e.an.parallelRound(e.js, work, workers, scratch)
+		for _, i := range work {
+			e.setHeader(i, scratch[i], true)
+		}
+		for _, i := range work {
+			if e.flows[i].Err != nil {
+				return i
+			}
+		}
+		for _, ov := range overlays {
+			ov.mergeInto(e.js)
+		}
+		return -1
+	}
+	for _, i := range work {
+		fr := e.an.flowPass(i, e.js)
+		e.setHeader(i, fr, true)
+		if fr.Err != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// finishStats publishes the analysis's convergence stats, keeping the
+// legacy lastIterations mirror in sync.
+func (e *Engine) finishStats(s ConvergenceStats) {
+	e.stats = s
+	e.lastIterations = s.Iterations
 }
 
 // result assembles a detached Result from the live per-flow headers —
 // the O(flows) copy the view path exists to avoid.
 func (e *Engine) result(converged bool) *Result {
 	out := &Result{
-		Flows:      make([]FlowResult, len(e.flows)),
-		Iterations: e.lastIterations,
-		Converged:  converged,
+		Flows:         make([]FlowResult, len(e.flows)),
+		Iterations:    e.lastIterations,
+		Converged:     converged,
+		Stats:         e.stats,
+		NoConvergence: e.noConv,
 	}
 	copy(out.Flows, e.flows)
 	return out
@@ -531,6 +677,8 @@ type Snapshot struct {
 	dirty          []int
 	valid          bool
 	lastIterations int
+	stats          ConvergenceStats
+	noConv         *ErrNoConvergence
 	numFlows       int
 }
 
@@ -548,6 +696,8 @@ func (e *Engine) Snapshot() *Snapshot {
 		seq:            e.snapSeq,
 		valid:          e.valid,
 		lastIterations: e.lastIterations,
+		stats:          e.stats,
+		noConv:         e.noConv,
 		numFlows:       e.an.nw.NumFlows(),
 		dirty:          make([]int, 0, len(e.dirty)),
 	}
@@ -634,6 +784,8 @@ func (e *Engine) Restore(s *Snapshot) error {
 	e.undoHeaders()
 	e.valid = s.valid
 	e.lastIterations = s.lastIterations
+	e.stats = s.stats
+	e.noConv = s.noConv
 	e.dirty = make(map[int]bool, len(s.dirty))
 	for _, i := range s.dirty {
 		e.dirty[i] = true

@@ -97,18 +97,25 @@ func (a *Analyzer) Analyze() (*Result, error) {
 				// configuration: report what we have.
 				res.Flows = flows
 				res.Iterations = iter
+				res.Stats = ConvergenceStats{Iterations: iter, WorklistRounds: iter}
 				res.Converged = false
 				return res, nil
 			}
 		}
 		res.Flows = flows
 		res.Iterations = iter
+		res.Stats = ConvergenceStats{Iterations: iter, WorklistRounds: iter}
 		if !js.changed {
 			res.Converged = true
 			return res, nil
 		}
 	}
 	res.Converged = false
+	res.NoConvergence = &ErrNoConvergence{
+		Iterations: a.cfg.MaxHolisticIter,
+		Residual:   js.maxDelta,
+		Pending:    len(js.changedList),
+	}
 	return res, nil
 }
 

@@ -66,13 +66,26 @@ func (a *Analyzer) firstHop(i, k int, js jitterSource) (units.Time, error) {
 
 	// Eqs. (16)-(19): per-instance backlog and response time.
 	q1 := units.CeilDivTime(busy, di.TSUM())
-	var r units.Time
+	var r, w units.Time
 	for q := int64(0); q < q1; q++ {
 		self := units.Time(q) * di.CSUM()
 		// Seed one picosecond above the self demand so that MX counts the
 		// critical-instant releases of interfering flows; a zero-length
-		// window would be a degenerate fixpoint (DESIGN.md F2).
-		w, err := a.fixpoint(res, fs.Flow.Name, k, self+1, func(w units.Time) units.Time {
+		// window would be a degenerate fixpoint (DESIGN.md F2). The
+		// previous instance's window is an exact warm seed on top of
+		// that: the self term grows with q, so f_q(w) - w = self_q -
+		// self_{q-1} >= 0 at w = w(q-1), and no fixpoint of f_q can hide
+		// below w(q-1) (on [seed, w(q-1)) the previous map already
+		// satisfied f(x) > x, and f_q >= f_{q-1} pointwise). The q loop
+		// therefore telescopes — total staircase work proportional to
+		// the final window, not q1 full climbs — and returns bit-for-bit
+		// the same windows the cold seed would.
+		seed := self + 1
+		if w > seed {
+			seed = w
+		}
+		var err error
+		w, err = a.fixpoint(res, fs.Flow.Name, k, seed, func(w units.Time) units.Time {
 			next := self
 			for idx, j := range flows {
 				if j == i {
@@ -142,12 +155,18 @@ func (a *Analyzer) ingress(i, k, h int, js jitterSource) (units.Time, error) {
 		completion = units.Time(nf) * circ
 	}
 	q1 := units.CeilDivTime(busy, di.TSUM())
-	var r units.Time
+	var r, w units.Time
 	for q := int64(0); q < q1; q++ {
 		self := units.Time(q*di.NSUM()) * circ
 		// Seed above the self demand for the same critical-instant reason
-		// as in firstHop.
-		w, err := a.fixpoint(res, fs.Flow.Name, k, self+1, func(w units.Time) units.Time {
+		// as in firstHop, warm-started from the previous instance's
+		// window (exact: see firstHop).
+		seed := self + 1
+		if w > seed {
+			seed = w
+		}
+		var err error
+		w, err = a.fixpoint(res, fs.Flow.Name, k, seed, func(w units.Time) units.Time {
 			next := self
 			for idx, j := range flows {
 				if j == i {
@@ -227,7 +246,7 @@ func (a *Analyzer) egress(i, k, h int, js jitterSource) (units.Time, error) {
 
 	// Eqs. (30)-(33).
 	q1 := units.CeilDivTime(busy, di.TSUM())
-	var r units.Time
+	var r, w units.Time
 	for q := int64(0); q < q1; q++ {
 		self := units.Time(q) * di.CSUM()
 		completion := ci
@@ -235,7 +254,14 @@ func (a *Analyzer) egress(i, k, h int, js jitterSource) (units.Time, error) {
 			self += units.Time(q*di.NSUM()) * circ
 			completion += units.Time(nf) * circ
 		}
-		w, err := a.fixpoint(res, fs.Flow.Name, k, mft+self, func(w units.Time) units.Time {
+		// Warm seed from the previous instance's window (exact: see
+		// firstHop).
+		seed := mft + self
+		if w > seed {
+			seed = w
+		}
+		var err error
+		w, err = a.fixpoint(res, fs.Flow.Name, k, seed, func(w units.Time) units.Time {
 			return mft + self + interference(w, false)
 		})
 		if err != nil {

@@ -261,6 +261,8 @@ func (e *Engine) newView(converged bool) *ResultView {
 		arr:        arrID(e.flows),
 		flows:      e.flows,
 		iterations: e.lastIterations,
+		stats:      e.stats,
+		noConv:     e.noConv,
 		converged:  converged,
 		sched:      converged && e.unsched == 0,
 		errs:       e.errcnt,
@@ -316,6 +318,8 @@ type ResultView struct {
 	overlay map[int]FlowResult
 
 	iterations int
+	stats      ConvergenceStats
+	noConv     *ErrNoConvergence
 	converged  bool
 	sched      bool
 	errs       int
@@ -357,6 +361,16 @@ func (v *ResultView) NumFlows() int { return len(v.flows) }
 
 // Iterations returns the number of holistic passes the analysis ran.
 func (v *ResultView) Iterations() int { return v.iterations }
+
+// Stats returns the convergence breakdown of the analysis at view time
+// (worklist rounds, accelerated steps, safeguard fallbacks). O(1) and
+// safe after Close — the stats are captured at view creation.
+func (v *ResultView) Stats() ConvergenceStats { return v.stats }
+
+// NoConvergence returns the abandonment record when the analysis
+// exhausted Config.MaxHolisticIter without converging, nil otherwise.
+// Like Stats it is captured at view creation and survives Close.
+func (v *ResultView) NoConvergence() *ErrNoConvergence { return v.noConv }
 
 // Converged reports whether the jitter assignment reached a fixpoint
 // within Config.MaxHolisticIter.
@@ -404,9 +418,11 @@ func (v *ResultView) Materialize() *Result {
 			return nil
 		}
 		out := &Result{
-			Flows:      make([]FlowResult, len(v.flows)),
-			Iterations: v.iterations,
-			Converged:  v.converged,
+			Flows:         make([]FlowResult, len(v.flows)),
+			Iterations:    v.iterations,
+			Converged:     v.converged,
+			Stats:         v.stats,
+			NoConvergence: v.noConv,
 		}
 		for i := range out.Flows {
 			out.Flows[i] = v.read(i)

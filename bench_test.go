@@ -22,6 +22,7 @@ import (
 	"gmfnet/internal/sim"
 	"gmfnet/internal/trace"
 	"gmfnet/internal/units"
+	"gmfnet/internal/workload"
 )
 
 // runExperiment executes one experiment per iteration and fails the bench
@@ -952,4 +953,73 @@ func BenchmarkAdmissionDeepRingPlain(b *testing.B) {
 // ≥30% fewer advancing sweeps and fewer total rounds than Plain.
 func BenchmarkAdmissionDeepRingAccel(b *testing.B) {
 	benchDeepRing(b, gmfnet.AnalysisConfig{Accel: true})
+}
+
+// BenchmarkAdmissionOpenLoop4096 replays a synthesized open-loop
+// workload — 4096 requests with exponential holds over a 512-group
+// backbone, the thousand-closure regime cmd/gmfnet-load drives at
+// million-request scale — through the parallel controller with
+// counters-only retention. One iteration is the whole replay, so the
+// archive tracks the load harness's steady-state cost per commit.
+func BenchmarkAdmissionOpenLoop4096(b *testing.B) {
+	spec := workload.TopoSpec{Kind: "backbone", Switches: 16, Fanout: 16, Hosts: 2}
+	h, ops, err := workload.Synthesize(spec, workload.Config{
+		Seed: 1, Requests: 4096, Hold: 1024, Local: 1, Heavy: 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, _, err := h.Topo.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Rebuild the flow specs once; replays share them like every other
+	// admission bench shares its batch across iterations.
+	specs := make([]*network.FlowSpec, len(ops))
+	for i := range ops {
+		if ops[i].Op != "add" {
+			continue
+		}
+		if specs[i], err = ops[i].Spec(topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ctl, err := admission.NewParallelController(network.New(topo), core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl.SetRetention(admission.RetainCounters)
+		var batch []*network.FlowSpec
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if _, err := ctl.RequestBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+		for i := range ops {
+			if ops[i].Op == "add" {
+				batch = append(batch, specs[i])
+				if len(batch) == 64 {
+					flush()
+				}
+				continue
+			}
+			flush()
+			if _, err := ctl.Release(ops[i].Name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		flush()
+		if err := ctl.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if got := ctl.Admitted() + ctl.Rejected(); got != 4096 {
+			b.Fatalf("decided %d of 4096", got)
+		}
+	}
 }

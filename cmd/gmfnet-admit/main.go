@@ -42,7 +42,10 @@
 // deterministically and prints one decision line per operation —
 // timing-free output, so the sequential, -workers and -batch runs of the
 // same trace are byte-identical (RequestBatch decisions equal one-by-one
-// decisions by construction).
+// decisions by construction). The trace format (internal/workload) is
+// shared with gmfnet-load; a header may name any generated topology —
+// campus, backbone, fronthaul or clos — not just the campus streams this
+// command records.
 package main
 
 import (
@@ -63,6 +66,7 @@ import (
 	"gmfnet/internal/report"
 	"gmfnet/internal/trace"
 	"gmfnet/internal/units"
+	"gmfnet/internal/workload"
 )
 
 func main() {
@@ -319,13 +323,16 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, o runO
 	if err != nil {
 		return err
 	}
-	var rec *traceRecorder
+	var rec *workload.Recorder
 	if record != "" {
-		rec, err = newTraceRecorder(record, switches, hostsPer)
+		// An empty Kind means campus, so recorded streams keep the exact
+		// header bytes of the pre-generator trace format.
+		h := workload.Header{Topo: workload.TopoSpec{Switches: switches, Hosts: hostsPer}}
+		rec, err = workload.NewRecorder(record, h)
 		if err != nil {
 			return err
 		}
-		defer rec.close() // error-path cleanup; the success path closes below
+		defer rec.Close() // error-path cleanup; the success path closes below
 	}
 
 	r := rand.New(rand.NewSource(seed))
@@ -347,7 +354,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, o runO
 		if err != nil {
 			return err
 		}
-		if err := rec.record(addOp(spec)); err != nil {
+		if err := rec.Record(workload.CaptureAdd(spec)); err != nil {
 			return err
 		}
 		if err := adm.request(spec); err != nil {
@@ -361,7 +368,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, o runO
 				continue
 			}
 			j := r.Intn(len(liveNames))
-			if err := rec.record(traceOp{Op: "del", Name: liveNames[j]}); err != nil {
+			if err := rec.Record(workload.Op{Op: "del", Name: liveNames[j]}); err != nil {
 				return err
 			}
 			ok, err := ctl.Release(liveNames[j])
@@ -384,7 +391,7 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, o runO
 			return err
 		}
 	}
-	if err := rec.close(); err != nil {
+	if err := rec.Close(); err != nil {
 		return fmt.Errorf("recording trace: %w", err)
 	}
 	elapsed := time.Since(start)
@@ -439,11 +446,11 @@ func runStream(n int, seed int64, depart float64, switches, hostsPer int, o runO
 // first, exactly like the recording side, so decision order is the
 // request order regardless of batching.
 func runTrace(w io.Writer, path string, o runOpts) error {
-	h, ops, err := loadTrace(path)
+	h, ops, err := workload.LoadTrace(path)
 	if err != nil {
 		return err
 	}
-	topo, _, err := network.Campus(h.Topo.Switches, h.Topo.Hosts)
+	topo, _, err := h.Topo.Build()
 	if err != nil {
 		return err
 	}
@@ -467,7 +474,7 @@ func runTrace(w io.Writer, path string, o runOpts) error {
 	for _, op := range ops {
 		switch op.Op {
 		case "add":
-			spec, err := op.spec(topo)
+			spec, err := op.Spec(topo)
 			if err != nil {
 				return err
 			}

@@ -139,6 +139,59 @@ func TestTraceGoldenOutput(t *testing.T) {
 	}
 }
 
+// TestGeneratorTraceGolden extends the determinism pin to the
+// production topology generators: a down-scaled synthesized trace per
+// generator (recorded by gmfnet-load -record, heavy flows forcing
+// rejects and tenant churn forcing releases) must replay to the
+// byte-identical checked-in decision log through every controller
+// variant. This is what licenses the load harness's counters as "what
+// the serial controller would have decided" at million-request scale.
+func TestGeneratorTraceGolden(t *testing.T) {
+	variants := []struct {
+		name string
+		opts runOpts
+	}{
+		{name: "sequential"},
+		{name: "batch3", opts: runOpts{batch: 3}},
+		{name: "sharded", opts: runOpts{shards: true}},
+		{name: "sharded-batch3", opts: runOpts{shards: true, batch: 3}},
+		{name: "parallel", opts: runOpts{parallel: true}},
+		{name: "parallel-batch3", opts: runOpts{parallel: true, batch: 3}},
+		{name: "cold", opts: runOpts{cold: true}},
+		{name: "accel", opts: runOpts{accel: true}},
+	}
+	for _, gen := range []string{"backbone", "fronthaul", "clos"} {
+		gen := gen
+		t.Run(gen, func(t *testing.T) {
+			tracePath := filepath.Join("testdata", gen+".trace")
+			golden, err := os.ReadFile(filepath.Join("testdata", gen+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The trace must actually exercise both hard paths.
+			if !bytes.Contains(golden, []byte("reject ")) {
+				t.Fatalf("%s golden has no rejections", gen)
+			}
+			if !bytes.Contains(golden, []byte("release ")) {
+				t.Fatalf("%s golden has no departures", gen)
+			}
+			for _, v := range variants {
+				v := v
+				t.Run(v.name, func(t *testing.T) {
+					var out bytes.Buffer
+					if err := runTrace(&out, tracePath, v.opts); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(out.Bytes(), golden) {
+						t.Fatalf("decision log differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+							out.Bytes(), golden)
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestTraceStatsLine checks the -stats reporting: the replay's decision
 // log is unchanged (the stats line is appended after the pinned
 // summary), and the sweep/round counters are live.

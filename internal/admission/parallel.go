@@ -46,10 +46,44 @@ type ParallelController struct {
 	cond *sync.Cond
 	// tickets holds unfolded submissions in submission order; the head
 	// folds into decisions/residents as soon as all its groups decided.
-	tickets   []*PendingBatch
-	residents []*network.FlowSpec
+	tickets []*PendingBatch
+	// residents maps a flow name to its admitted, unreleased specs in
+	// global admission order, so Release pops the first admission of
+	// that name in O(1) instead of scanning every resident — the
+	// difference between O(1) and O(population) per departure when the
+	// load harness replays millions of them.
+	residents map[string][]*network.FlowSpec
+	nresident int
+	retention Retention
 	decisions []Decision
+	admitted  int
+	rejected  int
 	released  int
+}
+
+// Retention selects how much per-decision state the controller keeps.
+type Retention int
+
+const (
+	// RetainAll keeps the full decision log, each decision carrying its
+	// materialized analysis Result: the default, and what the
+	// differential and golden tests compare byte for byte.
+	RetainAll Retention = iota
+	// RetainCounters folds every decision into the admitted/rejected
+	// counters and drops the analysis views unmaterialized. Memory per
+	// request is constant and the O(closure) bound copy per decision
+	// disappears — the retention mode for replaying millions of
+	// requests, where the decision log would otherwise dominate memory.
+	RetainCounters
+)
+
+// SetRetention switches the retention mode. It applies to submissions
+// folded after the call; set it before the first request for a uniform
+// log. Decisions already folded are kept either way.
+func (c *ParallelController) SetRetention(r Retention) {
+	c.mu.Lock()
+	c.retention = r
+	c.mu.Unlock()
 }
 
 // PendingBatch is one in-flight submission: a ticket whose groups are
@@ -82,7 +116,11 @@ func NewParallelController(nw *network.Network, cfg core.Config) (*ParallelContr
 	}
 	c := &ParallelController{se: se, sched: core.NewScheduler(se)}
 	c.cond = sync.NewCond(&c.mu)
-	c.residents = append(c.residents, nw.Flows()...)
+	c.residents = make(map[string][]*network.FlowSpec)
+	for _, fs := range nw.Flows() {
+		c.residents[fs.Flow.Name] = append(c.residents[fs.Flow.Name], fs)
+		c.nresident++
+	}
 	return c, nil
 }
 
@@ -200,7 +238,11 @@ func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.
 	}
 	// Detach the analyses: one materialization per distinct view (an
 	// admitted group shares one), closed right after so nothing stays
-	// pinned on the shard engine.
+	// pinned on the shard engine. Under RetainCounters the views are
+	// closed without copying — the analysis is never read back.
+	c.mu.Lock()
+	lean := c.retention == RetainCounters
+	c.mu.Unlock()
 	mats := make(map[*core.ResultView]*core.Result)
 	for i := range ds {
 		v := ds[i].View
@@ -209,7 +251,9 @@ func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.
 		}
 		r, ok := mats[v]
 		if !ok {
-			r = v.Materialize()
+			if !lean {
+				r = v.Materialize()
+			}
 			mats[v] = r
 			v.Close()
 		}
@@ -249,9 +293,16 @@ func (c *ParallelController) foldLocked() {
 			if !t.decided[i] {
 				continue // a group that errored decided nothing
 			}
-			c.decisions = append(c.decisions, t.out[i])
+			if c.retention == RetainAll {
+				c.decisions = append(c.decisions, t.out[i])
+			}
 			if t.out[i].Admitted {
-				c.residents = append(c.residents, t.specs[i])
+				c.admitted++
+				name := t.specs[i].Flow.Name
+				c.residents[name] = append(c.residents[name], t.specs[i])
+				c.nresident++
+			} else {
+				c.rejected++
 			}
 		}
 		t.folded = true
@@ -293,19 +344,18 @@ func (c *ParallelController) Release(name string) (bool, error) {
 	for len(c.tickets) > 0 {
 		c.cond.Wait()
 	}
-	at := -1
-	for k, fs := range c.residents {
-		if fs.Flow.Name == name {
-			at = k
-			break
-		}
-	}
-	if at < 0 {
+	q := c.residents[name]
+	if len(q) == 0 {
 		c.mu.Unlock()
 		return false, nil
 	}
-	fs := c.residents[at]
-	c.residents = append(c.residents[:at], c.residents[at+1:]...)
+	fs := q[0]
+	if len(q) == 1 {
+		delete(c.residents, name)
+	} else {
+		c.residents[name] = q[1:]
+	}
+	c.nresident--
 	c.released++
 	c.mu.Unlock()
 	if !c.sched.Remove(fs) {
@@ -325,7 +375,8 @@ func (c *ParallelController) Close() error { return c.sched.Close() }
 
 // Decisions returns the folded decisions in submission order. Decisions
 // of submissions still in flight are not yet included; Flush first for
-// a complete log.
+// a complete log. Decisions folded under RetainCounters are counted but
+// not logged, so they do not appear here.
 func (c *ParallelController) Decisions() []Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -333,31 +384,29 @@ func (c *ParallelController) Decisions() []Decision {
 }
 
 // Admitted returns the number of admitted flows among the folded
-// decisions.
+// decisions, in every retention mode.
 func (c *ParallelController) Admitted() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, d := range c.decisions {
-		if d.Admitted {
-			n++
-		}
-	}
-	return n
+	return c.admitted
 }
 
 // Rejected returns the number of rejected requests among the folded
-// decisions.
+// decisions, in every retention mode.
 func (c *ParallelController) Rejected() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, d := range c.decisions {
-		if !d.Admitted {
-			n++
-		}
-	}
-	return n
+	return c.rejected
+}
+
+// NumResidents returns the number of resident flows: admissions (plus
+// flows present at construction) not yet claimed by Release. Unlike
+// NumFlows it reads the fold-order bookkeeping without waiting for
+// in-flight shard work.
+func (c *ParallelController) NumResidents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nresident
 }
 
 // Released returns the number of departures dispatched by Release.

@@ -3,6 +3,7 @@ package admission
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -50,17 +51,28 @@ func stressSpec(t *testing.T, topo *network.Topology, hosts []network.NodeID, ho
 	return fs
 }
 
+// residentSpecs snapshots the controller's resident flows, sorted by
+// name for deterministic iteration.
+func residentSpecs(ctl *ParallelController) []*network.FlowSpec {
+	ctl.mu.Lock()
+	var out []*network.FlowSpec
+	for _, q := range ctl.residents {
+		out = append(out, q...)
+	}
+	ctl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow.Name < out[j].Flow.Name })
+	return out
+}
+
 // checkParallelPartition asserts, at quiescence, that the shards
 // partition exactly the controller's resident flows: every resident in
 // exactly one shard, no strays.
 func checkParallelPartition(t *testing.T, ctl *ParallelController) {
 	t.Helper()
-	ctl.mu.Lock()
 	want := make(map[string]int)
-	for _, fs := range ctl.residents {
+	for _, fs := range residentSpecs(ctl) {
 		want[fs.Flow.Name]++
 	}
-	ctl.mu.Unlock()
 	got := make(map[string]int)
 	for _, eng := range ctl.se.Shards() {
 		nw := eng.Network()
@@ -147,11 +159,11 @@ func TestParallelFusionStress(t *testing.T) {
 		for len(ctl.tickets) > 0 {
 			ctl.cond.Wait()
 		}
+		ctl.mu.Unlock()
 		var names []string
-		for _, fs := range ctl.residents {
+		for _, fs := range residentSpecs(ctl) {
 			names = append(names, fs.Flow.Name)
 		}
-		ctl.mu.Unlock()
 		var rg sync.WaitGroup
 		for g := 0; g < gors; g++ {
 			rg.Add(1)
@@ -171,9 +183,7 @@ func TestParallelFusionStress(t *testing.T) {
 		if err := ctl.Flush(); err != nil {
 			t.Fatalf("phase %d flush: %v", phase, err)
 		}
-		ctl.mu.Lock()
-		wantFlows := len(ctl.residents)
-		ctl.mu.Unlock()
+		wantFlows := ctl.NumResidents()
 		if got := ctl.NumFlows(); got != wantFlows {
 			t.Fatalf("phase %d: %d flows across shards, residents list %d", phase, got, wantFlows)
 		}
@@ -191,7 +201,7 @@ func TestParallelFusionStress(t *testing.T) {
 	// The admitted set must be schedulable and every shard's bounds must
 	// equal a from-scratch cold analysis of exactly that set.
 	ref := network.New(topo)
-	for _, fs := range ctl.residents {
+	for _, fs := range residentSpecs(ctl) {
 		if _, err := ref.AddFlow(fs); err != nil {
 			t.Fatal(err)
 		}
@@ -356,4 +366,82 @@ func TestParallelEmptyBatch(t *testing.T) {
 	if ok, err := ctl.Release("ghost"); ok || err != nil {
 		t.Fatalf("Release(ghost) = (%v, %v), want (false, nil)", ok, err)
 	}
+}
+
+// TestParallelRetentionCounters pins the lean retention mode the load
+// harness replays under: decisions and departures are identical to
+// RetainAll, the counters agree, but no decision log (and no
+// materialized analyses) accumulate.
+func TestParallelRetentionCounters(t *testing.T) {
+	topo, hosts, err := network.Ring(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	specs := batchSpecs(t, r, topo, hosts, 48, "rt-")
+	full, err := NewParallelController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean, err := NewParallelController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean.SetRetention(RetainCounters)
+	for i, fs := range specs {
+		fd, err := full.Request(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := *fs
+		ld, err := lean.Request(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fd.Admitted != ld.Admitted {
+			t.Fatalf("spec %d (%s): full=%v lean=%v", i, fs.Flow.Name, fd.Admitted, ld.Admitted)
+		}
+		if ld.Result != nil || ld.View != nil {
+			t.Fatalf("spec %d: lean decision kept an analysis", i)
+		}
+		if fd.Admitted && i%3 == 0 {
+			fok, err := full.Release(fs.Flow.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lok, err := lean.Release(fs.Flow.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fok || !lok {
+				t.Fatalf("release %q: full=%v lean=%v", fs.Flow.Name, fok, lok)
+			}
+		}
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lean.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if full.Admitted() != lean.Admitted() || full.Rejected() != lean.Rejected() ||
+		full.Released() != lean.Released() {
+		t.Fatalf("counters: full %d/%d/%d, lean %d/%d/%d",
+			full.Admitted(), full.Rejected(), full.Released(),
+			lean.Admitted(), lean.Rejected(), lean.Released())
+	}
+	if len(full.Decisions()) != len(specs) {
+		t.Fatalf("full log = %d decisions, want %d", len(full.Decisions()), len(specs))
+	}
+	if n := len(lean.Decisions()); n != 0 {
+		t.Fatalf("lean log = %d decisions, want none", n)
+	}
+	if lean.NumResidents() != lean.Admitted()-lean.Released() {
+		t.Fatalf("residents %d != admitted %d - released %d",
+			lean.NumResidents(), lean.Admitted(), lean.Released())
+	}
+	if lean.NumFlows() != lean.NumResidents() {
+		t.Fatalf("shard flows %d != residents %d", lean.NumFlows(), lean.NumResidents())
+	}
+	checkParallelPartition(t, lean)
 }

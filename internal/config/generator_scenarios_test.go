@@ -1,0 +1,161 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/units"
+)
+
+// loadAndBuild loads a shipped scenario and returns both the document
+// and the built network, failing the test on any error.
+func loadAndBuild(t *testing.T, path string) (*Scenario, *network.Network) {
+	t.Helper()
+	sc, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, nw
+}
+
+// requireNodesSubsetOf asserts that every node named by the scenario
+// exists in the generator-built reference topology: the hand-written
+// scenario files are down-scaled instances of the production
+// generators, and their naming must track the generator's so a trace
+// synthesized over the generated topology reads naturally against the
+// shipped file.
+func requireNodesSubsetOf(t *testing.T, sc *Scenario, ref *network.Topology) {
+	t.Helper()
+	for _, h := range sc.Hosts {
+		if ref.Node(network.NodeID(h)) == nil {
+			t.Errorf("host %q not named by the generator", h)
+		}
+	}
+	for _, sw := range sc.Switches {
+		if ref.Node(network.NodeID(sw.ID)) == nil {
+			t.Errorf("switch %q not named by the generator", sw.ID)
+		}
+	}
+}
+
+// TestBackboneShipped pins the ISP-backbone scenario's shape: a
+// two-PoP instance of network.Backbone's naming (pop<p>, agg<p>_<a>,
+// h<p>_<a>_<i>), with at least one flow staying access-local and at
+// least one climbing over the long-haul ring — the two closure
+// regimes the generator documentation promises.
+func TestBackboneShipped(t *testing.T) {
+	sc, nw := loadAndBuild(t, "../../scenarios/backbone.json")
+	ref, _, err := network.Backbone(2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNodesSubsetOf(t, sc, ref)
+	if nw.NumFlows() != 4 {
+		t.Fatalf("flows = %d, want 4", nw.NumFlows())
+	}
+	local, longhaul := 0, 0
+	for i := 0; i < nw.NumFlows(); i++ {
+		switch r := nw.Flow(i).Route; {
+		case len(r) <= 3:
+			local++
+		case len(r) >= 6:
+			longhaul++
+		}
+	}
+	if local == 0 || longhaul == 0 {
+		t.Fatalf("want both access-local and long-haul flows, got %d local / %d long-haul", local, longhaul)
+	}
+}
+
+// TestFronthaulShipped pins the 5G-fronthaul scenario: network.
+// Fronthaul's naming (cu<h>, du<h>_<c>, ru<h>_<c>_<r>) and the tight
+// 1 ms IQ streams that distinguish fronthaul traffic from the voice
+// and video mixes elsewhere in the library.
+func TestFronthaulShipped(t *testing.T) {
+	sc, nw := loadAndBuild(t, "../../scenarios/fronthaul.json")
+	ref, _, err := network.Fronthaul(2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNodesSubsetOf(t, sc, ref)
+	if nw.NumFlows() != 4 {
+		t.Fatalf("flows = %d, want 4", nw.NumFlows())
+	}
+	tight := 0
+	for i := 0; i < nw.NumFlows(); i++ {
+		if nw.Flow(i).Flow.MinDeadline() <= 10*units.Millisecond {
+			tight++
+		}
+	}
+	if tight < 2 {
+		t.Fatalf("only %d flows carry a <=10ms deadline; fronthaul needs its IQ streams", tight)
+	}
+}
+
+// TestClosTenantShipped pins the multi-tenant Clos scenario:
+// network.ClosTenant's naming (spine<s>, leaf<l>, h<l>_<i>), flow
+// names carrying the synthesizer's t<k>. tenant prefix, and at least
+// one east-west route per tenant crossing a spine.
+func TestClosTenantShipped(t *testing.T) {
+	sc, nw := loadAndBuild(t, "../../scenarios/clos-tenant.json")
+	ref, _, err := network.ClosTenant(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNodesSubsetOf(t, sc, ref)
+	if nw.NumFlows() != 4 {
+		t.Fatalf("flows = %d, want 4", nw.NumFlows())
+	}
+	tenants := map[string]bool{}
+	eastWest := 0
+	for i := 0; i < nw.NumFlows(); i++ {
+		fs := nw.Flow(i)
+		name := fs.Flow.Name
+		dot := strings.IndexByte(name, '.')
+		if !strings.HasPrefix(name, "t") || dot < 2 {
+			t.Fatalf("flow %q lacks the t<k>. tenant prefix", name)
+		}
+		tenants[name[:dot]] = true
+		for _, hop := range fs.Route {
+			if strings.HasPrefix(string(hop), "spine") {
+				eastWest++
+				break
+			}
+		}
+	}
+	if len(tenants) < 2 {
+		t.Fatalf("want at least 2 tenants, got %v", tenants)
+	}
+	if eastWest < 2 {
+		t.Fatalf("only %d flows cross a spine", eastWest)
+	}
+}
+
+// TestGeneratorScenariosSchedulable re-checks the three generator
+// scenarios explicitly (TestShippedScenarios globs them too, but a
+// rename there must not silently drop this family from coverage).
+func TestGeneratorScenariosSchedulable(t *testing.T) {
+	for _, name := range []string{"backbone", "fronthaul", "clos-tenant"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, nw := loadAndBuild(t, "../../scenarios/"+name+".json")
+			an, err := core.NewAnalyzer(nw, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := an.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Schedulable() {
+				t.Fatalf("shipped %s scenario is not schedulable", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package network
+
+import (
+	"fmt"
+
+	"gmfnet/internal/units"
+)
+
+// Backbone builds an ISP-backbone topology: `pops` point-of-presence
+// core switches ("pop<p>") joined in a ring over 10 Gbit/s long-haul
+// links, each PoP terminating `aggPer` aggregation switches
+// ("agg<p>_<a>") on 1 Gbit/s metro links, each aggregation switch
+// serving `hostsPer` subscriber hosts ("h<p>_<a>_<i>") on 100 Mbit/s
+// access links. The returned host list is aggregation-major:
+// hosts[g*hostsPer:(g+1)*hostsPer] hang under aggregation switch
+// g = p*aggPer+a, which is the locality-group layout the workload
+// synthesizer keys on.
+//
+// Closure behaviour: access-local calls share only their own host
+// links, so one aggregation switch carries many small closures; flows
+// that climb into the metro or cross PoPs chain closures along their
+// path, so a backbone instance holds thousands of closures at scale
+// without collapsing into one.
+//
+// With fewer than three PoPs the ring degenerates exactly like Ring:
+// two PoPs get a single long-haul link, one PoP gets none.
+func Backbone(pops, aggPer, hostsPer int) (*Topology, []NodeID, error) {
+	if pops < 1 || aggPer < 1 || hostsPer < 1 {
+		return nil, nil, fmt.Errorf("network: backbone needs at least 1 PoP, 1 aggregation switch per PoP and 1 host per aggregation")
+	}
+	topo := NewTopology()
+	for p := 0; p < pops; p++ {
+		if err := topo.AddSwitch(NodeID(fmt.Sprintf("pop%d", p)), DefaultSwitchParams()); err != nil {
+			return nil, nil, err
+		}
+	}
+	for p := 0; p < pops; p++ {
+		next := (p + 1) % pops
+		if next == p || (pops == 2 && p == 1) {
+			continue // no self-link; don't duplicate the 2-PoP link
+		}
+		a := NodeID(fmt.Sprintf("pop%d", p))
+		b := NodeID(fmt.Sprintf("pop%d", next))
+		if err := topo.AddDuplexLink(a, b, 10*units.Gbps, 50*units.Microsecond); err != nil {
+			return nil, nil, err
+		}
+	}
+	hosts := make([]NodeID, 0, pops*aggPer*hostsPer)
+	for p := 0; p < pops; p++ {
+		pop := NodeID(fmt.Sprintf("pop%d", p))
+		for a := 0; a < aggPer; a++ {
+			agg := NodeID(fmt.Sprintf("agg%d_%d", p, a))
+			if err := topo.AddSwitch(agg, DefaultSwitchParams()); err != nil {
+				return nil, nil, err
+			}
+			if err := topo.AddDuplexLink(agg, pop, units.Gbps, 5*units.Microsecond); err != nil {
+				return nil, nil, err
+			}
+			for i := 0; i < hostsPer; i++ {
+				id := NodeID(fmt.Sprintf("h%d_%d_%d", p, a, i))
+				if err := topo.AddHost(id); err != nil {
+					return nil, nil, err
+				}
+				if err := topo.AddDuplexLink(id, agg, 100*units.Mbps, units.Microsecond); err != nil {
+					return nil, nil, err
+				}
+				hosts = append(hosts, id)
+			}
+		}
+	}
+	return topo, hosts, nil
+}

@@ -1,0 +1,58 @@
+package network
+
+import (
+	"fmt"
+
+	"gmfnet/internal/units"
+)
+
+// ClosTenant builds a multi-tenant leaf-spine Clos fabric: `spines`
+// spine switches ("spine<s>") fully meshed to `leaves` leaf switches
+// ("leaf<l>") over 1 Gbit/s fabric links, each leaf serving `hostsPer`
+// tenant hosts ("h<l>_<i>") on 100 Mbit/s server links. The returned
+// host list is leaf-major: hosts[l*hostsPer:(l+1)*hostsPer] sit under
+// leaf l, the locality-group layout the workload synthesizer keys on
+// (tenancy is a workload property — the synthesizer carves the leaf
+// groups into tenants, the fabric is shared).
+//
+// Closure behaviour: rack-local flows share only their own server
+// links, so every leaf carries many independent closures; any
+// leaf-to-leaf flow crosses one spine (deterministic shortest-route
+// tie-break) and chains the closures it touches. A few hundred leaves
+// put thousands of closures on the fabric — the scale the
+// million-request load harness replays against.
+func ClosTenant(spines, leaves, hostsPer int) (*Topology, []NodeID, error) {
+	if spines < 1 || leaves < 1 || hostsPer < 1 {
+		return nil, nil, fmt.Errorf("network: clos needs at least 1 spine, 1 leaf and 1 host per leaf")
+	}
+	topo := NewTopology()
+	for s := 0; s < spines; s++ {
+		if err := topo.AddSwitch(NodeID(fmt.Sprintf("spine%d", s)), DefaultSwitchParams()); err != nil {
+			return nil, nil, err
+		}
+	}
+	hosts := make([]NodeID, 0, leaves*hostsPer)
+	for l := 0; l < leaves; l++ {
+		leaf := NodeID(fmt.Sprintf("leaf%d", l))
+		if err := topo.AddSwitch(leaf, DefaultSwitchParams()); err != nil {
+			return nil, nil, err
+		}
+		for s := 0; s < spines; s++ {
+			spine := NodeID(fmt.Sprintf("spine%d", s))
+			if err := topo.AddDuplexLink(leaf, spine, units.Gbps, 5*units.Microsecond); err != nil {
+				return nil, nil, err
+			}
+		}
+		for i := 0; i < hostsPer; i++ {
+			id := NodeID(fmt.Sprintf("h%d_%d", l, i))
+			if err := topo.AddHost(id); err != nil {
+				return nil, nil, err
+			}
+			if err := topo.AddDuplexLink(id, leaf, 100*units.Mbps, units.Microsecond); err != nil {
+				return nil, nil, err
+			}
+			hosts = append(hosts, id)
+		}
+	}
+	return topo, hosts, nil
+}

@@ -1,0 +1,218 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"gmfnet/internal/gmf"
+	"gmfnet/internal/units"
+)
+
+func TestBackboneShape(t *testing.T) {
+	const pops, aggPer, hostsPer = 4, 3, 2
+	topo, hosts, err := Backbone(pops, aggPer, hostsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := pops * aggPer * hostsPer; len(hosts) != want {
+		t.Fatalf("hosts = %d, want %d", len(hosts), want)
+	}
+	// Every PoP has two ring neighbours plus its aggregation switches.
+	for p := 0; p < pops; p++ {
+		id := NodeID(fmt.Sprintf("pop%d", p))
+		if n := topo.Interfaces(id); n != 2+aggPer {
+			t.Fatalf("PoP %s interfaces = %d, want %d", id, n, 2+aggPer)
+		}
+	}
+	// Host list is aggregation-major: group g sits under agg g.
+	for g := 0; g < pops*aggPer; g++ {
+		p, a := g/aggPer, g%aggPer
+		for i := 0; i < hostsPer; i++ {
+			want := NodeID(fmt.Sprintf("h%d_%d_%d", p, a, i))
+			if got := hosts[g*hostsPer+i]; got != want {
+				t.Fatalf("hosts[%d] = %s, want %s", g*hostsPer+i, got, want)
+			}
+		}
+	}
+	// Access-local routes stay under the aggregation switch; cross-PoP
+	// routes climb agg -> pop -> ... -> pop -> agg.
+	local, err := topo.Route(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != 3 {
+		t.Fatalf("local route %v, want 1 switch hop", local)
+	}
+	cross, err := topo.Route("h0_0_0", "h2_0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.ValidateRoute(cross); err != nil {
+		t.Fatal(err)
+	}
+	if len(cross) != 2+2+3 { // 2 hosts, 2 aggs, pop0..pop2 short arc
+		t.Fatalf("cross-PoP route %v, want 5 switch hops", cross)
+	}
+	// Degenerate PoP counts still build (Ring's 1- and 2-switch cases).
+	for _, n := range []int{1, 2} {
+		if _, _, err := Backbone(n, 1, 1); err != nil {
+			t.Fatalf("Backbone(%d, 1, 1): %v", n, err)
+		}
+	}
+	if _, _, err := Backbone(0, 1, 1); err == nil {
+		t.Fatal("Backbone(0, 1, 1) succeeded")
+	}
+	if _, _, err := Backbone(1, 0, 1); err == nil {
+		t.Fatal("Backbone(1, 0, 1) succeeded")
+	}
+}
+
+func TestFronthaulShape(t *testing.T) {
+	const hubs, cellsPer, ruPer = 3, 2, 4
+	topo, hosts, err := Fronthaul(hubs, cellsPer, ruPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := hubs * cellsPer * ruPer; len(hosts) != want {
+		t.Fatalf("hosts = %d, want %d", len(hosts), want)
+	}
+	// Interior CU switches link to both chain neighbours and their cells.
+	if n := topo.Interfaces("cu1"); n != 2+cellsPer {
+		t.Fatalf("cu1 interfaces = %d, want %d", n, 2+cellsPer)
+	}
+	// Host list is cell-major.
+	for g := 0; g < hubs*cellsPer; g++ {
+		h, c := g/cellsPer, g%cellsPer
+		for r := 0; r < ruPer; r++ {
+			want := NodeID(fmt.Sprintf("ru%d_%d_%d", h, c, r))
+			if got := hosts[g*ruPer+r]; got != want {
+				t.Fatalf("hosts[%d] = %s, want %s", g*ruPer+r, got, want)
+			}
+		}
+	}
+	local, err := topo.Route(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != 3 {
+		t.Fatalf("cell-local route %v, want 1 switch hop", local)
+	}
+	// Cross-hub routes traverse the backhaul chain.
+	cross, err := topo.Route("ru0_0_0", "ru2_1_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cross) != 2+2+3 { // 2 RUs, 2 DUs, cu0 cu1 cu2
+		t.Fatalf("cross-hub route %v, want 5 switch hops", cross)
+	}
+	if _, _, err := Fronthaul(0, 1, 1); err == nil {
+		t.Fatal("Fronthaul(0, 1, 1) succeeded")
+	}
+	if _, _, err := Fronthaul(1, 1, 0); err == nil {
+		t.Fatal("Fronthaul(1, 1, 0) succeeded")
+	}
+}
+
+func TestClosTenantShape(t *testing.T) {
+	const spines, leaves, hostsPer = 2, 4, 3
+	topo, hosts, err := ClosTenant(spines, leaves, hostsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := leaves * hostsPer; len(hosts) != want {
+		t.Fatalf("hosts = %d, want %d", len(hosts), want)
+	}
+	// Full bipartite fabric: every spine sees every leaf and vice versa.
+	for s := 0; s < spines; s++ {
+		id := NodeID(fmt.Sprintf("spine%d", s))
+		if n := topo.Interfaces(id); n != leaves {
+			t.Fatalf("spine %s interfaces = %d, want %d", id, n, leaves)
+		}
+	}
+	for l := 0; l < leaves; l++ {
+		id := NodeID(fmt.Sprintf("leaf%d", l))
+		if n := topo.Interfaces(id); n != spines+hostsPer {
+			t.Fatalf("leaf %s interfaces = %d, want %d", id, n, spines+hostsPer)
+		}
+	}
+	// Host list is leaf-major.
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < hostsPer; i++ {
+			want := NodeID(fmt.Sprintf("h%d_%d", l, i))
+			if got := hosts[l*hostsPer+i]; got != want {
+				t.Fatalf("hosts[%d] = %s, want %s", l*hostsPer+i, got, want)
+			}
+		}
+	}
+	local, err := topo.Route(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != 3 {
+		t.Fatalf("rack-local route %v, want 1 switch hop", local)
+	}
+	// Leaf-to-leaf routes cross exactly one spine.
+	cross, err := topo.Route("h0_0", "h3_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cross) != 5 {
+		t.Fatalf("cross-leaf route %v, want leaf-spine-leaf", cross)
+	}
+	if _, _, err := ClosTenant(0, 1, 1); err == nil {
+		t.Fatal("ClosTenant(0, 1, 1) succeeded")
+	}
+	if _, _, err := ClosTenant(1, 0, 1); err == nil {
+		t.Fatal("ClosTenant(1, 0, 1) succeeded")
+	}
+}
+
+// TestProductionGeneratorsShardFinely pins the closure story the load
+// harness depends on: locality-group-local flows across distinct host
+// pairs share no pipeline resource, so a production topology carries one
+// closure per active host pair — thousands at scale — rather than one
+// per switch.
+func TestProductionGeneratorsShardFinely(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*Topology, []NodeID, error)
+		group int
+	}{
+		{"backbone", func() (*Topology, []NodeID, error) { return Backbone(3, 4, 4) }, 4},
+		{"fronthaul", func() (*Topology, []NodeID, error) { return Fronthaul(3, 4, 4) }, 4},
+		{"clos", func() (*Topology, []NodeID, error) { return ClosTenant(2, 12, 4) }, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, hosts, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw := New(topo)
+			flows := 0
+			for g := 0; g*tc.group+1 < len(hosts); g++ {
+				// Two disjoint local pairs per group: 0->1 and 2->3.
+				for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+					src := hosts[g*tc.group+pair[0]]
+					dst := hosts[g*tc.group+pair[1]]
+					route, err := topo.Route(src, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fs := &FlowSpec{
+						Flow: &gmf.Flow{Name: fmt.Sprintf("f%d_%d", g, pair[0]), Frames: []gmf.Frame{
+							{MinSep: 20 * units.Millisecond, Deadline: 100 * units.Millisecond, PayloadBits: 160 * 8},
+						}},
+						Route: route,
+					}
+					if _, err := nw.AddFlow(fs); err != nil {
+						t.Fatal(err)
+					}
+					flows++
+				}
+			}
+			if nc := nw.NumClosures(); nc != flows {
+				t.Fatalf("%d disjoint local flows form %d closures, want one each", flows, nc)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is a fixed-footprint log-linear latency histogram in the
+// HDR style: exact buckets below 64 ns, then 32 sub-buckets per power
+// of two, bounding the relative quantile error by 1/32 (~3.1%) at any
+// magnitude up to ~292 years. Record is a shift, a table index and two
+// adds — no allocation, no branching on magnitude beyond the small-
+// value fast path — so it sits on the load harness's per-request
+// measurement path for millions of requests.
+//
+// The zero value is an empty histogram. Not safe for concurrent use;
+// the replay loop records from a single goroutine.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+const (
+	histSubBits = 5
+	histSubs    = 1 << histSubBits // sub-buckets per octave
+	// 64 exact buckets, then 32 per octave for exponents 6..63.
+	histBuckets = 2*histSubs + (63-histSubBits)*histSubs
+)
+
+// histIndex maps a value to its bucket. Values below 64 get exact
+// buckets; above, the top six bits (1 implicit + 5 sub-bucket bits)
+// select a bucket of width 2^(exp-5).
+func histIndex(v uint64) int {
+	if v < 2*histSubs {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	return (exp-histSubBits)*histSubs + int(v>>(uint(exp)-histSubBits))
+}
+
+// histUpper is the largest value bucket i holds (the inverse of
+// histIndex, rounded up).
+func histUpper(i int) uint64 {
+	if i < 2*histSubs {
+		return uint64(i)
+	}
+	shift := uint(i/histSubs) - 1
+	mantissa := uint64(i%histSubs) + histSubs
+	return (mantissa+1)<<shift - 1
+}
+
+// Record adds one latency sample. Negative durations (clock steps)
+// count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[histIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded sample exactly.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the exact arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) that
+// overshoots the true order statistic by at most one bucket width
+// (~3.1% relative). Quantile(1) returns the exact maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	// Rank of the q-th sample, 1-based, clamped to [1, total].
+	rank := uint64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.total {
+		return time.Duration(h.max)
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen >= rank {
+			u := histUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistIndexUpperInverse(t *testing.T) {
+	// Every bucket's upper bound maps back to that bucket, and the next
+	// value up maps to the next bucket: the bucketing is a partition.
+	for i := 0; i < histBuckets; i++ {
+		u := histUpper(i)
+		if got := histIndex(u); got != i {
+			t.Fatalf("histIndex(histUpper(%d)) = %d", i, got)
+		}
+		if u < 1<<62 { // next value exists and stays in range
+			if got := histIndex(u + 1); got != i+1 {
+				t.Fatalf("histIndex(%d) = %d, want %d", u+1, got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Quantiles of a log-uniform sample must land within one bucket
+	// (≤1/32 relative) above the exact order statistic.
+	r := rand.New(rand.NewSource(7))
+	var h Histogram
+	samples := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := uint64(1) << uint(r.Intn(30))
+		v += uint64(r.Int63n(int64(v)))
+		samples = append(samples, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(len(samples))+0.5) - 1
+		exact := samples[rank]
+		got := uint64(h.Quantile(q))
+		if got < exact {
+			t.Fatalf("q%g = %d under exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)/32+1 {
+			t.Fatalf("q%g = %d overshoots exact %d by more than 1/32", q, got, exact)
+		}
+	}
+	if h.Quantile(1) != time.Duration(samples[len(samples)-1]) {
+		t.Fatalf("Quantile(1) = %v, want exact max %d", h.Quantile(1), samples[len(samples)-1])
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(-time.Second) // clock step
+	h.Record(0)
+	h.Record(time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("median of {0,0,1} = %v", h.Quantile(0.5))
+	}
+	if h.Max() != time.Nanosecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * 37)
+	}
+}

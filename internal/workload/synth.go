@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterises the open-loop trace synthesizer. The zero value
+// of every knob selects the documented default, so Config{Seed: 1,
+// Requests: n} is a sensible flat workload; the trace produced by one
+// (TopoSpec, Config) pair is a pure function of its fields.
+type Config struct {
+	// Seed seeds the deterministic RNG.
+	Seed int64
+	// Requests is the number of admission requests (trace "add" ops);
+	// departures are emitted on top as flows expire.
+	Requests int
+	// Hold is the mean flow lifetime measured in requests: each
+	// admitted flow departs an exponentially-distributed number of
+	// requests later, so the steady-state resident population
+	// approaches Hold (an open-loop M/G/inf shape — arrivals never wait
+	// for decisions). Default 256.
+	Hold int
+	// Local is the fraction of requests whose endpoints share one
+	// locality group (see TopoSpec.Group). Default 0.8; groups of one
+	// host force Local to 0.
+	Local float64
+	// Heavy is the fraction of heavy CBR video requests (~67 Mbit/s,
+	// the contention driver on 100 Mbit/s access links). Default 0.1.
+	Heavy float64
+	// Diurnal is the amplitude (0..1) of a sinusoidal modulation of
+	// Hold across the trace: at the peak flows live (1+Diurnal) times
+	// longer, so the resident population swells and ebbs like a daily
+	// load curve. Default 0 (flat).
+	Diurnal float64
+	// Cycles is the number of diurnal cycles across the trace.
+	// Default 2.
+	Cycles float64
+	// Flash is the number of flash-crowd episodes: bursts of arrivals
+	// concentrated on one hot locality group, with quarter-length
+	// holds so the spike drains after the crowd passes. Default 0.
+	Flash int
+	// FlashLen is the number of requests per flash episode. Default
+	// Requests/50, at least 8.
+	FlashLen int
+	// Tenants carves the locality groups into this many tenants
+	// (group g belongs to tenant g mod Tenants); requests stay inside
+	// their tenant's footprint and names gain a "t<k>." prefix. Must
+	// not exceed the group count. Default 0 (untenanted).
+	Tenants int
+	// TenantChurn is the per-request probability that one whole tenant
+	// departs: every live flow of a random tenant is released at once —
+	// the mass-departure regime that forces closure re-splits. Only
+	// meaningful with Tenants > 0. Default 0.
+	TenantChurn float64
+}
+
+// withDefaults resolves the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Hold == 0 {
+		c.Hold = 256
+	}
+	if c.Local == 0 {
+		c.Local = 0.8
+	}
+	if c.Heavy == 0 {
+		c.Heavy = 0.1
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 2
+	}
+	if c.FlashLen == 0 {
+		c.FlashLen = c.Requests / 50
+		if c.FlashLen < 8 {
+			c.FlashLen = 8
+		}
+	}
+	return c
+}
+
+// validate rejects configurations the synthesizer cannot honour.
+func (c Config) validate(groups, group int) error {
+	if c.Requests < 1 {
+		return fmt.Errorf("workload: synthesis needs at least 1 request")
+	}
+	if c.Hold < 1 {
+		return fmt.Errorf("workload: hold must be >= 1 request")
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"local", c.Local}, {"heavy", c.Heavy}, {"diurnal", c.Diurnal}, {"tenant churn", c.TenantChurn}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("workload: %s fraction %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.Tenants < 0 || c.Tenants > groups {
+		return fmt.Errorf("workload: %d tenants over %d locality groups", c.Tenants, groups)
+	}
+	if groups == 1 && group < 2 {
+		return fmt.Errorf("workload: topology has a single one-host group; no two distinct endpoints exist")
+	}
+	return nil
+}
+
+// flashEpisode is one precomputed flash crowd: a request-index window
+// and the hot locality group it converges on.
+type flashEpisode struct {
+	start, end, hot int
+}
+
+// Synthesize produces the open-loop request trace of cfg over the
+// topology spec: for each of cfg.Requests ticks it first emits the
+// departures of flows whose lifetime expired at this tick (and, under
+// tenant churn, of entire tenants), then one admission request. The
+// result is a pure function of (spec, cfg) — a single-goroutine walk of
+// one seeded rand.Rand — so equal inputs yield byte-identical traces on
+// any GOMAXPROCS setting.
+//
+// The trace is open-loop: departures name previously *submitted* flows
+// whether or not the replaying controller admitted them (a release of a
+// rejected flow is a deterministic miss), so the operation stream never
+// depends on decisions.
+func Synthesize(spec TopoSpec, cfg Config) (Header, []Op, error) {
+	if err := spec.validate(); err != nil {
+		return Header{}, nil, err
+	}
+	_, hosts, err := spec.Build()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	group := spec.Group()
+	groups := spec.Groups()
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(groups, group); err != nil {
+		return Header{}, nil, err
+	}
+	if group < 2 {
+		cfg.Local = 0
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	// Draw the flash windows up front, in episode order, so the main
+	// loop's draw sequence is independent of where the episodes land.
+	flashes := make([]flashEpisode, cfg.Flash)
+	for e := range flashes {
+		center := (e + 1) * cfg.Requests / (cfg.Flash + 1)
+		start := center - cfg.FlashLen/2
+		if start < 0 {
+			start = 0
+		}
+		flashes[e] = flashEpisode{start: start, end: start + cfg.FlashLen, hot: r.Intn(groups)}
+	}
+	flashAt := func(i int) (int, bool) {
+		for _, f := range flashes {
+			if i >= f.start && i < f.end {
+				return f.hot, true
+			}
+		}
+		return 0, false
+	}
+
+	type flowRec struct {
+		name   string
+		tenant int
+		dead   bool
+	}
+	var flows []flowRec
+	expire := make(map[int][]int) // tick -> indices into flows
+	byTenant := make([][]int, cfg.Tenants)
+
+	release := func(ops []Op, fi int) []Op {
+		if flows[fi].dead {
+			return ops
+		}
+		flows[fi].dead = true
+		return append(ops, Op{Op: "del", Name: flows[fi].name})
+	}
+
+	// pickGroup draws a locality group from the tenant's footprint
+	// (every group when untenanted).
+	pickGroup := func(tenant int) int {
+		if cfg.Tenants == 0 {
+			return r.Intn(groups)
+		}
+		owned := (groups - tenant + cfg.Tenants - 1) / cfg.Tenants
+		return tenant + cfg.Tenants*r.Intn(owned)
+	}
+
+	ops := make([]Op, 0, cfg.Requests*2)
+	for i := 0; i < cfg.Requests; i++ {
+		// 1. Scheduled departures of flows expiring at this tick.
+		for _, fi := range expire[i] {
+			ops = release(ops, fi)
+		}
+		delete(expire, i)
+
+		// 2. Tenant churn: one whole tenant leaves at once.
+		if cfg.Tenants > 0 && cfg.TenantChurn > 0 && r.Float64() < cfg.TenantChurn {
+			tn := r.Intn(cfg.Tenants)
+			for _, fi := range byTenant[tn] {
+				ops = release(ops, fi)
+			}
+			byTenant[tn] = byTenant[tn][:0]
+		}
+
+		// 3. The admission request.
+		tenant := 0
+		if cfg.Tenants > 0 {
+			tenant = r.Intn(cfg.Tenants)
+		}
+		hot, inFlash := flashAt(i)
+		var sg, dg int
+		if inFlash {
+			// The crowd converges on the hot group; sources keep the
+			// usual locality split.
+			dg = hot
+			if r.Float64() < cfg.Local {
+				sg = hot
+			} else {
+				sg = pickGroup(tenant)
+			}
+		} else {
+			sg = pickGroup(tenant)
+			if r.Float64() < cfg.Local {
+				dg = sg
+			} else {
+				dg = pickGroup(tenant)
+			}
+		}
+		src := hosts[sg*group+r.Intn(group)]
+		var dst = src
+		for dst == src {
+			if sg == dg && group < 2 {
+				dg = (dg + 1) % groups
+			}
+			dst = hosts[dg*group+r.Intn(group)]
+		}
+		name := fmt.Sprintf("r%d", i)
+		if cfg.Tenants > 0 {
+			name = fmt.Sprintf("t%d.%s", tenant, name)
+		}
+		op := Op{Op: "add", Name: name, Src: string(src), Dst: string(dst)}
+		switch {
+		case r.Float64() < cfg.Heavy:
+			// ~67 Mbit/s video: two on one access link overload it.
+			op.Kind = "cbr"
+			op.Prio = 1
+			op.Bytes = 250000
+			op.PeriodPS = int64(30 * msPS)
+			op.DeadlinePS = int64(250 * msPS)
+		case r.Intn(4) < 3:
+			op.Kind = "voip"
+			op.Prio = 1 + r.Intn(3)
+			op.DeadlinePS = int64(100 * msPS)
+			op.RTP = true
+		default:
+			op.Kind = "cbr"
+			op.Prio = 1 + r.Intn(3)
+			op.Bytes = 4000 + r.Int63n(12000)
+			op.PeriodPS = int64(33 * msPS)
+			op.DeadlinePS = int64(200 * msPS)
+		}
+		ops = append(ops, op)
+		fi := len(flows)
+		flows = append(flows, flowRec{name: name, tenant: tenant})
+		if cfg.Tenants > 0 {
+			byTenant[tenant] = append(byTenant[tenant], fi)
+		}
+
+		// 4. Schedule the flow's departure: exponential lifetime around
+		// the (diurnally modulated) mean hold; crowd flows drain fast.
+		hold := float64(cfg.Hold)
+		if cfg.Diurnal > 0 {
+			hold *= 1 + cfg.Diurnal*math.Sin(2*math.Pi*cfg.Cycles*float64(i)/float64(cfg.Requests))
+		}
+		if inFlash {
+			hold /= 4
+		}
+		life := int(r.ExpFloat64()*hold) + 1
+		expire[i+life] = append(expire[i+life], fi)
+	}
+	return Header{Topo: spec}, ops, nil
+}
+
+// msPS is one millisecond in picoseconds, the trace format's time unit.
+const msPS = int64(1_000_000_000)

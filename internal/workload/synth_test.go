@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func synthBytes(t *testing.T, spec TopoSpec, cfg Config) []byte {
+	t.Helper()
+	h, ops, err := Synthesize(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, h, ops); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSynthesizeDeterministic pins satellite 3: the same seed and config
+// produce the byte-identical JSON-lines trace, including when the
+// scheduler parallelism changes underneath.
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := TopoSpec{Kind: "clos", Switches: 6, Hosts: 4, Fanout: 2}
+	cfg := Config{Seed: 42, Requests: 2000, Hold: 64, Diurnal: 0.5,
+		Flash: 2, Tenants: 3, TenantChurn: 0.002}
+
+	prev := runtime.GOMAXPROCS(1)
+	one := synthBytes(t, spec, cfg)
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	many := synthBytes(t, spec, cfg)
+	runtime.GOMAXPROCS(prev)
+
+	if !bytes.Equal(one, many) {
+		t.Fatal("trace bytes differ between GOMAXPROCS=1 and GOMAXPROCS=NumCPU")
+	}
+	if other := synthBytes(t, spec, Config{Seed: 43, Requests: 2000, Hold: 64,
+		Diurnal: 0.5, Flash: 2, Tenants: 3, TenantChurn: 0.002}); bytes.Equal(one, other) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestSynthesizeStream checks the structural invariants of a synthesized
+// trace: every del names a previously added, still-live flow; the add
+// count is exactly cfg.Requests; the live population stays bounded near
+// Hold rather than growing with the trace.
+func TestSynthesizeStream(t *testing.T) {
+	cfg := Config{Seed: 1, Requests: 10000, Hold: 100, Flash: 3, Tenants: 4, TenantChurn: 0.001}
+	spec := TopoSpec{Kind: "backbone", Switches: 3, Fanout: 4, Hosts: 4}
+	h, ops, err := Synthesize(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Topo != spec {
+		t.Fatalf("header topo %+v, want %+v", h.Topo, spec)
+	}
+	live := make(map[string]bool)
+	adds, dels, peak := 0, 0, 0
+	for _, op := range ops {
+		switch op.Op {
+		case "add":
+			adds++
+			if live[op.Name] {
+				t.Fatalf("duplicate live add %q", op.Name)
+			}
+			if op.Src == op.Dst || op.Src == "" || op.Dst == "" {
+				t.Fatalf("add %q endpoints %q -> %q", op.Name, op.Src, op.Dst)
+			}
+			if !strings.HasPrefix(op.Name, "t") {
+				t.Fatalf("tenanted trace has untenanted name %q", op.Name)
+			}
+			live[op.Name] = true
+			if len(live) > peak {
+				peak = len(live)
+			}
+		case "del":
+			dels++
+			if !live[op.Name] {
+				t.Fatalf("del of dead or unknown flow %q", op.Name)
+			}
+			delete(live, op.Name)
+		default:
+			t.Fatalf("op %q", op.Op)
+		}
+	}
+	if adds != cfg.Requests {
+		t.Fatalf("adds = %d, want %d", adds, cfg.Requests)
+	}
+	if dels == 0 {
+		t.Fatal("no departures in a 10k-request trace")
+	}
+	// Open-loop equilibrium: the peak population tracks Hold, not the
+	// trace length (tenant churn and flashes only pull it down).
+	if peak > 8*cfg.Hold {
+		t.Fatalf("peak population %d for hold %d — population unbounded?", peak, cfg.Hold)
+	}
+}
+
+// TestSynthesizeLocality checks that the Local knob concentrates
+// endpoints inside one locality group and that tenants never leave
+// their footprint.
+func TestSynthesizeLocality(t *testing.T) {
+	spec := TopoSpec{Kind: "fronthaul", Switches: 2, Fanout: 3, Hosts: 4}
+	_, ops, err := Synthesize(spec, Config{Seed: 5, Requests: 4000, Local: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localAdds, adds := 0, 0
+	for _, op := range ops {
+		if op.Op != "add" {
+			continue
+		}
+		adds++
+		// Fronthaul RU names are "ru<h>_<c>_<r>"; group = hub+cell.
+		sg := op.Src[:strings.LastIndex(op.Src, "_")]
+		dg := op.Dst[:strings.LastIndex(op.Dst, "_")]
+		if sg == dg {
+			localAdds++
+		}
+	}
+	if frac := float64(localAdds) / float64(adds); frac < 0.8 || frac > 0.99 {
+		t.Fatalf("local fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	good := TopoSpec{Kind: "clos", Switches: 4, Hosts: 2, Fanout: 1}
+	for _, tc := range []struct {
+		name string
+		spec TopoSpec
+		cfg  Config
+	}{
+		{"no requests", good, Config{Seed: 1}},
+		{"bad topo", TopoSpec{Kind: "nope", Switches: 1, Hosts: 2}, Config{Seed: 1, Requests: 10}},
+		{"heavy out of range", good, Config{Seed: 1, Requests: 10, Heavy: 1.5}},
+		{"negative hold", good, Config{Seed: 1, Requests: 10, Hold: -1}},
+		{"too many tenants", good, Config{Seed: 1, Requests: 10, Tenants: 9}},
+		{"single host", TopoSpec{Kind: "clos", Switches: 1, Hosts: 1, Fanout: 1}, Config{Seed: 1, Requests: 10}},
+	} {
+		if _, _, err := Synthesize(tc.spec, tc.cfg); err == nil {
+			t.Errorf("%s: Synthesize succeeded", tc.name)
+		}
+	}
+	// One-host groups still work when multiple groups exist: locality
+	// degrades to cross-group traffic instead of failing.
+	if _, ops, err := Synthesize(TopoSpec{Kind: "clos", Switches: 3, Hosts: 1, Fanout: 1},
+		Config{Seed: 1, Requests: 50}); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, op := range ops {
+			if op.Op == "add" && op.Src == op.Dst {
+				t.Fatalf("degenerate self-flow %+v", op)
+			}
+		}
+	}
+}

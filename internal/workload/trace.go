@@ -1,4 +1,4 @@
-package main
+package workload
 
 import (
 	"bufio"
@@ -12,27 +12,21 @@ import (
 	"gmfnet/internal/units"
 )
 
-// The request-trace format is one JSON object per line: a header naming
-// the campus topology, then add/del operations in stream order. A
+// The request-trace format is one JSON object per line: a Header naming
+// the generated topology, then add/del operations in stream order. A
 // recorded trace replays deterministically — admit/reject decisions
 // depend only on the operations, not on timing or RNG state — so the
-// same trace through the sequential, parallel-worklist and batched
-// controllers must produce byte-identical decision logs (the golden test
-// in main_test.go pins that).
+// same trace through the sequential, parallel-worklist, batched,
+// sharded and scheduled controllers must produce byte-identical
+// decision logs (gmfnet-admit's golden tests pin that).
 
-// traceHeader is the first line of a trace file.
-type traceHeader struct {
-	Topo topoSpec `json:"topo"`
+// Header is the first line of a trace file.
+type Header struct {
+	Topo TopoSpec `json:"topo"`
 }
 
-// topoSpec names the network.Campus parameters the trace was recorded on.
-type topoSpec struct {
-	Switches int `json:"switches"`
-	Hosts    int `json:"hosts"`
-}
-
-// traceOp is one recorded operation.
-type traceOp struct {
+// Op is one recorded operation.
+type Op struct {
 	Op   string `json:"op"` // "add" or "del"
 	Name string `json:"name"`
 
@@ -48,9 +42,9 @@ type traceOp struct {
 	RTP        bool   `json:"rtp,omitempty"`
 }
 
-// spec rebuilds the flow spec of an "add" operation on the given
+// Spec rebuilds the flow spec of an "add" operation on the given
 // topology.
-func (op *traceOp) spec(topo *network.Topology) (*network.FlowSpec, error) {
+func (op *Op) Spec(topo *network.Topology) (*network.FlowSpec, error) {
 	route, err := topo.Route(network.NodeID(op.Src), network.NodeID(op.Dst))
 	if err != nil {
 		return nil, fmt.Errorf("trace op %q: %w", op.Name, err)
@@ -70,12 +64,12 @@ func (op *traceOp) spec(topo *network.Topology) (*network.FlowSpec, error) {
 	return fs, nil
 }
 
-// addOp captures a generated request as a trace operation. streamSpec
-// draws single-frame VoIP (RTP) or CBR video flows; VoIP is recognised
-// by its G.711 payload and recorded by kind, everything else by its
-// exact CBR parameters.
-func addOp(fs *network.FlowSpec) traceOp {
-	op := traceOp{
+// CaptureAdd records a flow spec as an "add" trace operation. Stream
+// generators draw single-frame VoIP (RTP) or CBR video flows; VoIP is
+// recognised by its G.711 payload and recorded by kind, everything else
+// by its exact CBR parameters.
+func CaptureAdd(fs *network.FlowSpec) Op {
+	op := Op{
 		Op:   "add",
 		Name: fs.Flow.Name,
 		Src:  string(fs.Route[0]),
@@ -96,38 +90,41 @@ func addOp(fs *network.FlowSpec) traceOp {
 	return op
 }
 
-// traceRecorder streams a header plus operations to a file.
-type traceRecorder struct {
+// Recorder streams a header plus operations to a file.
+type Recorder struct {
 	f   *os.File
 	w   *bufio.Writer
 	enc *json.Encoder
 }
 
-func newTraceRecorder(path string, switches, hosts int) (*traceRecorder, error) {
+// NewRecorder creates the trace file and writes its header.
+func NewRecorder(path string, h Header) (*Recorder, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	w := bufio.NewWriter(f)
-	r := &traceRecorder{f: f, w: w, enc: json.NewEncoder(w)}
-	if err := r.enc.Encode(traceHeader{Topo: topoSpec{Switches: switches, Hosts: hosts}}); err != nil {
+	r := &Recorder{f: f, w: w, enc: json.NewEncoder(w)}
+	if err := r.enc.Encode(h); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return r, nil
 }
 
-func (r *traceRecorder) record(op traceOp) error {
+// Record appends one operation. A nil Recorder discards silently, so
+// callers can thread an optional recorder without branching.
+func (r *Recorder) Record(op Op) error {
 	if r == nil {
 		return nil
 	}
 	return r.enc.Encode(op)
 }
 
-// close flushes and closes the trace file. It is idempotent so that the
+// Close flushes and closes the trace file. It is idempotent so that the
 // success path can surface the flush error while a deferred call still
 // cleans up on early returns.
-func (r *traceRecorder) close() error {
+func (r *Recorder) Close() error {
 	if r == nil || r.f == nil {
 		return nil
 	}
@@ -140,33 +137,57 @@ func (r *traceRecorder) close() error {
 	return cerr
 }
 
-// loadTrace parses a trace file into its header and operation list.
-func loadTrace(path string) (traceHeader, []traceOp, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return traceHeader{}, nil, err
+// WriteTrace writes a whole synthesized trace (header + ops) to w.
+func WriteTrace(w io.Writer, h Header, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return err
 	}
-	defer f.Close()
-	dec := json.NewDecoder(bufio.NewReader(f))
-	var h traceHeader
+	for i := range ops {
+		if err := enc.Encode(&ops[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace stream into its header and operation list.
+func ReadTrace(r io.Reader) (Header, []Op, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h Header
 	if err := dec.Decode(&h); err != nil {
-		return traceHeader{}, nil, fmt.Errorf("trace %s: bad header: %w", path, err)
+		return Header{}, nil, fmt.Errorf("trace: bad header: %w", err)
 	}
-	if h.Topo.Switches < 1 || h.Topo.Hosts < 2 {
-		return traceHeader{}, nil, fmt.Errorf("trace %s: header needs at least 1 switch and 2 hosts per switch", path)
+	if err := h.Topo.validate(); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: %w", err)
 	}
-	var ops []traceOp
+	var ops []Op
 	for {
-		var op traceOp
+		var op Op
 		if err := dec.Decode(&op); err == io.EOF {
 			break
 		} else if err != nil {
-			return traceHeader{}, nil, fmt.Errorf("trace %s: op %d: %w", path, len(ops), err)
+			return Header{}, nil, fmt.Errorf("trace: op %d: %w", len(ops), err)
 		}
 		if op.Op != "add" && op.Op != "del" {
-			return traceHeader{}, nil, fmt.Errorf("trace %s: op %d: unknown op %q", path, len(ops), op.Op)
+			return Header{}, nil, fmt.Errorf("trace: op %d: unknown op %q", len(ops), op.Op)
 		}
 		ops = append(ops, op)
+	}
+	return h, ops, nil
+}
+
+// LoadTrace reads a trace file.
+func LoadTrace(path string) (Header, []Op, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	h, ops, err := ReadTrace(f)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return h, ops, nil
 }

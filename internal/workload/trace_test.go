@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	spec := TopoSpec{Kind: "backbone", Switches: 2, Fanout: 2, Hosts: 2}
+	h, ops, err := Synthesize(spec, Config{Seed: 9, Requests: 300, Hold: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, h, ops); err != nil {
+		t.Fatal(err)
+	}
+	h2, ops2, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Fatalf("header %+v, want %+v", h2, h)
+	}
+	if !reflect.DeepEqual(ops2, ops) {
+		t.Fatal("ops changed across write/read round trip")
+	}
+	// And the re-serialisation is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, h2, ops2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("trace bytes changed across round trip")
+	}
+}
+
+func TestRecorderMatchesWriteTrace(t *testing.T) {
+	spec := TopoSpec{Switches: 3, Hosts: 3}
+	h, ops, err := Synthesize(spec, Config{Seed: 2, Requests: 100, Hold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	rec, err := NewRecorder(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := rec.Record(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	h2, ops2, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h || !reflect.DeepEqual(ops2, ops) {
+		t.Fatal("recorded trace differs from synthesized ops")
+	}
+	var nilRec *Recorder
+	if err := nilRec.Record(Op{}); err != nil || nilRec.Close() != nil {
+		t.Fatal("nil recorder not a no-op")
+	}
+}
+
+func TestOpSpecRebuild(t *testing.T) {
+	spec := TopoSpec{Kind: "clos", Switches: 2, Hosts: 2, Fanout: 1}
+	topo, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ops, err := Synthesize(spec, Config{Seed: 3, Requests: 200, Hold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if op.Op != "add" {
+			continue
+		}
+		fs, err := op.Spec(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// CaptureAdd must invert Spec: replaying a re-captured op gives
+		// the same wire record, so gmfnet-admit -record round-trips.
+		if got := CaptureAdd(fs); got != op {
+			t.Fatalf("CaptureAdd(Spec(op)) = %+v, want %+v", got, op)
+		}
+	}
+	bad := Op{Op: "add", Name: "x", Kind: "mpeg", Src: "h0_0", Dst: "h0_1"}
+	if _, err := bad.Spec(topo); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	lost := Op{Op: "add", Name: "x", Kind: "voip", Src: "h0_0", Dst: "nope"}
+	if _, err := lost.Spec(topo); err == nil {
+		t.Fatal("unroutable endpoints accepted")
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "{\"topo\":{\"kind\":\"warp\",\"switches\":2,\"hosts\":2}}\n"},
+		{"bad op", "{\"topo\":{\"switches\":2,\"hosts\":2}}\n{\"op\":\"mod\",\"name\":\"f\"}\n"},
+		{"truncated json", "{\"topo\":{\"switches\":2,\"hosts\":2}}\n{\"op\":"},
+	} {
+		if _, _, err := ReadTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ReadTrace succeeded", tc.name)
+		}
+	}
+}
+
+func TestTopoSpecBuildKinds(t *testing.T) {
+	for _, tc := range []struct {
+		spec  TopoSpec
+		hosts int
+	}{
+		{TopoSpec{Switches: 2, Hosts: 3}, 6},
+		{TopoSpec{Kind: "campus", Switches: 2, Hosts: 3}, 6},
+		{TopoSpec{Kind: "backbone", Switches: 2, Fanout: 3, Hosts: 2}, 12},
+		{TopoSpec{Kind: "fronthaul", Switches: 2, Fanout: 2, Hosts: 3}, 12},
+		{TopoSpec{Kind: "clos", Switches: 4, Fanout: 2, Hosts: 2}, 8},
+	} {
+		_, hosts, err := tc.spec.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.spec, err)
+		}
+		if len(hosts) != tc.hosts {
+			t.Fatalf("%+v: %d hosts, want %d", tc.spec, len(hosts), tc.hosts)
+		}
+		if g := tc.spec.Groups() * tc.spec.Group(); g != tc.hosts {
+			t.Fatalf("%+v: Groups*Group = %d, want %d", tc.spec, g, tc.hosts)
+		}
+	}
+	if _, _, err := (TopoSpec{Kind: "torus", Switches: 2, Hosts: 2}).Build(); err == nil {
+		t.Fatal("unknown kind built")
+	}
+}

@@ -1,0 +1,95 @@
+// Package workload is the production-scale workload axis: the
+// JSON-lines request-trace format shared by gmfnet-admit and
+// gmfnet-load (a topology header, then add/del operations in stream
+// order), an open-loop trace synthesizer producing diurnal load, flash
+// crowds and tenant churn from a seeded deterministic RNG, and a fixed-
+// footprint HDR-style latency histogram for replaying millions of
+// requests without per-request allocation on the measurement path.
+//
+// Everything here is deterministic by construction: the same TopoSpec
+// and Config always synthesize the byte-identical trace regardless of
+// GOMAXPROCS, so the same workload can be handed to every controller
+// variant and the decision logs compared byte for byte — the harness is
+// part of the proof layer, not just the load generator.
+package workload
+
+import (
+	"fmt"
+
+	"gmfnet/internal/network"
+)
+
+// TopoSpec names a generated topology in a trace header: one of the
+// network package's workload generators plus its size parameters. Three
+// numbers describe every shape; Fanout is unused by campus.
+//
+//	kind        Switches        Fanout          Hosts
+//	campus      chain switches  —               hosts per switch
+//	backbone    PoPs            aggs per PoP    hosts per agg
+//	fronthaul   CU hubs         cells per hub   radio units per cell
+//	clos        leaves          spines          hosts per leaf
+//
+// An empty Kind means campus, which keeps traces recorded before the
+// production generators replayable unchanged.
+type TopoSpec struct {
+	Kind     string `json:"kind,omitempty"`
+	Switches int    `json:"switches"`
+	Hosts    int    `json:"hosts"`
+	Fanout   int    `json:"fanout,omitempty"`
+}
+
+// Build materialises the named topology and returns its hosts in the
+// generator's locality-group order (see Group).
+func (t TopoSpec) Build() (*network.Topology, []network.NodeID, error) {
+	switch t.Kind {
+	case "", "campus":
+		return network.Campus(t.Switches, t.Hosts)
+	case "backbone":
+		return network.Backbone(t.Switches, t.Fanout, t.Hosts)
+	case "fronthaul":
+		return network.Fronthaul(t.Switches, t.Fanout, t.Hosts)
+	case "clos":
+		return network.ClosTenant(t.Fanout, t.Switches, t.Hosts)
+	default:
+		return nil, nil, fmt.Errorf("workload: unknown topology kind %q", t.Kind)
+	}
+}
+
+// Group returns the locality-group size of the host list Build returns:
+// consecutive runs of this many hosts share an edge switch (campus
+// switch, aggregation, cell DU or leaf). The synthesizer keeps most
+// traffic inside one group, mirroring real edge locality.
+func (t TopoSpec) Group() int { return t.Hosts }
+
+// Groups returns the number of locality groups.
+func (t TopoSpec) Groups() int {
+	switch t.Kind {
+	case "", "campus":
+		return t.Switches
+	case "clos":
+		return t.Switches
+	default: // backbone, fronthaul
+		return t.Switches * t.Fanout
+	}
+}
+
+// validate rejects parameter combinations no generator accepts, so a
+// malformed trace header fails before Build's first node is added.
+func (t TopoSpec) validate() error {
+	if t.Switches < 1 || t.Hosts < 1 {
+		return fmt.Errorf("workload: topology %q needs at least 1 switch and 1 host per group", t.Kind)
+	}
+	switch t.Kind {
+	case "", "campus":
+		if t.Hosts < 2 {
+			return fmt.Errorf("workload: campus traces need at least 2 hosts per switch")
+		}
+	case "backbone", "fronthaul", "clos":
+		if t.Fanout < 1 {
+			return fmt.Errorf("workload: topology %q needs fanout >= 1", t.Kind)
+		}
+	default:
+		return fmt.Errorf("workload: unknown topology kind %q", t.Kind)
+	}
+	return nil
+}

@@ -46,6 +46,14 @@
 // shared with gmfnet-load; a header may name any generated topology —
 // campus, backbone, fronthaul or clos — not just the campus streams this
 // command records.
+//
+// With -connect ADDR the trace is replayed against a running
+// gmfnet-admitd daemon instead of an in-process controller: each
+// operation travels the JSON-lines wire protocol and the decision log
+// printed here is byte-identical to the local replay — the daemon
+// integration gate in CI diffs exactly that. The controller variant is
+// the daemon's to choose, so -connect rejects the local engine flags;
+// -batch still applies (batches ride the wire as one "batch" op).
 package main
 
 import (
@@ -60,6 +68,7 @@ import (
 	"time"
 
 	"gmfnet/internal/admission"
+	"gmfnet/internal/admitd/client"
 	"gmfnet/internal/config"
 	"gmfnet/internal/core"
 	"gmfnet/internal/network"
@@ -94,6 +103,7 @@ func run(args []string) error {
 	accel := fs.Bool("accel", false, "stream/trace mode: Anderson-accelerate the holistic fixpoint (identical decisions, fewer sweeps)")
 	stats := fs.Bool("stats", false, "stream/trace mode: report aggregated convergence statistics")
 	traceFile := fs.String("trace", "", "replay a recorded request trace deterministically")
+	connect := fs.String("connect", "", "replay the trace against a running gmfnet-admitd (host:port or unix socket path)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +121,17 @@ func run(args []string) error {
 	if *parallel && *shards {
 		return fmt.Errorf("-parallel and -shards are mutually exclusive (-parallel is the scheduled form of -shards)")
 	}
+	if *connect != "" {
+		if *traceFile == "" {
+			return fmt.Errorf("-connect needs -trace")
+		}
+		if *cold || *shards || *parallel || *accel || *stats || *workers != 0 {
+			return fmt.Errorf("-connect replays through the daemon's controller; drop the local engine flags")
+		}
+		if *stream > 0 || *record != "" {
+			return fmt.Errorf("-connect is a trace-replay mode; it cannot stream or record")
+		}
+	}
 
 	prof, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -120,6 +141,9 @@ func run(args []string) error {
 		opts := runOpts{cold: *cold, shards: *shards, parallel: *parallel,
 			workers: *workers, batch: *batch, accel: *accel, stats: *stats}
 		if *traceFile != "" {
+			if *connect != "" {
+				return runTraceConnect(os.Stdout, *traceFile, *connect, *batch)
+			}
 			return runTrace(os.Stdout, *traceFile, opts)
 		}
 		if *stream > 0 {
@@ -513,6 +537,111 @@ func runTrace(w io.Writer, path string, o runOpts) error {
 		fmt.Fprintf(out, "stats sweeps=%d rounds=%d accel=%d fallbacks=%d\n",
 			conv.Iterations, conv.WorklistRounds, conv.AccelSteps, conv.Fallbacks)
 	}
+	return out.Flush()
+}
+
+// wireAdmitter mirrors admitter over the gmfnet-admitd wire protocol:
+// requests go out one by one or — when size > 0 — as one "batch" op,
+// and the verdicts come back in request order. Callers flush before a
+// departure and at end of stream, exactly like the in-process path, so
+// the decision log stays byte-identical.
+type wireAdmitter struct {
+	cli     *client.Client
+	size    int
+	pending []workload.Op
+	report  func(name string, admitted bool)
+}
+
+func (a *wireAdmitter) request(op workload.Op) error {
+	if a.size <= 0 {
+		ok, err := a.cli.Add(op)
+		if err != nil {
+			return err
+		}
+		a.report(op.Name, ok)
+		return nil
+	}
+	a.pending = append(a.pending, op)
+	if len(a.pending) >= a.size {
+		return a.flush()
+	}
+	return nil
+}
+
+func (a *wireAdmitter) flush() error {
+	if len(a.pending) == 0 {
+		return nil
+	}
+	verdicts, err := a.cli.Batch(a.pending)
+	if err != nil {
+		return err
+	}
+	for i, ok := range verdicts {
+		a.report(a.pending[i].Name, ok)
+	}
+	a.pending = a.pending[:0]
+	return nil
+}
+
+// runTraceConnect replays a recorded trace against a running
+// gmfnet-admitd daemon, printing the same decision lines as runTrace —
+// the daemon serializes submissions in arrival order, so a fresh daemon
+// replaying the trace produces the byte-identical golden log over the
+// wire. The trace header's TopoSpec rides the hello, so connecting to a
+// daemon serving a different topology fails fast.
+func runTraceConnect(w io.Writer, path, addr string, batch int) error {
+	h, ops, err := workload.LoadTrace(path)
+	if err != nil {
+		return err
+	}
+	cli, err := client.Dial(client.Network(addr), addr, h.Topo)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	out := bufio.NewWriter(w)
+	var admitted, rejected int
+	released := 0
+	adm := &wireAdmitter{cli: cli, size: batch, report: func(name string, ok bool) {
+		if ok {
+			admitted++
+			fmt.Fprintf(out, "admit %s\n", name)
+		} else {
+			rejected++
+			fmt.Fprintf(out, "reject %s\n", name)
+		}
+	}}
+	for _, op := range ops {
+		switch op.Op {
+		case "add":
+			if err := adm.request(op); err != nil {
+				return err
+			}
+		case "del":
+			if err := adm.flush(); err != nil {
+				return err
+			}
+			ok, err := cli.Release(op.Name)
+			if err != nil {
+				return err
+			}
+			verdict := "miss"
+			if ok {
+				released++
+				verdict = "ok"
+			}
+			fmt.Fprintf(out, "release %s %s\n", op.Name, verdict)
+		}
+	}
+	if err := adm.flush(); err != nil {
+		return err
+	}
+	st, err := cli.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "admitted=%d rejected=%d released=%d resident=%d\n",
+		admitted, rejected, released, st.Resident)
 	return out.Flush()
 }
 

@@ -1,0 +1,128 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+
+	"gmfnet/internal/core"
+	"gmfnet/internal/network"
+	"gmfnet/internal/trace"
+	"gmfnet/internal/units"
+)
+
+// foldRecorder collects FoldEvents under a lock: the notify hook fires
+// under the controller's lock but from whatever goroutine folds the
+// ticket, so a recording consumer must still synchronize its own state.
+type foldRecorder struct {
+	mu  sync.Mutex
+	evs []FoldEvent
+}
+
+func (r *foldRecorder) record(ev FoldEvent) {
+	r.mu.Lock()
+	r.evs = append(r.evs, ev)
+	r.mu.Unlock()
+}
+
+func (r *foldRecorder) take() []FoldEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evs := r.evs
+	r.evs = nil
+	return evs
+}
+
+// TestParallelNotifyOrder pins the post-fold notification hook that
+// feeds gmfnet-admitd's subscription manager: every decided request
+// fires exactly one event in fold order carrying the exact submitted
+// spec pointer, batches fire one event per member in request order,
+// and releases fire with the pointer that was admitted.
+func TestParallelNotifyOrder(t *testing.T) {
+	topo, hosts, err := network.Campus(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewParallelController(network.New(topo), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	rec := &foldRecorder{}
+	ctl.SetNotify(rec.record)
+
+	voip := func(name string, a, b int) *network.FlowSpec {
+		route, err := topo.Route(hosts[a], hosts[b])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &network.FlowSpec{
+			Flow:     trace.VoIP(name, trace.VoIPOptions{Deadline: 100 * units.Millisecond}),
+			Route:    route,
+			Priority: 1,
+			RTP:      true,
+		}
+	}
+	heavy := func(name string, a, b int) *network.FlowSpec {
+		route, err := topo.Route(hosts[a], hosts[b])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &network.FlowSpec{
+			Flow:     trace.CBRVideo(name, 250000, 30*units.Millisecond, 250*units.Millisecond),
+			Route:    route,
+			Priority: 1,
+		}
+	}
+	expect := func(step string, want []FoldEvent) {
+		t.Helper()
+		got := rec.take()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d events, want %d: %+v", step, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i].Spec != want[i].Spec || got[i].Kind != want[i].Kind {
+				t.Fatalf("%s: event %d = {%s %d}, want {%s %d}",
+					step, i, got[i].Spec.Flow.Name, got[i].Kind,
+					want[i].Spec.Flow.Name, want[i].Kind)
+			}
+		}
+	}
+
+	a := voip("a", 0, 1)
+	if d, err := ctl.Request(a); err != nil || !d.Admitted {
+		t.Fatalf("admit a: %+v %v", d, err)
+	}
+	expect("admit", []FoldEvent{{Spec: a, Kind: FoldAdmitted}})
+
+	// Heavy CBR beside the VoIP call: rejected, still exactly one event.
+	r := heavy("r", 0, 1)
+	if d, err := ctl.Request(r); err != nil || d.Admitted {
+		t.Fatalf("reject r: %+v %v", d, err)
+	}
+	expect("reject", []FoldEvent{{Spec: r, Kind: FoldRejected}})
+
+	// A batch fires one event per member, in request order.
+	b, c := voip("b", 2, 3), voip("c", 2, 3)
+	ds, err := ctl.RequestBatch([]*network.FlowSpec{b, c})
+	if err != nil || !ds[0].Admitted || !ds[1].Admitted {
+		t.Fatalf("batch: %+v %v", ds, err)
+	}
+	expect("batch", []FoldEvent{{Spec: b, Kind: FoldAdmitted}, {Spec: c, Kind: FoldAdmitted}})
+
+	// Release fires with the admitted spec pointer; a miss fires nothing.
+	if ok, err := ctl.Release("b"); err != nil || !ok {
+		t.Fatalf("release b: %v %v", ok, err)
+	}
+	expect("release", []FoldEvent{{Spec: b, Kind: FoldReleased}})
+	if ok, err := ctl.Release("ghost"); err != nil || ok {
+		t.Fatalf("release ghost: %v %v", ok, err)
+	}
+	expect("miss", nil)
+
+	// Clearing the hook silences it.
+	ctl.SetNotify(nil)
+	if _, err := ctl.Request(voip("d", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	expect("cleared", nil)
+}

@@ -55,10 +55,49 @@ type ParallelController struct {
 	residents map[string][]*network.FlowSpec
 	nresident int
 	retention Retention
+	notify    func(FoldEvent)
 	decisions []Decision
 	admitted  int
 	rejected  int
 	released  int
+}
+
+// FoldKind classifies a FoldEvent.
+type FoldKind int
+
+const (
+	// FoldAdmitted: the flow was admitted and is now resident.
+	FoldAdmitted FoldKind = iota
+	// FoldRejected: the request was rejected; the flow never entered
+	// the network.
+	FoldRejected
+	// FoldReleased: a resident flow was claimed by Release and is
+	// departing.
+	FoldReleased
+)
+
+// FoldEvent describes one flow-set change at the moment it folds into
+// the controller's bookkeeping: an admission or rejection entering the
+// decision log (in global fold order, i.e. submission order), or a
+// departure claimed by Release. Spec is the exact *network.FlowSpec
+// pointer the caller submitted, so consumers can key shadow state on
+// identity.
+type FoldEvent struct {
+	Spec *network.FlowSpec
+	Kind FoldKind
+}
+
+// SetNotify installs a post-fold change-notification hook: fn is
+// invoked once per folded decision, in fold order, and once per
+// departure claimed by Release — the serialization point a push-based
+// service (internal/admitd) needs to publish verdict deltas without
+// polling. fn runs under the controller's internal lock, possibly on a
+// shard mailbox goroutine: it must be fast and must not call back into
+// the controller. Set it before the first request; nil disables.
+func (c *ParallelController) SetNotify(fn func(FoldEvent)) {
+	c.mu.Lock()
+	c.notify = fn
+	c.mu.Unlock()
 }
 
 // Retention selects how much per-decision state the controller keeps.
@@ -293,6 +332,13 @@ func (c *ParallelController) foldLocked() {
 			if !t.decided[i] {
 				continue // a group that errored decided nothing
 			}
+			if c.notify != nil {
+				k := FoldRejected
+				if t.out[i].Admitted {
+					k = FoldAdmitted
+				}
+				c.notify(FoldEvent{Spec: t.specs[i], Kind: k})
+			}
 			if c.retention == RetainAll {
 				c.decisions = append(c.decisions, t.out[i])
 			}
@@ -357,6 +403,9 @@ func (c *ParallelController) Release(name string) (bool, error) {
 	}
 	c.nresident--
 	c.released++
+	if c.notify != nil {
+		c.notify(FoldEvent{Spec: fs, Kind: FoldReleased})
+	}
 	c.mu.Unlock()
 	if !c.sched.Remove(fs) {
 		return false, fmt.Errorf("admission: resident flow %q missing from every shard", name)

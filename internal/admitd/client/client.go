@@ -1,0 +1,311 @@
+// Package client is the Go client of the gmfnet-admitd wire protocol:
+// it dials the daemon over TCP or a unix socket, performs the
+// versioned hello, and exposes the admission ops (add, batch, release,
+// subscribe, stats) as synchronous calls while recording the
+// unsolicited subscription events the daemon pushes. The golden daemon
+// tests and gmfnet-admit's -connect mode replay request traces through
+// it and compare the decision log byte for byte with an in-process
+// run.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"gmfnet/internal/admitd"
+	"gmfnet/internal/workload"
+)
+
+// ErrDraining is returned by calls cut short because the daemon
+// announced a drain: no more verdicts will arrive on this connection.
+var ErrDraining = errors.New("admitd: daemon draining")
+
+// Client is one connection to a gmfnet-admitd daemon. It is safe for
+// concurrent use; calls are correlated by ID, so several can be in
+// flight at once.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes wire writes
+	bw  *bufio.Writer
+	enc *json.Encoder
+
+	mu      sync.Mutex
+	nextID  int64
+	pending map[int64]chan admitd.Msg
+	err     error // terminal: set once, fails all further calls
+	last    map[string]admitd.Msg
+	nevents int64
+	eventFn func(admitd.Msg)
+	topo    workload.TopoSpec
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// Network guesses the dial network for an address: anything containing
+// a path separator is a unix socket, everything else host:port TCP.
+func Network(addr string) string {
+	if strings.ContainsRune(addr, '/') {
+		return "unix"
+	}
+	return "tcp"
+}
+
+// Dial connects, performs the hello handshake and starts the reader.
+// A zero topo is the observer hello (always accepted — used by status
+// tooling); a non-zero topo must match the daemon's spec exactly or
+// the daemon refuses the connection.
+func Dial(netw, addr string, topo workload.TopoSpec) (*Client, error) {
+	nc, err := net.Dial(netw, addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(nc)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(admitd.Hello{V: admitd.ProtocolVersion, Topo: topo}); err == nil {
+		err = bw.Flush()
+	} else {
+		nc.Close()
+		return nil, err
+	}
+	dec := json.NewDecoder(bufio.NewReader(nc))
+	var ack admitd.Msg
+	if err := dec.Decode(&ack); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("admitd: handshake: %w", err)
+	}
+	if ack.Kind == admitd.KindError {
+		nc.Close()
+		return nil, fmt.Errorf("admitd: rejected: %s", ack.Err)
+	}
+	if ack.Kind != admitd.KindHello || ack.V != admitd.ProtocolVersion {
+		nc.Close()
+		return nil, fmt.Errorf("admitd: unexpected handshake reply %q (v%d)", ack.Kind, ack.V)
+	}
+	c := &Client{
+		nc:      nc,
+		bw:      bw,
+		enc:     enc,
+		pending: make(map[int64]chan admitd.Msg),
+		last:    make(map[string]admitd.Msg),
+		done:    make(chan struct{}),
+	}
+	if ack.Topo != nil {
+		c.topo = *ack.Topo
+	}
+	go c.readLoop(dec)
+	return c, nil
+}
+
+// ServerTopo returns the daemon's TopoSpec from the hello ack.
+func (c *Client) ServerTopo() workload.TopoSpec { return c.topo }
+
+// Done is closed when the connection is no longer usable: read error,
+// daemon drain, or Close.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// SetEventFunc installs a callback invoked (on the reader goroutine)
+// for every subscription event, in arrival order. Set it before
+// subscribing; events are recorded for LastEvent either way.
+func (c *Client) SetEventFunc(fn func(admitd.Msg)) {
+	c.mu.Lock()
+	c.eventFn = fn
+	c.mu.Unlock()
+}
+
+// EventCount returns the number of subscription events received.
+func (c *Client) EventCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nevents
+}
+
+// LastEvent returns the most recent event for the subscribed flow.
+func (c *Client) LastEvent(flow string) (admitd.Msg, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.last[flow]
+	return m, ok
+}
+
+// fail marks the connection dead with err (the first error wins),
+// failing every pending and future call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[int64]chan admitd.Msg)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+func (c *Client) readLoop(dec *json.Decoder) {
+	for {
+		var m admitd.Msg
+		if err := dec.Decode(&m); err != nil {
+			c.fail(fmt.Errorf("admitd: connection lost: %w", err))
+			return
+		}
+		switch m.Kind {
+		case admitd.KindEvent:
+			c.mu.Lock()
+			c.nevents++
+			c.last[m.Flow] = m
+			fn := c.eventFn
+			c.mu.Unlock()
+			if fn != nil {
+				fn(m)
+			}
+		case admitd.KindDrain:
+			c.fail(ErrDraining)
+			// Keep reading: the socket closes when the daemon is done.
+		default:
+			c.mu.Lock()
+			ch := c.pending[m.ID]
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			} else if m.Kind == admitd.KindError && m.ID == 0 {
+				c.fail(fmt.Errorf("admitd: %s", m.Err))
+				return
+			}
+		}
+	}
+}
+
+// call sends one op and collects want replies (or one error reply).
+func (c *Client) call(op workload.Op, want int) ([]admitd.Msg, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	op.ID = c.nextID
+	// Buffer every reply the daemon can send for this ID, so the
+	// reader never blocks on a caller that already gave up.
+	ch := make(chan admitd.Msg, want+1)
+	c.pending[op.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(&op)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return nil, err
+	}
+
+	out := make([]admitd.Msg, 0, want)
+	for len(out) < want {
+		m, ok := <-ch
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		if m.Kind == admitd.KindError {
+			c.finish(op.ID)
+			return nil, fmt.Errorf("admitd: %s", m.Err)
+		}
+		out = append(out, m)
+	}
+	c.finish(op.ID)
+	return out, nil
+}
+
+func (c *Client) finish(id int64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Add requests admission of one flow (op.Op is forced to "add") and
+// reports the verdict.
+func (c *Client) Add(op workload.Op) (bool, error) {
+	op.Op = "add"
+	ms, err := c.call(op, 1)
+	if err != nil {
+		return false, err
+	}
+	return ms[0].Verdict == admitd.VerdictAdmit, nil
+}
+
+// Batch requests admission of the flows as one controller batch and
+// returns the verdicts in request order.
+func (c *Client) Batch(ops []workload.Op) ([]bool, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	flows := make([]workload.Op, len(ops))
+	for i, op := range ops {
+		op.Op = "add"
+		op.ID = 0
+		flows[i] = op
+	}
+	ms, err := c.call(workload.Op{Op: "batch", Flows: flows}, len(ops))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(ms))
+	for i, m := range ms {
+		out[i] = m.Verdict == admitd.VerdictAdmit
+	}
+	return out, nil
+}
+
+// Release asks the daemon to release the named flow; it reports
+// whether a resident flow was claimed.
+func (c *Client) Release(name string) (bool, error) {
+	ms, err := c.call(workload.Op{Op: "del", Name: name}, 1)
+	if err != nil {
+		return false, err
+	}
+	return ms[0].Verdict == admitd.VerdictOK, nil
+}
+
+// Subscribe registers for closure-change events about the named flow.
+func (c *Client) Subscribe(name string) error {
+	_, err := c.call(workload.Op{Op: "sub", Name: name}, 1)
+	return err
+}
+
+// Unsubscribe drops the subscription.
+func (c *Client) Unsubscribe(name string) error {
+	_, err := c.call(workload.Op{Op: "unsub", Name: name}, 1)
+	return err
+}
+
+// Stats fetches the daemon's counters snapshot.
+func (c *Client) Stats() (admitd.Stats, error) {
+	ms, err := c.call(workload.Op{Op: "stats"}, 1)
+	if err != nil {
+		return admitd.Stats{}, err
+	}
+	if ms[0].Stats == nil {
+		return admitd.Stats{}, fmt.Errorf("admitd: stats reply without payload")
+	}
+	return *ms[0].Stats, nil
+}
+
+// Close tears the connection down; pending calls fail.
+func (c *Client) Close() error {
+	c.fail(errors.New("admitd: client closed"))
+	return c.nc.Close()
+}

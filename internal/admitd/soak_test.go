@@ -1,0 +1,216 @@
+package admitd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gmfnet/internal/admitd"
+	"gmfnet/internal/admitd/client"
+	"gmfnet/internal/network"
+	"gmfnet/internal/workload"
+)
+
+// TestConcurrentSoak is the daemon's race soak (CI runs this package
+// under -race): one stable subscriber watches a long-lived flow per
+// switch while concurrent churn clients hammer the daemon with
+// admissions, releases, closure-fusing cross-switch requests, batches
+// and subscribe/unsubscribe churn on their own disjoint name set. At
+// the end the accounting must balance, and every stable flow's
+// last-received event population must equal a cold closure recompute
+// over the drained daemon's resident set — the subscription stream
+// never went stale or out of order.
+func TestConcurrentSoak(t *testing.T) {
+	const (
+		switches = 4
+		hostsPer = 3
+		clients  = 4
+		opsEach  = 200
+	)
+	topoSpec := workload.TopoSpec{Kind: "campus", Switches: switches, Hosts: hostsPer}
+	srv, addr := newTestServer(t, admitd.Config{Topo: topoSpec, Queue: 1024})
+
+	// Stable subscriptions go in before the storm, so every stable flow
+	// hears about its own admission and everything after.
+	stable := dialTest(t, addr, topoSpec)
+	stableNames := make([]string, switches)
+	for s := 0; s < switches; s++ {
+		stableNames[s] = fmt.Sprintf("stable%d", s)
+		if err := stable.Subscribe(stableNames[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < switches; s++ {
+		op := voipOp(stableNames[s], fmt.Sprintf("h%d_0", s), fmt.Sprintf("h%d_1", s))
+		if ok, err := stable.Add(op); err != nil || !ok {
+			t.Fatalf("admit %s: %v %v", stableNames[s], ok, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs <- churn(addr, topoSpec, id, opsEach)
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Everything the churn clients caused has been dispatched; the
+	// barrier flushes any events still owed to the stable subscriber.
+	st := barrier(t, stable)
+	if st.Admitted-st.Released != st.Resident {
+		t.Fatalf("accounting does not balance: %+v", st)
+	}
+	if st.Admitted < switches || st.Rejected == 0 || st.Released == 0 {
+		t.Fatalf("soak exercised too little: %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("stable subscriber (or a churn client) was dropped: %+v", st)
+	}
+	if stable.EventCount() < int64(switches) {
+		t.Fatalf("stable subscriber saw %d events, want at least %d", stable.EventCount(), switches)
+	}
+
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case <-stable.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stable subscriber never observed the drain")
+	}
+
+	// Cold recompute: rebuild the closure index from the drained
+	// daemon's resident set and compare each stable flow's final closure
+	// population with the last event the subscriber received for it.
+	residents := srv.Residents()
+	if len(residents) != st.Resident {
+		t.Fatalf("resident snapshot has %d flows, stats said %d", len(residents), st.Resident)
+	}
+	topo, _, err := topoSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := network.New(topo)
+	idxOf := make(map[string]int, len(residents))
+	for _, fs := range residents {
+		idx, err := cold.AddFlow(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := idxOf[fs.Flow.Name]; !dup {
+			idxOf[fs.Flow.Name] = idx
+		}
+	}
+	for _, name := range stableNames {
+		idx, resident := idxOf[name]
+		want := 0
+		if resident {
+			want = len(cold.Closures()[cold.ClosureOf(idx)])
+		}
+		ev, ok := stable.LastEvent(name)
+		if !ok {
+			t.Fatalf("no event ever received for %s", name)
+		}
+		if ev.Residents != want {
+			t.Fatalf("%s: last event reported %d residents, cold recompute says %d",
+				name, ev.Residents, want)
+		}
+	}
+}
+
+// churn is one soak client: a seeded deterministic op mix over its own
+// disjoint name space — single admissions, wire batches, releases of
+// its own live flows, and subscribe/unsubscribe churn. Cross-switch
+// requests fuse closures with the stable flows; heavy requests force
+// rejections.
+func churn(addr string, topo workload.TopoSpec, id, n int) error {
+	cli, err := client.Dial("tcp", addr, topo)
+	if err != nil {
+		return fmt.Errorf("client %d: %w", id, err)
+	}
+	defer cli.Close()
+	r := rand.New(rand.NewSource(int64(7 + id)))
+	host := func(sw int) string { return fmt.Sprintf("h%d_%d", sw, r.Intn(3)) }
+	mkAdd := func(i int) workload.Op {
+		name := fmt.Sprintf("c%d_%d", id, i)
+		src := r.Intn(4)
+		dst := src
+		if r.Float64() < 0.3 {
+			dst = r.Intn(4) // cross-switch: fuses closures across the chain
+		}
+		a, b := host(src), host(dst)
+		for a == b {
+			b = host(dst)
+		}
+		switch r.Intn(4) {
+		case 0:
+			return heavyOp(name, a, b) // mostly rejected: exercises FoldRejected
+		case 1:
+			return mediumOp(name, a, b)
+		default:
+			return voipOp(name, a, b)
+		}
+	}
+	var live []string
+	for i := 0; i < n; i++ {
+		switch {
+		case r.Float64() < 0.25 && len(live) > 0:
+			j := r.Intn(len(live))
+			if _, err := cli.Release(live[j]); err != nil {
+				return fmt.Errorf("client %d release: %w", id, err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		case r.Float64() < 0.15:
+			// Batch admission: three requests ride one wire op.
+			ops := []workload.Op{mkAdd(i*10 + 1), mkAdd(i*10 + 2), mkAdd(i*10 + 3)}
+			verdicts, err := cli.Batch(ops)
+			if err != nil {
+				return fmt.Errorf("client %d batch: %w", id, err)
+			}
+			for k, ok := range verdicts {
+				if ok {
+					live = append(live, ops[k].Name)
+				}
+			}
+		default:
+			op := mkAdd(i * 10)
+			ok, err := cli.Add(op)
+			if err != nil {
+				return fmt.Errorf("client %d add: %w", id, err)
+			}
+			if ok {
+				live = append(live, op.Name)
+			}
+		}
+		// Subscription churn on this client's own names.
+		if r.Float64() < 0.2 && len(live) > 0 {
+			name := live[r.Intn(len(live))]
+			if err := cli.Subscribe(name); err != nil {
+				return fmt.Errorf("client %d sub: %w", id, err)
+			}
+			if r.Float64() < 0.5 {
+				if err := cli.Unsubscribe(name); err != nil {
+					return fmt.Errorf("client %d unsub: %w", id, err)
+				}
+			}
+		}
+		if r.Float64() < 0.05 {
+			if _, err := cli.Stats(); err != nil {
+				return fmt.Errorf("client %d stats: %w", id, err)
+			}
+		}
+	}
+	return nil
+}

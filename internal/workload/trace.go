@@ -25,10 +25,19 @@ type Header struct {
 	Topo TopoSpec `json:"topo"`
 }
 
-// Op is one recorded operation.
+// Op is one recorded operation. Traces on disk only ever carry "add"
+// and "del"; the gmfnet-admitd wire protocol (internal/admitd) reuses
+// the same schema with additional op kinds ("batch", "sub", "unsub",
+// "stats"), a correlation ID, and member operations for batches — all
+// omitempty, so trace files are byte-unchanged.
 type Op struct {
-	Op   string `json:"op"` // "add" or "del"
+	Op   string `json:"op"` // "add" or "del"; wire ops add "batch", "sub", "unsub", "stats"
 	Name string `json:"name"`
+
+	// ID correlates a wire request with its verdicts; unused in traces.
+	ID int64 `json:"id,omitempty"`
+	// Flows holds the member "add" operations of a wire "batch" op.
+	Flows []Op `json:"flows,omitempty"`
 
 	// Request parameters, set for "add". Times are picoseconds
 	// (units.Time), so recording is lossless.

@@ -2,11 +2,16 @@ package workload
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 )
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
 
 func TestTraceRoundTrip(t *testing.T) {
 	spec := TopoSpec{Kind: "backbone", Switches: 2, Fanout: 2, Hosts: 2}
@@ -93,7 +98,7 @@ func TestOpSpecRebuild(t *testing.T) {
 		}
 		// CaptureAdd must invert Spec: replaying a re-captured op gives
 		// the same wire record, so gmfnet-admit -record round-trips.
-		if got := CaptureAdd(fs); got != op {
+		if got := CaptureAdd(fs); !reflect.DeepEqual(got, op) {
 			t.Fatalf("CaptureAdd(Spec(op)) = %+v, want %+v", got, op)
 		}
 	}
@@ -108,17 +113,54 @@ func TestOpSpecRebuild(t *testing.T) {
 }
 
 func TestReadTraceRejectsMalformed(t *testing.T) {
+	const goodHeader = "{\"topo\":{\"switches\":2,\"hosts\":2}}\n"
 	for _, tc := range []struct {
-		name, in string
+		name, in, want string
 	}{
-		{"empty", ""},
-		{"bad header", "{\"topo\":{\"kind\":\"warp\",\"switches\":2,\"hosts\":2}}\n"},
-		{"bad op", "{\"topo\":{\"switches\":2,\"hosts\":2}}\n{\"op\":\"mod\",\"name\":\"f\"}\n"},
-		{"truncated json", "{\"topo\":{\"switches\":2,\"hosts\":2}}\n{\"op\":"},
+		{"empty", "", "bad header"},
+		{"truncated header", "{\"topo\":{\"switch", "bad header"},
+		{"header is not json", "switches=2 hosts=2\n", "bad header"},
+		{"unknown kind", "{\"topo\":{\"kind\":\"warp\",\"switches\":2,\"hosts\":2}}\n", "unknown topology kind"},
+		{"missing topo sizes", "{\"topo\":{}}\n", "at least 1 switch"},
+		{"campus one host", "{\"topo\":{\"switches\":2,\"hosts\":1}}\n", "at least 2 hosts"},
+		{"backbone no fanout", "{\"topo\":{\"kind\":\"backbone\",\"switches\":2,\"hosts\":2}}\n", "fanout"},
+		{"fronthaul no fanout", "{\"topo\":{\"kind\":\"fronthaul\",\"switches\":2,\"hosts\":2}}\n", "fanout"},
+		{"clos no fanout", "{\"topo\":{\"kind\":\"clos\",\"switches\":2,\"hosts\":2}}\n", "fanout"},
+		{"unknown op", goodHeader + "{\"op\":\"mod\",\"name\":\"f\"}\n", "unknown op"},
+		// The wire-only op kinds (internal/admitd) must never appear in a
+		// trace file.
+		{"wire op batch", goodHeader + "{\"op\":\"batch\"}\n", "unknown op"},
+		{"wire op sub", goodHeader + "{\"op\":\"sub\",\"name\":\"f\"}\n", "unknown op"},
+		{"truncated op", goodHeader + "{\"op\":", "op 0"},
+		{"garbage op line", goodHeader + "not json\n", "op 0"},
+		{"bad op after good", goodHeader + "{\"op\":\"del\",\"name\":\"f\"}\n{\"op\":\"mod\"}\n", "op 1"},
 	} {
-		if _, _, err := ReadTrace(strings.NewReader(tc.in)); err == nil {
+		_, _, err := ReadTrace(strings.NewReader(tc.in))
+		if err == nil {
 			t.Errorf("%s: ReadTrace succeeded", tc.name)
+			continue
 		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, _, err := LoadTrace(filepath.Join(t.TempDir(), "nope.trace")); err == nil {
+		t.Fatal("LoadTrace on a missing file succeeded")
+	}
+	// And a file that exists but fails to parse reports its path.
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := writeFile(path, "{\"topo\":{\"switches\":0,\"hosts\":0}}\n"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadTrace(path)
+	if err == nil {
+		t.Fatal("LoadTrace on a malformed file succeeded")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the file", err)
 	}
 }
 

@@ -9,10 +9,13 @@
 //	gmfnet-admit -stream N [-seed S] [-depart P] [-switches K] [-hosts H] [-cold] [-shards] [-parallel] [-workers W] [-batch B] [-record FILE]
 //	gmfnet-admit -trace FILE [-cold] [-shards] [-parallel] [-workers W] [-batch B]
 //
-// Every mode accepts -cpuprofile FILE and -memprofile FILE to write
-// pprof profiles of the run (`go tool pprof` reads them) — the way to
-// see where admission time goes, e.g. scheduler contention vs fixpoint
-// work under -parallel.
+// Every mode accepts -cpuprofile, -memprofile, -mutexprofile and
+// -blockprofile FILE to write pprof profiles of the run (`go tool
+// pprof` reads them) — the way to see where admission time goes. CPU
+// and heap cover the fixpoint work; the mutex and block profiles are
+// the contention instruments for -parallel runs, attributing lock wait
+// time and scheduler blocking to stacks (README "Finding the
+// contention" walks through a session).
 //
 // With -sporadic every request is first collapsed to the sporadic model,
 // reproducing the capacity loss the paper's GMF model avoids.
@@ -63,8 +66,6 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
 	"gmfnet/internal/admission"
@@ -72,6 +73,7 @@ import (
 	"gmfnet/internal/config"
 	"gmfnet/internal/core"
 	"gmfnet/internal/network"
+	"gmfnet/internal/profiling"
 	"gmfnet/internal/report"
 	"gmfnet/internal/trace"
 	"gmfnet/internal/units"
@@ -106,6 +108,8 @@ func run(args []string) error {
 	connect := fs.String("connect", "", "replay the trace against a running gmfnet-admitd (host:port or unix socket path)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	mutexprofile := fs.String("mutexprofile", "", "write a pprof mutex-contention profile at exit to this file")
+	blockprofile := fs.String("blockprofile", "", "write a pprof blocking profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,7 +137,7 @@ func run(args []string) error {
 		}
 	}
 
-	prof, err := startProfiles(*cpuprofile, *memprofile)
+	prof, err := profiling.Start(*cpuprofile, *memprofile, *mutexprofile, *blockprofile)
 	if err != nil {
 		return err
 	}
@@ -199,59 +203,10 @@ func run(args []string) error {
 		fmt.Printf("\nadmitted %d of %d requests\n", ctl.Admitted(), len(ctl.Decisions()))
 		return nil
 	}()
-	if perr := prof.stop(); err == nil {
+	if perr := prof.Stop(); err == nil {
 		err = perr
 	}
 	return err
-}
-
-// profiles holds the -cpuprofile/-memprofile state of one run.
-type profiles struct {
-	cpu *os.File
-	mem string
-}
-
-// startProfiles opens the requested pprof outputs and starts CPU
-// profiling; either path may be empty.
-func startProfiles(cpu, mem string) (*profiles, error) {
-	p := &profiles{mem: mem}
-	if cpu != "" {
-		f, err := os.Create(cpu)
-		if err != nil {
-			return nil, fmt.Errorf("-cpuprofile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("-cpuprofile: %w", err)
-		}
-		p.cpu = f
-	}
-	return p, nil
-}
-
-// stop finishes the CPU profile and writes the heap profile.
-func (p *profiles) stop() error {
-	var firstErr error
-	if p.cpu != nil {
-		pprof.StopCPUProfile()
-		if err := p.cpu.Close(); err != nil {
-			firstErr = fmt.Errorf("-cpuprofile: %w", err)
-		}
-	}
-	if p.mem != "" {
-		f, err := os.Create(p.mem)
-		if err == nil {
-			runtime.GC() // settle the heap so the profile reflects live data
-			err = pprof.WriteHeapProfile(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("-memprofile: %w", err)
-		}
-	}
-	return firstErr
 }
 
 // requester is what stream mode needs from a controller; the

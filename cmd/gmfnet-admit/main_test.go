@@ -64,17 +64,20 @@ func TestRunStreamParallel(t *testing.T) {
 	}
 }
 
-// TestRunProfiles smokes the pprof hooks: both profile files must be
-// created and non-empty after a short parallel stream.
+// TestRunProfiles smokes the pprof hooks: all four profile files must
+// be created and non-empty after a short parallel stream.
 func TestRunProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.prof")
 	mem := filepath.Join(dir, "mem.prof")
+	mtx := filepath.Join(dir, "mutex.prof")
+	blk := filepath.Join(dir, "block.prof")
 	if err := run([]string{"-stream", "10", "-seed", "3", "-switches", "2", "-hosts", "2",
-		"-parallel", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		"-parallel", "-cpuprofile", cpu, "-memprofile", mem,
+		"-mutexprofile", mtx, "-blockprofile", blk}); err != nil {
 		t.Fatalf("profiled stream failed: %v", err)
 	}
-	for _, p := range []string{cpu, mem} {
+	for _, p := range []string{cpu, mem, mtx, blk} {
 		st, err := os.Stat(p)
 		if err != nil {
 			t.Fatalf("profile %s: %v", p, err)

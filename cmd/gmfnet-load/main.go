@@ -18,6 +18,13 @@
 //	            [-record FILE] [-json] [-name LABEL]
 //	gmfnet-load -trace FILE [-batch B] [-depth D] [-workers W] [-accel] [-json]
 //
+// Both modes accept -cpuprofile, -memprofile, -mutexprofile and
+// -blockprofile FILE to write pprof profiles of the replay. The mutex
+// and block profiles are the contention instruments: under -workers > 1
+// they attribute lock wait time and scheduler blocking to stacks, which
+// is how dispatch-path serialization is located (README "Finding the
+// contention").
+//
 // Replay pipelines -batch-sized submissions -depth deep: later batches'
 // independent closures are decided while earlier batches are still in
 // flight, and a request's latency is measured from its batch's
@@ -37,11 +44,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"gmfnet/internal/admission"
 	"gmfnet/internal/core"
 	"gmfnet/internal/network"
+	"gmfnet/internal/profiling"
 	"gmfnet/internal/report"
 	"gmfnet/internal/workload"
 )
@@ -77,6 +86,10 @@ func run(args []string, stdout io.Writer) error {
 	traceFile := fs.String("trace", "", "replay a recorded trace instead of synthesizing")
 	jsonOut := fs.Bool("json", false, "emit one JSON metrics object instead of the table")
 	name := fs.String("name", "", "label for the JSON metrics entry")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the replay to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	mutexprofile := fs.String("mutexprofile", "", "write a pprof mutex-contention profile at exit to this file")
+	blockprofile := fs.String("blockprofile", "", "write a pprof blocking profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,7 +129,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	prof, err := profiling.Start(*cpuprofile, *memprofile, *mutexprofile, *blockprofile)
+	if err != nil {
+		return err
+	}
 	m, err := replay(h, ops, *batch, *depth, *flushEvery, core.Config{Workers: *workers, Accel: *accel})
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
@@ -144,6 +164,7 @@ func run(args []string, stdout io.Writer) error {
 // with the CI bench archive (BENCH_admission.json).
 type metrics struct {
 	Name          string  `json:"name,omitempty"`
+	CPU           int     `json:"cpu"`
 	Requests      int     `json:"requests"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50NS         int64   `json:"p50_ns"`
@@ -166,6 +187,7 @@ func (m *metrics) render(w io.Writer, h workload.Header) error {
 	}
 	t := report.NewTable("Load replay (parallel controller)", "metric", "value")
 	t.AddRowf("topology", fmt.Sprintf("%s %dx%dx%d", kind, h.Topo.Switches, h.Topo.Fanout, h.Topo.Hosts))
+	t.AddRowf("cpus", m.CPU)
 	t.AddRowf("requests", m.Requests)
 	t.AddRowf("admitted", m.Admitted)
 	t.AddRowf("rejected", m.Rejected)
@@ -229,7 +251,9 @@ func replay(h workload.Header, ops []workload.Op, batchSize, depth, flushEvery i
 		waitErr <- firstErr
 	}()
 
-	m := &metrics{}
+	// The archive keys scaling rows by the cores the replay actually had
+	// (-cpu N test variants and CI runners differ).
+	m := &metrics{CPU: runtime.GOMAXPROCS(0)}
 	start := time.Now()
 	var pending []*network.FlowSpec
 	submit := func() error {

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -54,6 +56,38 @@ func TestLoadReplayAccounting(t *testing.T) {
 	}
 	if m.P50NS <= 0 || m.ThroughputRPS <= 0 {
 		t.Fatalf("no latency signal: %+v", m)
+	}
+	if m.CPU != runtime.GOMAXPROCS(0) {
+		t.Fatalf("cpu key = %d, want GOMAXPROCS %d", m.CPU, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestLoadProfiles smokes the pprof hooks: all four profile files must
+// be created and non-empty after a short replay.
+func TestLoadProfiles(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		filepath.Join(dir, "cpu.prof"),
+		filepath.Join(dir, "mem.prof"),
+		filepath.Join(dir, "mutex.prof"),
+		filepath.Join(dir, "block.prof"),
+	}
+	var out bytes.Buffer
+	err := run([]string{"-topo", "campus", "-switches", "2", "-hosts", "2",
+		"-requests", "200", "-json",
+		"-cpuprofile", paths[0], "-memprofile", paths[1],
+		"-mutexprofile", paths[2], "-blockprofile", paths[3]}, &out)
+	if err != nil {
+		t.Fatalf("profiled replay failed: %v", err)
+	}
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package admission
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gmfnet/internal/core"
 	"gmfnet/internal/network"
@@ -28,7 +29,15 @@ import (
 // Bookkeeping (decision log, residents, counters) is folded in
 // submission order: a later batch's decisions are recorded only after
 // every earlier submission has completed, so Decisions and Release see
-// exactly the serial controller's global admission order.
+// exactly the serial controller's global admission order. The fold is
+// structured so the controller lock is off the verdict hot path: each
+// group accumulates its decisions lock-free into its ticket's
+// pre-sliced output (the per-worker shard — groups partition the
+// batch, so writes never overlap), takes the lock exactly once to
+// retire itself, and the last group of the head ticket merges the
+// whole ticket in one fold step. The counters fold through atomics, so
+// Admitted/Rejected/NumResidents never contend with a fold in
+// progress.
 //
 // Error contract: Request and RequestBatch surface their groups' errors
 // exactly like ShardedController (decided groups stay recorded).
@@ -53,13 +62,18 @@ type ParallelController struct {
 	// difference between O(1) and O(population) per departure when the
 	// load harness replays millions of them.
 	residents map[string][]*network.FlowSpec
-	nresident int
 	retention Retention
 	notify    func(FoldEvent)
 	decisions []Decision
-	admitted  int
-	rejected  int
-	released  int
+
+	// The verdict counters are atomics, written at fold time (so they
+	// still count folded decisions, in every retention mode) but
+	// readable without the controller lock: the monitoring surface of
+	// the 1M-request replay never blocks behind a fold or a submission.
+	nresident atomic.Int64
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	released  atomic.Int64
 }
 
 // FoldKind classifies a FoldEvent.
@@ -117,7 +131,7 @@ const (
 )
 
 // SetRetention switches the retention mode. It applies to submissions
-// folded after the call; set it before the first request for a uniform
+// made after the call; set it before the first request for a uniform
 // log. Decisions already folded are kept either way.
 func (c *ParallelController) SetRetention(r Retention) {
 	c.mu.Lock()
@@ -130,17 +144,22 @@ func (c *ParallelController) SetRetention(r Retention) {
 // decisions; results are recorded in the controller's log in submission
 // order regardless of when Wait is called.
 type PendingBatch struct {
-	c       *ParallelController
-	specs   []*network.FlowSpec
+	c     *ParallelController
+	specs []*network.FlowSpec
+	// out and decided are written lock-free by the groups: the groups
+	// partition the batch, so each decision index has exactly one
+	// writer, and the fold (ordered after every group's completion by
+	// the controller lock) reads them settled.
 	out     []Decision
 	decided []bool
-	// remaining counts undecided groups; -1 until dispatch has counted
-	// them (set under the scheduler's dispatch lock before any group
-	// can complete).
+	// remaining counts undecided groups; -1 until the scheduler's
+	// prepare callback has counted them (before any group is
+	// dispatched, hence before any group can complete).
 	remaining int
 	err       error
 	folded    bool
 	single    bool // decide via Controller.Request, not RequestBatch
+	lean      bool // retention snapshot at submission: RetainCounters
 }
 
 // NewParallelController returns a scheduler-backed controller over the
@@ -158,7 +177,7 @@ func NewParallelController(nw *network.Network, cfg core.Config) (*ParallelContr
 	c.residents = make(map[string][]*network.FlowSpec)
 	for _, fs := range nw.Flows() {
 		c.residents[fs.Flow.Name] = append(c.residents[fs.Flow.Name], fs)
-		c.nresident++
+		c.nresident.Add(1)
 	}
 	return c, nil
 }
@@ -239,6 +258,7 @@ func (c *ParallelController) submit(specs []*network.FlowSpec, single bool) *Pen
 		single:    single,
 	}
 	c.mu.Lock()
+	t.lean = c.retention == RetainCounters
 	c.tickets = append(c.tickets, t)
 	c.mu.Unlock()
 	c.sched.Submit(specs,
@@ -253,8 +273,10 @@ func (c *ParallelController) submit(specs []*network.FlowSpec, single bool) *Pen
 // goroutine: the standard serial protocol (Controller.Request or
 // .RequestBatch scoped to the shard engine), with the decisions'
 // analysis views materialized here — views are engine state and must
-// not escape the goroutine that owns the engine — and the ticket
-// updated under the controller lock.
+// not escape the goroutine that owns the engine. The decisions land in
+// the ticket's output lock-free (each group owns its member indices);
+// the controller lock is taken exactly once, to retire the group and —
+// when it was the last open group of the head ticket — run the fold.
 func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.Engine, derr error) []bool {
 	var ds []Decision
 	err := derr
@@ -277,11 +299,9 @@ func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.
 	}
 	// Detach the analyses: one materialization per distinct view (an
 	// admitted group shares one), closed right after so nothing stays
-	// pinned on the shard engine. Under RetainCounters the views are
-	// closed without copying — the analysis is never read back.
-	c.mu.Lock()
-	lean := c.retention == RetainCounters
-	c.mu.Unlock()
+	// pinned on the shard engine. Under RetainCounters (t.lean, the
+	// retention snapshotted at submission) the views are closed without
+	// copying — the analysis is never read back.
 	mats := make(map[*core.ResultView]*core.Result)
 	for i := range ds {
 		v := ds[i].View
@@ -290,7 +310,7 @@ func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.
 		}
 		r, ok := mats[v]
 		if !ok {
-			if !lean {
+			if !t.lean {
 				r = v.Materialize()
 			}
 			mats[v] = r
@@ -300,7 +320,6 @@ func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.
 		ds[i].View = nil
 	}
 	flags := make([]bool, len(members))
-	c.mu.Lock()
 	for at := range members {
 		if at < len(ds) {
 			t.out[members[at]] = ds[at]
@@ -308,6 +327,7 @@ func (c *ParallelController) runGroup(t *PendingBatch, members []int, eng *core.
 			flags[at] = ds[at].Admitted
 		}
 	}
+	c.mu.Lock()
 	if err != nil && t.err == nil {
 		t.err = err
 	}
@@ -343,12 +363,12 @@ func (c *ParallelController) foldLocked() {
 				c.decisions = append(c.decisions, t.out[i])
 			}
 			if t.out[i].Admitted {
-				c.admitted++
+				c.admitted.Add(1)
 				name := t.specs[i].Flow.Name
 				c.residents[name] = append(c.residents[name], t.specs[i])
-				c.nresident++
+				c.nresident.Add(1)
 			} else {
-				c.rejected++
+				c.rejected.Add(1)
 			}
 		}
 		t.folded = true
@@ -401,8 +421,8 @@ func (c *ParallelController) Release(name string) (bool, error) {
 	} else {
 		c.residents[name] = q[1:]
 	}
-	c.nresident--
-	c.released++
+	c.nresident.Add(-1)
+	c.released.Add(1)
 	if c.notify != nil {
 		c.notify(FoldEvent{Spec: fs, Kind: FoldReleased})
 	}
@@ -433,37 +453,22 @@ func (c *ParallelController) Decisions() []Decision {
 }
 
 // Admitted returns the number of admitted flows among the folded
-// decisions, in every retention mode.
-func (c *ParallelController) Admitted() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.admitted
-}
+// decisions, in every retention mode. It reads an atomic — monitoring
+// never contends with a fold in progress.
+func (c *ParallelController) Admitted() int { return int(c.admitted.Load()) }
 
 // Rejected returns the number of rejected requests among the folded
 // decisions, in every retention mode.
-func (c *ParallelController) Rejected() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.rejected
-}
+func (c *ParallelController) Rejected() int { return int(c.rejected.Load()) }
 
 // NumResidents returns the number of resident flows: admissions (plus
 // flows present at construction) not yet claimed by Release. Unlike
 // NumFlows it reads the fold-order bookkeeping without waiting for
 // in-flight shard work.
-func (c *ParallelController) NumResidents() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nresident
-}
+func (c *ParallelController) NumResidents() int { return int(c.nresident.Load()) }
 
 // Released returns the number of departures dispatched by Release.
-func (c *ParallelController) Released() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.released
-}
+func (c *ParallelController) Released() int { return int(c.released.Load()) }
 
 // NumFlows waits for in-flight work and returns the number of admitted
 // flows across all shards.

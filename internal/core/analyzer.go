@@ -28,9 +28,11 @@ type Analyzer struct {
 	demands [][]rateDemand
 
 	// demScratch/extScratch are reusable buffers for the per-stage hoists
-	// of interferer demands and entry jitters (see stages.go).
+	// of interferer demands and entry jitters (see stages.go); hepScratch
+	// backs the per-egress hep set the same way.
 	demScratch []*gmf.Demand
 	extScratch []units.Time
+	hepScratch []int
 }
 
 type rateDemand struct {

@@ -87,6 +87,15 @@ type Engine struct {
 	// the write barrier.
 	scratch []FlowResult
 
+	// wlMark/wlEpoch/wlNext are the worklist iteration's reusable
+	// next-front scratch: wlMark[f] == wlEpoch marks flow f as already
+	// on the next round's worklist, wlNext accumulates the front in
+	// visit order (sorted into work afterwards). Epoch stamping makes
+	// the reset O(1) per round instead of allocating a fresh set.
+	wlMark  []int64
+	wlEpoch int64
+	wlNext  []int
+
 	// lastIterations mirrors stats.Iterations for the pre-stats
 	// Result.Iterations field; stats carries the full breakdown of the
 	// last holistic analysis and noConv its abandonment record when
@@ -359,10 +368,9 @@ func (e *Engine) convergeDelta(changed ...int) (bool, error) {
 	for i := range seed {
 		work = append(work, i)
 	}
+	grow := func(j int) { seed[j] = true }
 	for _, i := range work {
-		for _, j := range nw.Interferers(i) {
-			seed[j] = true
-		}
+		nw.VisitInterferers(i, grow)
 	}
 	work = work[:0]
 	for i := range seed {
@@ -523,12 +531,10 @@ func (e *Engine) analyzeOver(work []int) (bool, error) {
 			e.finishStats(stats)
 			return true, nil
 		}
-		next := make(map[int]bool, 2*len(e.js.changedList))
+		front := e.nextFrontStart(nw.NumFlows())
 		for _, f := range e.js.changedList {
-			next[f] = true
-			for _, j := range nw.Interferers(f) {
-				next[j] = true
-			}
+			front(f)
+			nw.VisitInterferers(f, front)
 		}
 		if cooldown > 0 {
 			cooldown--
@@ -538,19 +544,14 @@ func (e *Engine) analyzeOver(work []int) (bool, error) {
 			if acc.propose(e.js) {
 				spec = true
 				for _, f := range e.js.changedList {
-					next[f] = true
-					for _, j := range nw.Interferers(f) {
-						next[j] = true
-					}
+					front(f)
+					nw.VisitInterferers(f, front)
 				}
 			} else {
 				e.js.acceptSpec(mark)
 			}
 		}
-		work = work[:0]
-		for i := range next {
-			work = append(work, i)
-		}
+		work = append(work[:0], e.wlNext...)
 		sort.Ints(work)
 	}
 	e.valid = false
@@ -602,6 +603,26 @@ func (e *Engine) sweepOnce(work []int, workers int, prewarmed *bool) int {
 		}
 	}
 	return -1
+}
+
+// nextFrontStart begins a new next-worklist round — an O(1) epoch bump
+// over the reusable membership scratch instead of a fresh set per round
+// — and returns the add function: add(f) appends f to e.wlNext exactly
+// once per round. The same function value feeds VisitInterferers, so a
+// round allocates one closure instead of a map.
+func (e *Engine) nextFrontStart(n int) func(int) {
+	if len(e.wlMark) < n {
+		e.wlMark = make([]int64, n)
+		e.wlEpoch = 0
+	}
+	e.wlEpoch++
+	e.wlNext = e.wlNext[:0]
+	return func(f int) {
+		if e.wlMark[f] != e.wlEpoch {
+			e.wlMark[f] = e.wlEpoch
+			e.wlNext = append(e.wlNext, f)
+		}
+	}
 }
 
 // finishStats publishes the analysis's convergence stats, keeping the

@@ -18,17 +18,25 @@ func (a *Analyzer) flowPass(i int, js jitterSource) FlowResult {
 		Name:   fs.Flow.Name,
 		Frames: make([]FrameResult, n),
 	}
+	// All frames' stage records live in one arena, sub-sliced per frame
+	// (capacity-clipped so an append on one frame's view can never bleed
+	// into the next): the stage count per frame is fixed by the route, so
+	// the whole pass costs two allocations instead of an append-grown
+	// slice per frame. The arena escapes into the returned FlowResult,
+	// which is what keeps the per-frame views alive.
+	spf := 1 + 2*(len(route)-2)
+	arena := make([]StageResult, 0, n*spf)
+	var rsum, jsum units.Time
+	record := func(res Resource, r units.Time) {
+		arena = append(arena, StageResult{Resource: res, Response: r, EntryJitter: jsum})
+		rsum = units.SaturatingAdd(rsum, r)
+		jsum = units.SaturatingAdd(jsum, r)
+	}
 	for k := 0; k < n; k++ {
 		// Figure 6, line 3: both sums start at the source jitter.
-		rsum := fs.Flow.Frames[k].Jitter
-		jsum := rsum
-		var stages []StageResult
-
-		record := func(res Resource, r units.Time) {
-			stages = append(stages, StageResult{Resource: res, Response: r, EntryJitter: jsum})
-			rsum = units.SaturatingAdd(rsum, r)
-			jsum = units.SaturatingAdd(jsum, r)
-		}
+		rsum = fs.Flow.Frames[k].Jitter
+		jsum = rsum
+		base := len(arena)
 
 		// First hop (lines 7-11). Stage positions follow the pipeline
 		// layout shared with network.FlowResources: 0 is the first hop,
@@ -67,7 +75,7 @@ func (a *Analyzer) flowPass(i int, js jitterSource) FlowResult {
 		out.Frames[k] = FrameResult{
 			Response: rsum,
 			Deadline: fs.Flow.Frames[k].Deadline,
-			Stages:   stages,
+			Stages:   arena[base:len(arena):len(arena)],
 		}
 	}
 	return out

@@ -1,0 +1,176 @@
+package core
+
+import "sync"
+
+// routeStripes is the number of independently locked buckets the
+// resource→shard routing table is split across. Power of two (the
+// stripe index is a hash mask). 64 stripes keep the probability of two
+// concurrent dispatches serialising on the same stripe low even at
+// high core counts, while the table stays small enough to embed in
+// every ShardedEngine by value.
+const routeStripes = 64
+
+// routeTable is the striped resource→shard routing map: the shared
+// state every dispatch consults and the reason dispatch used to need a
+// global lock. Each stripe guards its own bucket, so routing lookups
+// and claims for different resources proceed concurrently; only
+// operations that restructure the partition itself (fusion, re-split,
+// shard drop) still need global exclusion, which the Scheduler provides
+// with an RWMutex around the rare paths.
+//
+// An entry carries the owning shard and a refcount: how many committed
+// (or in-flight, eagerly routed) flows' pipelines cross the resource.
+// The stripe entry is the authoritative count; shard.owned mirrors it
+// as a per-shard enumeration index (fusion and drop need "all keys of
+// this shard" without scanning every stripe). Both are updated under
+// the stripe lock — the shard's own lock nests inside — so the pair
+// can never be observed out of sync.
+type routeTable struct {
+	stripes [routeStripes]routeStripe
+}
+
+type routeStripe struct {
+	mu sync.Mutex
+	m  map[Resource]routeEnt
+}
+
+type routeEnt struct {
+	sh   *shard
+	refs int
+}
+
+// stripe picks the bucket for a key: FNV-1a over the resource fields.
+func (t *routeTable) stripe(k Resource) *routeStripe {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h ^= uint32(k.Kind)
+	h *= prime32
+	for i := 0; i < len(k.Node); i++ {
+		h ^= uint32(k.Node[i])
+		h *= prime32
+	}
+	h ^= 0xff // separator: ("ab","c") must not collide with ("a","bc")
+	h *= prime32
+	for i := 0; i < len(k.To); i++ {
+		h ^= uint32(k.To[i])
+		h *= prime32
+	}
+	return &t.stripes[h&(routeStripes-1)]
+}
+
+// owner returns the shard the key is routed to, or nil.
+func (t *routeTable) owner(k Resource) *shard {
+	st := t.stripe(k)
+	st.mu.Lock()
+	e := st.m[k]
+	st.mu.Unlock()
+	return e.sh
+}
+
+// claim routes the key to sh with refcount +1 — unless another shard
+// owns it, in which case nothing changes and claim reports false. This
+// is the dispatch fast path's conflict detector: claims for the same
+// key serialise on its stripe, so two dispatches racing to route an
+// unowned key to different shards cannot both succeed.
+func (t *routeTable) claim(k Resource, sh *shard) bool {
+	st := t.stripe(k)
+	st.mu.Lock()
+	e, ok := st.m[k]
+	if ok && e.sh != sh {
+		st.mu.Unlock()
+		return false
+	}
+	if st.m == nil {
+		st.m = make(map[Resource]routeEnt)
+	}
+	st.m[k] = routeEnt{sh: sh, refs: e.refs + 1}
+	sh.mu.Lock()
+	sh.owned[k]++
+	sh.mu.Unlock()
+	st.mu.Unlock()
+	return true
+}
+
+// route is the unconditional form of claim for the serial placement
+// paths (Place/Commit and the scheduler's exclusive dispatch), whose
+// callers guarantee the key is unowned or already routed to sh —
+// bridging shards are fused before any key is routed.
+func (t *routeTable) route(k Resource, sh *shard) {
+	st := t.stripe(k)
+	st.mu.Lock()
+	e := st.m[k]
+	refs := 1
+	if e.sh == sh {
+		refs = e.refs + 1
+	}
+	if st.m == nil {
+		st.m = make(map[Resource]routeEnt)
+	}
+	st.m[k] = routeEnt{sh: sh, refs: refs}
+	sh.mu.Lock()
+	sh.owned[k]++
+	sh.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// release undoes one claim: refcount −1, unrouting the key at zero so
+// a later newcomer on the resource opens a fresh closure. A key not
+// routed to sh is left untouched.
+func (t *routeTable) release(k Resource, sh *shard) {
+	st := t.stripe(k)
+	st.mu.Lock()
+	e, ok := st.m[k]
+	if !ok || e.sh != sh {
+		st.mu.Unlock()
+		return
+	}
+	sh.mu.Lock()
+	if e.refs <= 1 {
+		delete(st.m, k)
+		delete(sh.owned, k)
+	} else {
+		st.m[k] = routeEnt{sh: sh, refs: e.refs - 1}
+		sh.owned[k] = e.refs - 1
+	}
+	sh.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// reroute points an existing entry at dst, keeping its refcount — the
+// per-key half of fusion's ownership transfer. Entries not owned by
+// victim (already moved, or dropped concurrently — impossible under
+// the scheduler's exclusive lock, tolerated for the serial paths) are
+// left alone.
+func (t *routeTable) reroute(k Resource, victim, dst *shard) {
+	st := t.stripe(k)
+	st.mu.Lock()
+	if e, ok := st.m[k]; ok && e.sh == victim {
+		st.m[k] = routeEnt{sh: dst, refs: e.refs}
+	}
+	st.mu.Unlock()
+}
+
+// set installs an entry with an explicit refcount — Resplit rebuilds
+// split shards' routes from their freshly counted owned maps.
+func (t *routeTable) set(k Resource, sh *shard, refs int) {
+	st := t.stripe(k)
+	st.mu.Lock()
+	if st.m == nil {
+		st.m = make(map[Resource]routeEnt)
+	}
+	st.m[k] = routeEnt{sh: sh, refs: refs}
+	st.mu.Unlock()
+}
+
+// unroute deletes the key's entry when sh owns it (shard drop).
+func (t *routeTable) unroute(k Resource, sh *shard) {
+	st := t.stripe(k)
+	st.mu.Lock()
+	if e, ok := st.m[k]; ok && e.sh == sh {
+		delete(st.m, k)
+	}
+	st.mu.Unlock()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gmfnet/internal/network"
 )
@@ -11,14 +12,33 @@ import (
 // serial mailbox that owns the shard's Engine, so decisions within one
 // interference closure stay strictly ordered while distinct closures
 // proceed concurrently on a pool of Config.PoolWorkers persistent
-// worker goroutines. A dispatcher routes work — admission groups and
-// departures — to shards by resource keys under one mutex; the engines
-// themselves are only ever touched by one task at a time (the mailbox
-// hands each body to a pool worker and waits for it before popping the
-// next), so no analysis state is shared between threads. Bodies run on
-// the long-lived workers rather than the per-shard goroutines so the
-// deep analysis recursion grows a stack once per worker, not once per
-// shard — shard churn stays cheap.
+// worker goroutines. Bodies run on the long-lived workers rather than
+// the per-shard goroutines so the deep analysis recursion grows a
+// stack once per worker, not once per shard — shard churn stays cheap.
+//
+// Dispatch concurrency model. Routing state — the resource→shard map —
+// lives in the ShardedEngine's striped routeTable, so the hot dispatch
+// path touches no scheduler-global lock at all:
+//
+//   - Fast path (the steady state: a group whose resources are owned by
+//     exactly one existing shard, plus any number of unowned keys).
+//     Under a shared disp.RLock the dispatcher resolves the owner from
+//     the stripes, claims every key with per-stripe atomic
+//     claim-or-fail, bumps the in-flight count and enqueues the group —
+//     concurrent dispatches into distinct closures only ever share a
+//     stripe lock, and only when their resources hash together.
+//   - Slow path (fresh shard, fusion across shards, or a lost claim
+//     race). Under the exclusive disp.Lock the dispatcher re-resolves
+//     routing authoritatively and performs the partition surgery.
+//     Fusion, re-split, shard drop and index rebuild all run here, so
+//     the fast path can rely on shard liveness and route stability for
+//     the duration of its RLock.
+//
+// A claim conflict (two dispatches racing an unowned resource to
+// different shards) is detected by the stripe's claim-or-fail, rolled
+// back, and retried on the slow path, where the race resolves into a
+// fusion or a queue-behind — decisions are unaffected either way (see
+// the dispatch-equivalence note on Submit).
 //
 // Fusion is handled as ownership transfer. When a group's pipeline
 // bridges several shards, the dispatcher immediately re-routes the
@@ -36,9 +56,8 @@ import (
 // from dispatch time, and the keys of members that end up rejected are
 // disowned when the decision completes. Interleaved dispatches may
 // therefore land on a shard that still holds rejected-pending or
-// recently-departed routes — decisions are unaffected (see the
-// dispatch-equivalence note on Submit), the partition is merely
-// coarser until the next Flush re-splits it.
+// recently-departed routes — decisions are unaffected, the partition is
+// merely coarser until the next Flush re-splits it.
 //
 // Re-splitting is deferred to quiescence: fused-then-rejected groups
 // and departures mark the partition dirty, and Flush — once every
@@ -57,18 +76,32 @@ type Scheduler struct {
 
 	wg sync.WaitGroup // live mailbox goroutines
 
-	mu    sync.Mutex // guards everything below AND all ShardedEngine maps
-	quiet *sync.Cond // signalled when inflight drops to zero
+	// disp is the fast/slow dispatch gate: shared holders (dispatch,
+	// completion, Remove) rely on routes and shards staying live;
+	// exclusive holders (fusion, fresh shards, drop, re-split, rebuild,
+	// close) restructure the partition. It serialises nothing on the
+	// fast path — the striped routeTable and the leaf locks below do.
+	disp   sync.RWMutex
+	closed bool // written under disp.Lock, read under either mode
 
-	inflight  int
-	boxes     map[*shard]*mailbox
+	// bk guards the dispatcher's flow bookkeeping. forward is not under
+	// bk: it is written only under disp.Lock and read under disp.RLock.
+	bk        sync.Mutex
 	specShard map[*network.FlowSpec]*shard // committed flow -> owning shard
-	forward   map[*shard]*shard            // fused victim -> survivor
 	flowCount map[*shard]int               // committed flows per shard (dispatcher's view)
+	forward   map[*shard]*shard            // fused victim -> survivor
 
-	needResplit bool
-	err         error // first asynchronous failure; surfaced by Flush
-	closed      bool
+	boxMu sync.Mutex
+	boxes map[*shard]*mailbox
+
+	qmu      sync.Mutex
+	quiet    *sync.Cond // signalled when inflight drops to zero
+	inflight int
+
+	errMu sync.Mutex
+	err   error // first asynchronous failure; surfaced by Flush
+
+	needResplit atomic.Bool
 }
 
 // GroupRun decides one dispatched interference group on a pool worker,
@@ -96,7 +129,7 @@ func NewScheduler(se *ShardedEngine) *Scheduler {
 		forward:   make(map[*shard]*shard),
 		flowCount: make(map[*shard]int),
 	}
-	s.quiet = sync.NewCond(&s.mu)
+	s.quiet = sync.NewCond(&s.qmu)
 	workers := se.cfg.PoolWorkers()
 	s.pool.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -127,23 +160,27 @@ func (s *Scheduler) Sharded() *ShardedEngine { return s.se }
 // PlaceBatch's partition: specs sharing a resource directly, through a
 // chain of batch specs, or through a common shard) and dispatches each
 // group to its closure's mailbox, fusing shards as needed. prepare, if
-// non-nil, is called with the group index lists under the dispatch lock
-// before any group can start — use it to record how many completions to
-// expect. run is then invoked once per group on its shard's goroutine;
-// distinct groups run concurrently, groups on one shard in dispatch
-// order.
+// non-nil, is called with the group index lists before any group can
+// start — use it to record how many completions to expect. run is then
+// invoked once per group on its shard's goroutine; distinct groups run
+// concurrently, groups on one shard in dispatch order.
 //
-// Dispatch equivalence: because routing is eager, a submission may see
-// routes of not-yet-decided or just-rejected members of earlier
-// submissions and land in a coarser group (or fused shard) than a
-// serial run would use. Decisions are identical regardless: a shard
-// holding several disjoint closures decides a request exactly as the
-// split shards would (residual residents are schedulable — admission
-// only ever admits schedulable sets and removal shrinks interference —
-// so the verdict reduces to the request's own closure), and a
-// monolithic decision over resource-disjoint groups equals the per-
-// group decisions. Both properties are the ones the sharded-vs-
-// monolithic differential tests pin.
+// Dispatch equivalence: because routing is eager — and because the
+// grouping itself reads the striped routes without a global lock — a
+// submission may see routes of not-yet-decided or just-rejected members
+// of earlier submissions and land in a coarser group (or fused shard)
+// than a serial run would use, or split what a stable snapshot would
+// have grouped (the members then serialise on the shared shard's
+// mailbox and are decided as consecutive sub-batches). Decisions are
+// identical regardless: a shard holding several disjoint closures
+// decides a request exactly as the split shards would (residual
+// residents are schedulable — admission only ever admits schedulable
+// sets and removal shrinks interference — so the verdict reduces to
+// the request's own closure), a monolithic decision over resource-
+// disjoint groups equals the per-group decisions, and a batch decided
+// as consecutive sub-batches equals the batch decided whole (the batch
+// contract is sequential-equivalent). These are the properties the
+// sharded-vs-monolithic differential tests pin.
 func (s *Scheduler) Submit(specs []*network.FlowSpec, prepare func(groups [][]int), run GroupRun) {
 	// The commit half of a group outlives the caller's Wait (the
 	// decision callback fires first), so the slice is copied here:
@@ -155,9 +192,10 @@ func (s *Scheduler) Submit(specs []*network.FlowSpec, prepare func(groups [][]in
 	for i := range specs {
 		keys[i] = specKeys(specs[i])
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.disp.RLock()
+	closed := s.closed
+	s.disp.RUnlock()
+	if closed {
 		panic("core: Submit on a closed Scheduler")
 	}
 	groups := s.se.groupByKeys(keys)
@@ -165,14 +203,14 @@ func (s *Scheduler) Submit(specs []*network.FlowSpec, prepare func(groups [][]in
 		prepare(groups)
 	}
 	for _, idx := range groups {
-		s.dispatchGroupLocked(specs, keys, idx, run)
+		s.dispatchGroup(specs, keys, idx, run)
 	}
 }
 
-// dispatchGroupLocked routes one group: resolve the target shard
-// (fresh, unique, or fused survivor), transfer victim ownership, own
-// the group's keys eagerly, and enqueue the decision task.
-func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Resource, idx []int, run GroupRun) {
+// dispatchGroup routes one group: the lock-free fast path when its
+// resources already belong to exactly one shard, the exclusive slow
+// path for fresh shards, fusion, and lost claim races.
+func (s *Scheduler) dispatchGroup(specs []*network.FlowSpec, keys [][]Resource, idx []int, run GroupRun) {
 	total := 0
 	for _, i := range idx {
 		total += len(keys[i])
@@ -181,6 +219,59 @@ func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Reso
 	for _, i := range idx {
 		gkeys = append(gkeys, keys[i]...)
 	}
+	if s.tryDispatchFast(gkeys, specs, keys, idx, run) {
+		return
+	}
+	s.disp.Lock()
+	defer s.disp.Unlock()
+	s.dispatchGroupSlow(gkeys, specs, keys, idx, run)
+}
+
+// tryDispatchFast dispatches a group whose keys are owned by exactly
+// one live shard (unowned keys are claimed for it) without the
+// exclusive lock. It fails — changing nothing — when the group touches
+// no shard (fresh closure), bridges several (fusion), or loses a claim
+// race to a concurrent dispatch.
+func (s *Scheduler) tryDispatchFast(gkeys []Resource, specs []*network.FlowSpec, keys [][]Resource, idx []int, run GroupRun) bool {
+	if len(gkeys) == 0 {
+		return false // malformed specs go to a fresh shard via the slow path
+	}
+	s.disp.RLock()
+	var target *shard
+	for _, k := range gkeys {
+		sh := s.se.routes.owner(k)
+		if sh == nil {
+			continue
+		}
+		if target == nil {
+			target = sh
+		} else if target != sh {
+			s.disp.RUnlock()
+			return false
+		}
+	}
+	if target == nil {
+		s.disp.RUnlock()
+		return false
+	}
+	// Eager routing with per-stripe claim-or-fail: a concurrent
+	// dispatch racing one of the unowned keys to another shard makes
+	// the claim fail, the whole group rolls back and retries under
+	// exclusion. The RLock keeps target live (drop, fusion and
+	// re-split are exclusive), so a successful claim set cannot dangle.
+	if !s.se.tryOwn(target, gkeys) {
+		s.disp.RUnlock()
+		return false
+	}
+	s.enqueueGroup(target, nil, nil, specs, keys, idx, 0, run)
+	s.disp.RUnlock()
+	return true
+}
+
+// dispatchGroupSlow is the exclusive-path dispatcher: fresh shards,
+// fusion as ownership transfer, and the authoritative retry after a
+// fast-path claim race. Caller holds disp.Lock.
+func (s *Scheduler) dispatchGroupSlow(gkeys []Resource, specs []*network.FlowSpec, keys [][]Resource, idx []int, run GroupRun) {
 	touched := s.se.touching(gkeys)
 	var target *shard
 	var victims []*shard
@@ -189,14 +280,18 @@ func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Reso
 		if err != nil {
 			// Unreachable for a validated topology; account the group
 			// synchronously so the caller's completion count stays exact.
-			s.setErrLocked(err)
+			s.setErr(err)
 			run(idx, nil, err)
 			return
 		}
 		target = t
+		s.bk.Lock()
 		s.flowCount[target] = 0
+		s.bk.Unlock()
 	} else {
+		s.bk.Lock()
 		target = fusionSurvivor(touched, func(sh *shard) int { return s.flowCount[sh] })
+		s.bk.Unlock()
 		for _, sh := range touched {
 			if sh != target {
 				victims = append(victims, sh)
@@ -215,11 +310,15 @@ func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Reso
 		for _, v := range victims {
 			s.se.fuseRoutes(target, v)
 			s.forward[v] = target
+			s.bk.Lock()
 			s.flowCount[target] += s.flowCount[v]
 			delete(s.flowCount, v)
+			s.bk.Unlock()
 			victimEngines = append(victimEngines, v.eng)
+			s.boxMu.Lock()
 			vb := s.boxes[v]
 			delete(s.boxes, v)
+			s.boxMu.Unlock()
 			if vb == nil {
 				// The victim never ran a task; its engine is quiescent
 				// and the enqueue below publishes it to the survivor.
@@ -230,11 +329,11 @@ func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Reso
 			// has finished, then retires the mailbox. Runs as a pre on
 			// the victim's own goroutine — never on a pool worker — so
 			// it cannot deadlock the pool.
+			s.qmu.Lock()
 			s.inflight++
+			s.qmu.Unlock()
 			vb.enqueue(schedTask{pre: func() {
-				s.mu.Lock()
-				s.taskDoneLocked()
-				s.mu.Unlock()
+				s.taskDone()
 				handoff.Done()
 				vb.close()
 			}})
@@ -243,11 +342,18 @@ func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Reso
 
 	// Eager routing of the group itself; rejected members are disowned
 	// at completion, so the net effect equals the serial Commit.
-	for _, i := range idx {
-		s.se.own(target, keys[i])
-	}
+	s.se.own(target, gkeys)
+	s.enqueueGroup(target, handoff, victimEngines, specs, keys, idx, len(victims), run)
+}
 
+// enqueueGroup raises the in-flight count and queues the group's
+// decision task on its shard's mailbox. Caller holds disp (either
+// mode), which is what keeps the emptiness check in tryDrop from
+// racing this enqueue.
+func (s *Scheduler) enqueueGroup(target *shard, handoff *sync.WaitGroup, victimEngines []*Engine, specs []*network.FlowSpec, keys [][]Resource, idx []int, fused int, run GroupRun) {
+	s.qmu.Lock()
 	s.inflight++
+	s.qmu.Unlock()
 	task := schedTask{
 		body: func(eng *Engine) {
 			var err error
@@ -258,13 +364,13 @@ func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Reso
 				}
 			}
 			flags := run(idx, eng, err)
-			s.completeGroup(target, specs, keys, idx, flags, len(victims), err)
+			s.completeGroup(target, specs, keys, idx, flags, fused, err)
 		},
 	}
 	if handoff != nil {
 		task.pre = handoff.Wait
 	}
-	s.boxLocked(target).enqueue(task)
+	s.boxFor(target).enqueue(task)
 }
 
 // completeGroup is the commit half of a dispatched group, still on the
@@ -275,27 +381,36 @@ func (s *Scheduler) dispatchGroupLocked(specs []*network.FlowSpec, keys [][]Reso
 // fused this shard into a survivor while the group was queued, moving
 // its routes and counts there — the commit must land on the survivor.
 func (s *Scheduler) completeGroup(target *shard, specs []*network.FlowSpec, keys [][]Resource, idx []int, flags []bool, fused int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	target = s.resolveLocked(target)
+	s.disp.RLock()
+	target = s.resolve(target)
 	anyRejected := err != nil
+	s.bk.Lock()
 	for at, i := range idx {
 		if flags != nil && flags[at] {
 			s.specShard[specs[i]] = target
 			s.flowCount[target]++
 		} else {
 			anyRejected = true
+		}
+	}
+	s.bk.Unlock()
+	for at, i := range idx {
+		if flags == nil || !flags[at] {
 			s.se.disown(target, keys[i])
 		}
 	}
 	if err != nil {
-		s.setErrLocked(err)
+		s.setErr(err)
 	}
 	if fused > 0 && anyRejected {
-		s.needResplit = true
+		s.needResplit.Store(true)
 	}
-	s.maybeDropLocked(target)
-	s.taskDoneLocked()
+	empty := s.shardIdle(target)
+	s.taskDone()
+	s.disp.RUnlock()
+	if empty {
+		s.tryDrop(target)
+	}
 }
 
 // Remove dispatches an asynchronous departure of the exact spec to its
@@ -305,20 +420,43 @@ func (s *Scheduler) completeGroup(target *shard, specs []*network.FlowSpec, keys
 // itself completes later — removal errors surface through Flush.
 // Departures on distinct shards run concurrently; a departure and the
 // admissions around it on one shard stay in dispatch order.
+//
+// A group's client-visible completion (the admission fold) runs inside
+// its task body, strictly before completeGroup indexes the admitted
+// specs — so a caller that observed the admission and immediately
+// removes the flow can look it up while the commit is still in flight.
+// A miss therefore quiesces once (waiting out every in-flight
+// completion, the lagging commit included) and retries before ruling
+// the spec untracked.
 func (s *Scheduler) Remove(fs *network.FlowSpec) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.tryRemove(fs) {
+		return true
+	}
+	s.Quiesce()
+	return s.tryRemove(fs)
+}
+
+func (s *Scheduler) tryRemove(fs *network.FlowSpec) bool {
+	s.disp.RLock()
 	if s.closed {
+		s.disp.RUnlock()
 		panic("core: Remove on a closed Scheduler")
 	}
+	s.bk.Lock()
 	sh, ok := s.specShard[fs]
+	if ok {
+		delete(s.specShard, fs) // claimed: a concurrent Remove of the same spec misses
+	}
+	s.bk.Unlock()
 	if !ok {
+		s.disp.RUnlock()
 		return false
 	}
-	sh = s.resolveLocked(sh)
-	delete(s.specShard, fs) // claimed: a concurrent Remove of the same spec misses
+	sh = s.resolve(sh)
+	s.qmu.Lock()
 	s.inflight++
-	s.boxLocked(sh).enqueue(schedTask{body: func(eng *Engine) {
+	s.qmu.Unlock()
+	s.boxFor(sh).enqueue(schedTask{body: func(eng *Engine) {
 		nw := eng.Network()
 		at := -1
 		for i := 0; i < nw.NumFlows(); i++ {
@@ -339,27 +477,34 @@ func (s *Scheduler) Remove(fs *network.FlowSpec) bool {
 				err = eng.Refresh()
 			}
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		s.disp.RLock()
 		// The shard may have been fused into a survivor while this
 		// departure was queued; its routes and counts live there now.
-		cur := s.resolveLocked(sh)
+		cur := s.resolve(sh)
 		if err != nil {
-			s.setErrLocked(err)
+			s.setErr(err)
 		} else {
 			s.se.disown(cur, keys)
+			s.bk.Lock()
 			s.flowCount[cur]--
-			s.needResplit = true // a departure can split the closure
+			s.bk.Unlock()
+			s.needResplit.Store(true) // a departure can split the closure
 		}
-		s.maybeDropLocked(cur)
-		s.taskDoneLocked()
+		empty := s.shardIdle(cur)
+		s.taskDone()
+		s.disp.RUnlock()
+		if empty {
+			s.tryDrop(cur)
+		}
 	}})
+	s.disp.RUnlock()
 	return true
 }
 
-// resolveLocked follows fusion forwards to the shard that currently
-// owns a fused-away shard's flows and routes.
-func (s *Scheduler) resolveLocked(sh *shard) *shard {
+// resolve follows fusion forwards to the shard that currently owns a
+// fused-away shard's flows and routes. forward is written only under
+// the exclusive dispatch lock; callers hold disp in either mode.
+func (s *Scheduler) resolve(sh *shard) *shard {
 	for {
 		nxt, ok := s.forward[sh]
 		if !ok {
@@ -369,18 +514,41 @@ func (s *Scheduler) resolveLocked(sh *shard) *shard {
 	}
 }
 
+// shardIdle reports whether the shard holds no committed flows and no
+// resource routes — a drop candidate.
+func (s *Scheduler) shardIdle(sh *shard) bool {
+	s.bk.Lock()
+	n := s.flowCount[sh]
+	s.bk.Unlock()
+	return n == 0 && sh.ownedEmpty()
+}
+
 // Quiesce blocks until every dispatched task has completed. The shard
 // engines are then untouched until the next Submit/Remove, so reads
 // through Sharded are safe while the caller prevents new dispatches.
 func (s *Scheduler) Quiesce() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.quiesceLocked()
-}
-
-func (s *Scheduler) quiesceLocked() {
+	s.qmu.Lock()
 	for s.inflight > 0 {
 		s.quiet.Wait()
+	}
+	s.qmu.Unlock()
+}
+
+// lockQuiesced acquires the exclusive dispatch lock with no task in
+// flight: wait for quiescence, take the lock, and retry if a dispatch
+// slipped in between. On return the caller holds disp.Lock and the
+// whole system is idle.
+func (s *Scheduler) lockQuiesced() {
+	for {
+		s.Quiesce()
+		s.disp.Lock()
+		s.qmu.Lock()
+		idle := s.inflight == 0
+		s.qmu.Unlock()
+		if idle {
+			return
+		}
+		s.disp.Unlock()
 	}
 }
 
@@ -392,37 +560,40 @@ func (s *Scheduler) quiesceLocked() {
 // decides exactly as its split closures would) and needs the world
 // stopped anyway.
 func (s *Scheduler) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.quiesceLocked()
-	if s.needResplit {
-		s.needResplit = false
+	s.lockQuiesced()
+	defer s.disp.Unlock()
+	if s.needResplit.Swap(false) {
 		if _, err := s.se.Resplit(); err != nil {
-			s.setErrLocked(err)
+			s.setErr(err)
 		}
-		s.rebuildLocked()
+		s.rebuild()
 	}
+	s.errMu.Lock()
 	err := s.err
 	s.err = nil
+	s.errMu.Unlock()
 	return err
 }
 
-// rebuildLocked re-indexes the dispatcher after a re-split: shards were
+// rebuild re-indexes the dispatcher after a re-split: shards were
 // replaced wholesale, so specShard/flowCount are rebuilt from the live
 // partition, fusion forwards are obsolete, and mailboxes of retired
-// shards are closed. Requires quiescence (held via s.mu by the caller).
-func (s *Scheduler) rebuildLocked() {
+// shards are closed. Caller holds disp.Lock with the system idle.
+func (s *Scheduler) rebuild() {
 	live := make(map[*shard]bool, len(s.se.shards))
 	for _, sh := range s.se.shards {
 		live[sh] = true
 	}
+	s.boxMu.Lock()
 	for sh, mb := range s.boxes {
 		if !live[sh] {
 			mb.close()
 			delete(s.boxes, sh)
 		}
 	}
+	s.boxMu.Unlock()
 	s.forward = make(map[*shard]*shard)
+	s.bk.Lock()
 	s.specShard = make(map[*network.FlowSpec]*shard)
 	s.flowCount = make(map[*shard]int)
 	for _, sh := range s.se.shards {
@@ -432,21 +603,20 @@ func (s *Scheduler) rebuildLocked() {
 			s.specShard[nw.Flow(i)] = sh
 		}
 	}
+	s.bk.Unlock()
 }
 
 // NumFlows quiesces and returns the committed flow count across shards.
 func (s *Scheduler) NumFlows() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.quiesceLocked()
+	s.lockQuiesced()
+	defer s.disp.Unlock()
 	return s.se.NumFlows()
 }
 
 // NumShards quiesces and returns the number of live shards.
 func (s *Scheduler) NumShards() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.quiesceLocked()
+	s.lockQuiesced()
+	defer s.disp.Unlock()
 	return s.se.NumShards()
 }
 
@@ -456,16 +626,18 @@ func (s *Scheduler) NumShards() int {
 // the Scheduler itself must not be used again.
 func (s *Scheduler) Close() error {
 	err := s.Flush()
-	s.mu.Lock()
+	s.lockQuiesced()
 	first := !s.closed
 	if first {
 		s.closed = true
+		s.boxMu.Lock()
 		for sh, mb := range s.boxes {
 			mb.close()
 			delete(s.boxes, sh)
 		}
+		s.boxMu.Unlock()
 	}
-	s.mu.Unlock()
+	s.disp.Unlock()
 	s.wg.Wait()
 	if first {
 		close(s.work)
@@ -474,47 +646,70 @@ func (s *Scheduler) Close() error {
 	return err
 }
 
-// setErrLocked records the first asynchronous failure.
-func (s *Scheduler) setErrLocked(err error) {
+// setErr records the first asynchronous failure.
+func (s *Scheduler) setErr(err error) {
+	s.errMu.Lock()
 	if s.err == nil {
 		s.err = err
 	}
+	s.errMu.Unlock()
 }
 
-// taskDoneLocked retires one in-flight task and wakes quiescence
-// waiters at zero.
-func (s *Scheduler) taskDoneLocked() {
+// taskDone retires one in-flight task and wakes quiescence waiters at
+// zero.
+func (s *Scheduler) taskDone() {
+	s.qmu.Lock()
 	s.inflight--
 	if s.inflight == 0 {
 		s.quiet.Broadcast()
 	}
+	s.qmu.Unlock()
 }
 
-// maybeDropLocked retires a shard that ended up empty (a fresh shard
-// whose only candidates were rejected, or one emptied by departures):
-// no committed flows, no owned routes, nothing queued. Only the shard's
-// own tasks call this (serialised by its mailbox), so the engine cannot
-// be mid-use elsewhere; enqueues happen under s.mu, so the emptiness
-// check cannot race a new dispatch.
-func (s *Scheduler) maybeDropLocked(sh *shard) {
-	if s.flowCount[sh] != 0 || len(sh.owned) != 0 {
+// tryDrop retires a shard that ended up empty (a fresh shard whose
+// only candidates were rejected, or one emptied by departures): no
+// committed flows, no owned routes, nothing queued. It runs after the
+// emptying task released the dispatch lock — drop restructures the
+// partition, so it needs exclusion — and re-checks everything under the
+// lock: a Flush may have rebuilt the world, or a re-split dropped the
+// shard already, in which case the flowCount entry is gone and there
+// is nothing to do. New work cannot arrive while the lock is held, and
+// no fast path can route to a shard that owns nothing.
+func (s *Scheduler) tryDrop(sh *shard) {
+	s.disp.Lock()
+	defer s.disp.Unlock()
+	if s.closed {
 		return
 	}
+	s.bk.Lock()
+	n, live := s.flowCount[sh]
+	s.bk.Unlock()
+	if !live || n != 0 || !sh.ownedEmpty() {
+		return
+	}
+	s.boxMu.Lock()
 	mb := s.boxes[sh]
+	s.boxMu.Unlock()
 	if mb != nil && !mb.drained() {
 		return
 	}
 	s.se.drop(sh)
+	s.bk.Lock()
 	delete(s.flowCount, sh)
+	s.bk.Unlock()
 	if mb != nil {
 		mb.close()
+		s.boxMu.Lock()
 		delete(s.boxes, sh)
+		s.boxMu.Unlock()
 	}
 }
 
-// boxLocked returns the shard's mailbox, starting its goroutine on
-// first use.
-func (s *Scheduler) boxLocked(sh *shard) *mailbox {
+// boxFor returns the shard's mailbox, starting its goroutine on first
+// use. Caller holds disp (either mode).
+func (s *Scheduler) boxFor(sh *shard) *mailbox {
+	s.boxMu.Lock()
+	defer s.boxMu.Unlock()
 	if mb, ok := s.boxes[sh]; ok {
 		return mb
 	}

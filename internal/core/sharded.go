@@ -38,14 +38,16 @@ import (
 // engine over the union — the property the sharded admission
 // controller's differential tests pin.
 //
-// A ShardedEngine is not safe for concurrent use; AnalyzeAll
-// parallelises internally over shards.
+// A ShardedEngine is not safe for concurrent use in general; AnalyzeAll
+// parallelises internally over shards, and the routing table (routes)
+// is striped so the Scheduler's dispatch fast path can look up and
+// claim resources concurrently — see routeTable for the locking model.
 type ShardedEngine struct {
 	topo *network.Topology
 	cfg  Config
 
 	shards []*shard
-	byRes  map[Resource]*shard
+	routes routeTable
 	seq    int
 }
 
@@ -53,12 +55,24 @@ type ShardedEngine struct {
 type shard struct {
 	eng *Engine
 	seq int
-	// owned refcounts the pipeline resources registered in byRes for
-	// this shard: how many of its committed flows' pipelines cross each.
-	// Remove decrements and unroutes keys that reach zero, so departed
-	// flows do not leave stale routes behind; Resplit rebuilds the
-	// counts from scratch for shards it splits.
+	// mu guards owned against the scheduler's concurrent claims; the
+	// stripe lock of the key being (dis)owned nests outside it (see
+	// routeTable). Paths holding the scheduler's exclusive dispatch
+	// lock take it too, for uniformity.
+	mu sync.Mutex
+	// owned mirrors this shard's routeTable entries as an enumeration
+	// index: pipeline resource → how many of the shard's committed (or
+	// eagerly routed in-flight) flows cross it. Fusion and drop need
+	// "all keys of this shard" without scanning every stripe; Resplit
+	// rebuilds the counts from scratch for shards it splits.
 	owned map[Resource]int
+}
+
+// ownedEmpty reports whether the shard owns no resource routes.
+func (s *shard) ownedEmpty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.owned) == 0
 }
 
 // NewShardedEngine partitions the network's flows by interference
@@ -73,9 +87,8 @@ func NewShardedEngine(nw *network.Network, cfg Config) (*ShardedEngine, error) {
 		return nil, err
 	}
 	se := &ShardedEngine{
-		topo:  nw.Topo,
-		cfg:   cfg,
-		byRes: make(map[Resource]*shard),
+		topo: nw.Topo,
+		cfg:  cfg,
 	}
 	for _, members := range nw.Closures() {
 		s, err := se.newShard()
@@ -124,11 +137,29 @@ func (se *ShardedEngine) newShard() (*shard, error) {
 }
 
 // own routes one committed flow's pipeline resources to the shard.
+// Callers guarantee each key is unowned or already routed to s —
+// placement fuses bridging shards first.
 func (se *ShardedEngine) own(s *shard, keys []Resource) {
 	for _, k := range keys {
-		se.byRes[k] = s
-		s.owned[k]++
+		se.routes.route(k, s)
 	}
+}
+
+// tryOwn atomically routes the keys to s, failing — and undoing the
+// claims already made — when any key is owned by another shard. The
+// scheduler's dispatch fast path uses it to detect racing dispatches
+// without a global lock: a conflict means the partition is shifting
+// under the group, and the dispatch retries under exclusion.
+func (se *ShardedEngine) tryOwn(s *shard, keys []Resource) bool {
+	for n, k := range keys {
+		if !se.routes.claim(k, s) {
+			for _, u := range keys[:n] {
+				se.routes.release(u, s)
+			}
+			return false
+		}
+	}
+	return true
 }
 
 // disown releases one departed flow's pipeline resources: refcounts
@@ -137,28 +168,17 @@ func (se *ShardedEngine) own(s *shard, keys []Resource) {
 // of being pulled into this shard.
 func (se *ShardedEngine) disown(s *shard, keys []Resource) {
 	for _, k := range keys {
-		n, ok := s.owned[k]
-		if !ok {
-			continue
-		}
-		if n <= 1 {
-			delete(s.owned, k)
-			if se.byRes[k] == s {
-				delete(se.byRes, k)
-			}
-		} else {
-			s.owned[k] = n - 1
-		}
+		se.routes.release(k, s)
 	}
 }
 
 // drop unregisters a shard and its resource routes.
 func (se *ShardedEngine) drop(s *shard) {
+	s.mu.Lock()
 	for k := range s.owned {
-		if se.byRes[k] == s {
-			delete(se.byRes, k)
-		}
+		se.routes.unroute(k, s)
 	}
+	s.mu.Unlock()
 	for i, t := range se.shards {
 		if t == s {
 			se.shards = append(se.shards[:i], se.shards[i+1:]...)
@@ -182,10 +202,19 @@ func specKeys(fs *network.FlowSpec) []Resource {
 // shard routes are updated deterministically).
 func (se *ShardedEngine) touching(keys []Resource) []*shard {
 	var out []*shard
-	seen := make(map[*shard]bool)
 	for _, k := range keys {
-		if s, ok := se.byRes[k]; ok && !seen[s] {
-			seen[s] = true
+		s := se.routes.owner(k)
+		if s == nil {
+			continue
+		}
+		dup := false
+		for _, t := range out {
+			if t == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, s)
 		}
 	}
@@ -362,11 +391,16 @@ func fusionSurvivor(list []*shard, flows func(*shard) int) *shard {
 // mailbox so routing moves on immediately while the victim's queue
 // drains.
 func (se *ShardedEngine) fuseRoutes(dst, victim *shard) {
-	for k, n := range victim.owned {
-		se.byRes[k] = dst
-		dst.owned[k] += n
-	}
+	victim.mu.Lock()
+	moved := victim.owned
 	victim.owned = nil // already re-routed; keep drop from deleting them
+	victim.mu.Unlock()
+	for k, n := range moved {
+		se.routes.reroute(k, victim, dst)
+		dst.mu.Lock()
+		dst.owned[k] += n
+		dst.mu.Unlock()
+	}
 	se.drop(victim)
 }
 
@@ -397,7 +431,7 @@ func (se *ShardedEngine) Resplit() (int, error) {
 			return created, err
 		}
 		// Build the replacement shards detached: nothing below touches
-		// se.shards or se.byRes until every closure spliced cleanly.
+		// se.shards or the routing table until every closure spliced cleanly.
 		detached := make([]*shard, 0, len(closures))
 		buildErr := func() error {
 			for _, members := range closures {
@@ -430,8 +464,8 @@ func (se *ShardedEngine) Resplit() (int, error) {
 			ns.seq = se.seq
 			se.seq++
 			se.shards = append(se.shards, ns)
-			for k := range ns.owned {
-				se.byRes[k] = ns
+			for k, n := range ns.owned {
+				se.routes.set(k, ns, n)
 			}
 		}
 		created += len(detached) - 1
@@ -543,6 +577,11 @@ func (se *ShardedEngine) ValidateSpecs(specs []*network.FlowSpec) error {
 // batch members' precomputed pipeline keys, as index lists, each
 // ascending, ordered by first member.
 func (se *ShardedEngine) groupByKeys(keys [][]Resource) [][]int {
+	if len(keys) == 1 {
+		// A single spec is always its own group: skip the union-find
+		// and its maps on the hot single-request path.
+		return [][]int{{0}}
+	}
 	parent := make([]int, len(keys))
 	for i := range parent {
 		parent[i] = i
@@ -573,7 +612,7 @@ func (se *ShardedEngine) groupByKeys(keys [][]Resource) [][]int {
 			} else {
 				keyOwner[k] = i
 			}
-			if s, ok := se.byRes[k]; ok {
+			if s := se.routes.owner(k); s != nil {
 				if j, ok := shardOwner[s]; ok {
 					union(i, j)
 				} else {

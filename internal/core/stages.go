@@ -202,7 +202,8 @@ func (a *Analyzer) egress(i, k, h int, js jitterSource) (units.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	hep := a.nw.HEP(i, node, to)
+	hep := a.nw.AppendHEP(a.hepScratch[:0], i, node, to)
+	a.hepScratch = hep
 	mft := ether.MFT(link.Rate)
 	dems, exts := a.hoistInterference(hep, link.Rate, rid, js)
 	di := a.demand(i, link.Rate)

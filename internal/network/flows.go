@@ -247,14 +247,23 @@ func (nw *Network) FlowsOn(from, to NodeID) []int {
 // HEP returns hep(τi,N1,N2) per eq. (2): the indices of flows j != i on
 // the link from->to with priority >= the priority of flow i.
 func (nw *Network) HEP(i int, from, to NodeID) []int {
+	return nw.AppendHEP(nil, i, from, to)
+}
+
+// AppendHEP appends hep(τi,N1,N2) to dst and returns the extended
+// slice: the allocation-free form of HEP for hot paths that reuse a
+// scratch buffer across stages (the per-request analysis computes one
+// hep set per egress stage per fixpoint pass — materializing each into
+// a fresh slice was the single largest allocation source of the
+// admission hot path).
+func (nw *Network) AppendHEP(dst []int, i int, from, to NodeID) []int {
 	pi := nw.flows[i].Priority
-	var out []int
 	for _, j := range nw.FlowsOn(from, to) {
 		if j != i && nw.flows[j].Priority >= pi {
-			out = append(out, j)
+			dst = append(dst, j)
 		}
 	}
-	return out
+	return dst
 }
 
 // LP returns lp(τi,N1,N2) per eq. (3): the indices of flows j != i on the
@@ -282,19 +291,36 @@ func (nw *Network) Interferers(i int) []int {
 	if i < 0 || i >= len(nw.flows) {
 		return nil
 	}
-	fs := nw.flows[i]
 	seen := make(map[int]bool)
 	var out []int
+	nw.VisitInterferers(i, func(j int) {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	})
+	sort.Ints(out)
+	return out
+}
+
+// VisitInterferers calls fn for every flow j != i sharing a directed
+// link with flow i, in link-walk order. Flows sharing several links
+// are visited once per shared link: the allocation-free form for
+// callers folding into a set (the incremental engine's worklist seeds
+// and propagation fronts), where deduplicating here would just build a
+// throwaway map. Interferers is the deduplicated, sorted wrapper.
+func (nw *Network) VisitInterferers(i int, fn func(j int)) {
+	if i < 0 || i >= len(nw.flows) {
+		return
+	}
+	fs := nw.flows[i]
 	for h := 0; h < len(fs.Route)-1; h++ {
 		for _, j := range nw.FlowsOn(fs.Route[h], fs.Route[h+1]) {
-			if j != i && !seen[j] {
-				seen[j] = true
-				out = append(out, j)
+			if j != i {
+				fn(j)
 			}
 		}
 	}
-	sort.Ints(out)
-	return out
 }
 
 // Validate checks the whole network: topology links used by flows exist
